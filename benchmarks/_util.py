@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark reproduces one table or figure of the paper: it computes the
+same rows/series the paper reports (at a laptop-friendly default scale),
+prints them, and writes them to ``benchmarks/results/<name>.txt`` so the
+output survives pytest's capture.  Set the environment variable
+``REPRO_PAPER_SCALE=1`` to run the paper-scale configurations (slower).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: True when the benchmarks should use the paper's full domain sizes.
+PAPER_SCALE = os.environ.get("REPRO_PAPER_SCALE", "0") not in ("", "0", "false", "False")
+
+
+def scale(default: int, paper: int) -> int:
+    """Pick the default or paper-scale value of a size parameter."""
+    return paper if PAPER_SCALE else default
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under ``benchmarks/results``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")

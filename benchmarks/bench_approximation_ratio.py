@@ -1,0 +1,90 @@
+"""A2 — ablation: approximation-ratio certification of the eigen design.
+
+Sec. 5.1 of the paper reports that the eigen design's error never exceeds 1.3
+times the optimal error and often matches the lower bound.  This benchmark
+certifies that claim directly at small domain sizes: for each workload it
+computes the eigen design, the direct Gram-matrix reference solver (our
+OptStrat(W) stand-in), the Thm. 2 singular-value lower bound, and the Thm. 3
+worst-case ratio, and checks the measured ratios against the paper's claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    approximation_ratio_bound,
+    eigen_design,
+    expected_workload_error,
+    minimum_error_bound,
+)
+from repro.evaluation import format_table
+from repro.optimize import optimal_gram_strategy
+from repro.workloads import (
+    all_range_queries_1d,
+    cdf_workload,
+    example_workload,
+    kway_marginals,
+    kway_range_marginals,
+    permuted_workload,
+    random_predicate_queries,
+)
+
+from _util import PAPER_SCALE, emit
+
+CELLS = 128 if PAPER_SCALE else 64
+
+WORKLOADS = {
+    "fig1-example": lambda: example_workload(),
+    "1d-range": lambda: all_range_queries_1d(CELLS),
+    "1d-range-permuted": lambda: permuted_workload(all_range_queries_1d(CELLS), random_state=0),
+    "2way-marginal": lambda: kway_marginals([4, 4, 4], 2),
+    "1way-range-marginal": lambda: kway_range_marginals([8, 8], 1),
+    "predicate": lambda: random_predicate_queries(CELLS, 2 * CELLS, random_state=0),
+    "1d-cdf": lambda: cdf_workload(CELLS),
+}
+
+
+def test_approximation_ratio_certification(benchmark, privacy):
+    def run():
+        rows = []
+        for label, factory in WORKLOADS.items():
+            workload = factory()
+            eigen = eigen_design(workload).strategy
+            reference = optimal_gram_strategy(workload).strategy
+            eigen_error = expected_workload_error(workload, eigen, privacy)
+            reference_error = expected_workload_error(workload, reference, privacy)
+            bound = minimum_error_bound(workload, privacy)
+            rows.append(
+                {
+                    "workload": label,
+                    "eigen error": eigen_error,
+                    "reference error": reference_error,
+                    "lower bound": bound,
+                    "ratio to reference": eigen_error / reference_error,
+                    "ratio to bound": eigen_error / bound,
+                    "thm3 worst case": approximation_ratio_bound(workload),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "approximation_ratio",
+        format_table(
+            rows,
+            precision=3,
+            title="A2: eigen-design approximation ratios (paper claim: never above 1.3)",
+        ),
+    )
+    for row in rows:
+        # Paper, Sec. 5.1: "We never witness an approximation rate greater
+        # than 1.3 times the optimal absolute error."
+        assert row["ratio to bound"] <= 1.3
+        # The measured ratio never exceeds the Thm. 3 worst-case guarantee.
+        assert row["ratio to bound"] <= row["thm3 worst case"] + 1e-6
+        # The reference solver never does meaningfully better than the bound
+        # allows, and the eigen design stays within 10% of the reference
+        # except on the CDF workload (the paper's own exception).
+        if row["workload"] != "1d-cdf":
+            assert row["ratio to reference"] == pytest.approx(1.0, abs=0.1)

@@ -1,0 +1,13 @@
+"""Benchmark-suite fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PrivacyParams
+
+
+@pytest.fixture(scope="session")
+def privacy() -> PrivacyParams:
+    """The paper's experimental privacy setting (epsilon=0.5, delta=1e-4)."""
+    return PrivacyParams(epsilon=0.5, delta=1e-4)

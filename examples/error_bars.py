@@ -1,0 +1,81 @@
+"""Publishing honest error bars alongside a differentially private release.
+
+The matrix mechanism's noise distribution is fully known and data-independent
+(Prop. 3), so confidence intervals and accuracy statements can be published
+with a release at no extra privacy cost.  This example:
+
+1. answers a marginal workload over a synthetic Adult-like dataset;
+2. attaches 95% confidence intervals to every released count;
+3. reports the expected worst-case error over the whole release;
+4. answers the planning question "what epsilon would I need for +/- 50?".
+
+Run with:  python examples/error_bars.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MatrixMechanism, PrivacyParams, eigen_design
+from repro.analysis import (
+    confidence_intervals,
+    epsilon_for_target_bound,
+    epsilon_for_target_error,
+    expected_max_error,
+    simultaneous_confidence_radius,
+)
+from repro.datasets import adult_like
+from repro.evaluation import format_table
+from repro.workloads import marginal_workload
+
+
+def main() -> None:
+    privacy = PrivacyParams(epsilon=0.5, delta=1e-4)
+    dataset = adult_like(random_state=0)
+
+    # The release: the two-way marginal over the first and last attributes.
+    workload = marginal_workload(dataset.domain, [0, 3])
+    design = eigen_design(workload)
+    mechanism = MatrixMechanism(design.strategy, privacy)
+    result = mechanism.run(workload, dataset.data, random_state=1)
+    truth = workload.answer(dataset.data)
+
+    intervals = confidence_intervals(result.answers, workload, design.strategy, privacy)
+    rows = []
+    for index in range(min(10, workload.query_count)):
+        rows.append(
+            {
+                "cell": index,
+                "true count": truth[index],
+                "released": result.answers[index],
+                "95% low": intervals[index, 0],
+                "95% high": intervals[index, 1],
+                "covered": bool(intervals[index, 0] <= truth[index] <= intervals[index, 1]),
+            }
+        )
+    print(format_table(rows, precision=1, title="First 10 released marginal cells with 95% intervals"))
+
+    simultaneous = simultaneous_confidence_radius(workload, design.strategy, privacy)
+    print(
+        f"\nSimultaneous 95% radius (all {workload.query_count} cells at once): "
+        f"up to +/- {simultaneous.max():.1f} tuples"
+    )
+    print(
+        f"Expected maximum absolute error over the release: "
+        f"{expected_max_error(workload, design.strategy, privacy):.1f} tuples"
+    )
+
+    # Planning: what budget buys +/- 50 tuples RMSE on this workload?
+    target = 50.0
+    needed = epsilon_for_target_error(workload, design.strategy, target)
+    floor = epsilon_for_target_bound(workload, target)
+    print(
+        f"\nTo reach an expected RMSE of {target:.0f} tuples, this strategy needs "
+        f"epsilon = {needed:.3f}; no strategy can do it below epsilon = {floor:.3f} (Thm. 2)."
+    )
+    coverage = np.mean((intervals[:, 0] <= truth) & (truth <= intervals[:, 1]))
+    print(f"Empirical interval coverage in this run: {coverage:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Quickstart: answer a workload of range queries under (epsilon, delta)-DP.
+
+This example walks through the full pipeline on a small 1-D domain:
+
+1. build a workload (all range queries over 64 ordered buckets);
+2. run the Eigen-Design algorithm to obtain an adapted strategy;
+3. compare its expected error against the classic baselines;
+4. run the matrix mechanism on a synthetic dataset and inspect the answers.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    MatrixMechanism,
+    PrivacyParams,
+    eigen_design,
+    expected_workload_error,
+    minimum_error_bound,
+)
+from repro.datasets import zipf_dataset
+from repro.evaluation import compare_strategies, format_comparison
+from repro.strategies import hierarchical_strategy, identity_strategy, wavelet_strategy
+from repro.workloads import all_range_queries_1d
+
+
+def main() -> None:
+    privacy = PrivacyParams(epsilon=0.5, delta=1e-4)
+    domain_size = 64
+
+    # 1. The workload: every contiguous range query over 64 ordered buckets.
+    workload = all_range_queries_1d(domain_size)
+    print(f"Workload: {workload.query_count} range queries over {domain_size} cells")
+
+    # 2. Adapt a strategy to the workload (Program 2 of the paper).
+    design = eigen_design(workload)
+    print(
+        f"Eigen design solved in {design.solution.iterations} solver iterations "
+        f"(relative duality gap {design.solution.relative_gap:.1e})"
+    )
+
+    # 3. Expected (data-independent) error comparison.
+    comparison = compare_strategies(
+        workload,
+        {
+            "identity": identity_strategy(domain_size),
+            "wavelet": wavelet_strategy(domain_size),
+            "hierarchical": hierarchical_strategy(domain_size),
+            "eigen-design": design.strategy,
+        },
+        privacy,
+    )
+    print()
+    print(format_comparison(comparison))
+    print(f"\nLower bound on any strategy's error: {minimum_error_bound(workload, privacy):.3f}")
+
+    # 4. Run the mechanism on data: a skewed synthetic histogram.
+    dataset = zipf_dataset(shape=(domain_size,), total=100_000, random_state=0)
+    mechanism = MatrixMechanism(design.strategy, privacy)
+    result = mechanism.run(workload, dataset.data, random_state=1)
+
+    true_answers = workload.answer(dataset.data)
+    observed_rmse = float(np.sqrt(np.mean((result.answers - true_answers) ** 2)))
+    print(f"\nOne mechanism run on a {int(dataset.total)}-tuple dataset:")
+    print(f"  expected RMSE (Prop. 4):  {expected_workload_error(workload, design.strategy, privacy):8.2f}")
+    print(f"  observed RMSE (this run): {observed_rmse:8.2f}")
+    print(f"  first five noisy answers: {np.round(result.answers[:5], 1)}")
+    print(f"  first five true answers:  {np.round(true_answers[:5], 1)}")
+
+
+if __name__ == "__main__":
+    main()

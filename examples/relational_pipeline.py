@@ -1,0 +1,111 @@
+"""End-to-end pipeline: raw tuples -> SQL counting queries -> private answers.
+
+The paper's motivating scenario (Fig. 1) starts from a student relation and a
+handful of counting queries over gender and GPA.  This example runs that
+scenario end to end using the tuple-level substrate:
+
+1. synthesise a student relation (CSV-compatible, tuple-level data);
+2. bucket it into a schema and build the data vector of Def. 1;
+3. express the analyst's task as SQL counting queries and compile them into a
+   workload matrix;
+4. adapt a strategy with the Eigen-Design algorithm and answer the workload
+   under (epsilon, delta)-differential privacy;
+5. compare the private answers with the exact (non-private) SQL answers.
+
+Run with:  python examples/relational_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MatrixMechanism, PrivacyParams, eigen_design, per_query_error
+from repro.domain.schema import CategoricalAttribute, NumericAttribute, Schema
+from repro.relational import (
+    Relation,
+    data_vector,
+    parse_counting_query,
+    workload_from_sql,
+    write_csv_text,
+)
+
+#: The analyst's task, written the way an analyst would write it.
+QUERIES = [
+    "SELECT COUNT(*) FROM students",
+    "SELECT COUNT(*) FROM students WHERE gender = 'F'",
+    "SELECT COUNT(*) FROM students WHERE gender = 'M'",
+    "SELECT COUNT(*) FROM students WHERE gpa < 3.0",
+    "SELECT COUNT(*) FROM students WHERE gpa >= 3.0",
+    "SELECT COUNT(*) FROM students WHERE gender = 'F' AND gpa >= 3.0",
+    "SELECT COUNT(*) FROM students WHERE gender = 'M' AND gpa < 3.0",
+    "SELECT COUNT(*) FROM students WHERE gpa BETWEEN 2.0 AND 3.5 GROUP BY gender",
+]
+
+
+def build_students(count: int, seed: int) -> Relation:
+    """Synthesise a plausible student relation (the raw, sensitive input)."""
+    rng = np.random.default_rng(seed)
+    gender = rng.choice(["M", "F"], size=count, p=[0.52, 0.48])
+    # GPA is a truncated bimodal mixture so the buckets are unevenly filled.
+    gpa = np.where(
+        rng.random(count) < 0.6,
+        rng.normal(3.1, 0.45, size=count),
+        rng.normal(2.2, 0.5, size=count),
+    )
+    gpa = np.clip(gpa, 1.0, 3.999)
+    return Relation({"gender": gender.tolist(), "gpa": gpa}, name="students")
+
+
+def main() -> None:
+    privacy = PrivacyParams(epsilon=0.5, delta=1e-4)
+
+    # 1. The raw relation (first rows shown as CSV to emphasise the data model).
+    students = build_students(50_000, seed=7)
+    print(f"Relation {students.name!r} with {students.row_count} tuples; sample:")
+    print(write_csv_text(students.head(5)))
+
+    # 2. Cell conditions of Fig. 1(a): gender x four GPA ranges.
+    schema = Schema(
+        [
+            CategoricalAttribute("gender", ["M", "F"]),
+            NumericAttribute("gpa", [1.0, 2.0, 3.0, 3.5, 4.0]),
+        ]
+    )
+    x = data_vector(students, schema)
+    print(f"Data vector over {schema.domain.size} cells: {x.astype(int)}")
+
+    # 3. Compile the SQL task into a workload matrix.
+    workload, labels = workload_from_sql(schema, QUERIES, name="student-task")
+    print(f"\nWorkload: {workload.query_count} linear queries over {workload.column_count} cells")
+
+    # 4. Adapt the strategy and answer privately.
+    design = eigen_design(workload)
+    mechanism = MatrixMechanism(design.strategy, privacy)
+    result = mechanism.run(workload, x, random_state=0)
+    expected = per_query_error(workload, design.strategy, privacy)
+
+    # 5. Compare with the exact SQL answers, evaluated directly on the tuples.
+    #    (GROUP BY statements expand to one predicate per group, in the same
+    #    order as the compiled workload rows.)
+    exact: list[float] = []
+    for statement in QUERIES:
+        query = parse_counting_query(statement)
+        for _, expression in query.expressions(schema):
+            exact.append(float(expression.evaluate(students).sum()))
+
+    print(f"\n{'query':55s} {'true':>9s} {'private':>9s} {'exp. rmse':>9s}")
+    for label, truth, noisy, rmse in zip(labels, exact, result.answers, expected):
+        print(f"{label[:55]:55s} {truth:9.0f} {noisy:9.0f} {rmse:9.1f}")
+
+    print(
+        "\nAll private answers derive from one synthetic cell-count estimate, so they are "
+        "mutually consistent (e.g. the gender counts sum to the total)."
+    )
+    total = result.answers[labels.index("SELECT COUNT(*) FROM students")]
+    male = result.answers[labels.index("SELECT COUNT(*) FROM students WHERE gender = 'M'")]
+    female = result.answers[labels.index("SELECT COUNT(*) FROM students WHERE gender = 'F'")]
+    print(f"  total = {total:.1f}  vs  male + female = {male + female:.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for legacy editable installs.
+
+The environment used for offline reproduction lacks the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) fall back to this legacy
+path (``--no-use-pep517``).  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,98 @@
+"""repro: the adaptive (eigen-design) matrix mechanism for differential privacy.
+
+A faithful, from-scratch reproduction of Li & Miklau, "An Adaptive Mechanism
+for Accurate Query Answering under Differential Privacy" (VLDB 2012).
+
+Typical use::
+
+    import numpy as np
+    from repro import PrivacyParams, MatrixMechanism, eigen_design
+    from repro.workloads import all_range_queries_1d
+
+    workload = all_range_queries_1d(256)
+    design = eigen_design(workload)
+    mechanism = MatrixMechanism(design.strategy, PrivacyParams(0.5, 1e-4))
+    result = mechanism.run(workload, data_vector)
+
+The subpackages are:
+
+* :mod:`repro.core` — workloads, strategies, error analysis, eigen design;
+* :mod:`repro.workloads` — range / marginal / predicate / ad-hoc workloads;
+* :mod:`repro.strategies` — identity, wavelet, hierarchical, Fourier, DataCube;
+* :mod:`repro.mechanisms` — Gaussian, Laplace and matrix mechanisms;
+* :mod:`repro.optimize` — the convex query-weighting solvers (Program 1);
+* :mod:`repro.datasets` — synthetic stand-ins for the paper's datasets;
+* :mod:`repro.evaluation` — experiment harness for the paper's figures/tables;
+* :mod:`repro.domain` — schemas, domains, predicates, data vectors.
+"""
+
+from repro.core import (
+    DesignResult,
+    EigenDesignResult,
+    PrivacyParams,
+    Strategy,
+    Workload,
+    approximation_ratio,
+    approximation_ratio_bound,
+    eigen_design,
+    eigen_query_separation,
+    expected_workload_error,
+    minimum_error_bound,
+    per_query_error,
+    principal_vectors,
+    singular_value_bound,
+    singular_value_strategy,
+    weighted_design_strategy,
+)
+from repro.domain import Domain, Schema
+from repro.exceptions import (
+    ConvergenceWarning,
+    DatasetError,
+    DomainError,
+    MaterializationError,
+    OptimizationError,
+    PrivacyError,
+    ReproError,
+    SingularStrategyError,
+    StrategyError,
+    WorkloadError,
+)
+from repro.mechanisms import GaussianMechanism, LaplaceMechanism, MatrixMechanism, MechanismResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConvergenceWarning",
+    "DatasetError",
+    "DesignResult",
+    "Domain",
+    "DomainError",
+    "EigenDesignResult",
+    "GaussianMechanism",
+    "LaplaceMechanism",
+    "MaterializationError",
+    "MatrixMechanism",
+    "MechanismResult",
+    "OptimizationError",
+    "PrivacyError",
+    "PrivacyParams",
+    "ReproError",
+    "Schema",
+    "SingularStrategyError",
+    "Strategy",
+    "StrategyError",
+    "Workload",
+    "WorkloadError",
+    "__version__",
+    "approximation_ratio",
+    "approximation_ratio_bound",
+    "eigen_design",
+    "eigen_query_separation",
+    "expected_workload_error",
+    "minimum_error_bound",
+    "per_query_error",
+    "principal_vectors",
+    "singular_value_bound",
+    "singular_value_strategy",
+    "weighted_design_strategy",
+]

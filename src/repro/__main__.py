@@ -1,0 +1,6 @@
+"""``python -m repro`` — the experiment command-line harness."""
+
+from repro.cli import main
+
+if __name__ == "__main__":  # pragma: no cover - exercised through the CLI tests
+    raise SystemExit(main())

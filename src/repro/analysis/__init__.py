@@ -1,0 +1,43 @@
+"""Post-release analysis: uncertainty quantification and budget/accuracy planning.
+
+The matrix mechanism's noise distribution is public and fully known (Prop. 3),
+so error bars, confidence intervals and budget requirements can be published
+alongside a release at no additional privacy cost.  This subpackage collects
+those tools:
+
+* :mod:`repro.analysis.variance` — answer covariance, per-query standard
+  deviations, confidence intervals and expected maximum error;
+* :mod:`repro.analysis.utility` — converting accuracy targets into privacy
+  budgets (and back) using the closed-form error of Prop. 4 and the lower
+  bound of Thm. 2.
+"""
+
+from repro.analysis.utility import (
+    epsilon_for_target_bound,
+    epsilon_for_target_error,
+    error_at_epsilon,
+    error_profile,
+    sample_error_quantile,
+    smallest_accurate_epsilon_table,
+)
+from repro.analysis.variance import (
+    answer_covariance,
+    answer_standard_deviations,
+    confidence_intervals,
+    expected_max_error,
+    simultaneous_confidence_radius,
+)
+
+__all__ = [
+    "answer_covariance",
+    "answer_standard_deviations",
+    "confidence_intervals",
+    "epsilon_for_target_bound",
+    "epsilon_for_target_error",
+    "error_at_epsilon",
+    "error_profile",
+    "expected_max_error",
+    "sample_error_quantile",
+    "simultaneous_confidence_radius",
+    "smallest_accurate_epsilon_table",
+]

@@ -1,0 +1,162 @@
+"""Command-line harness: list and run the registered experiments.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro list
+    python -m repro info range-absolute
+    python -m repro run example
+    python -m repro run range-absolute --set cells=256 --format csv
+    python -m repro run alternative-workloads --output results.json
+
+``run`` prints the experiment's rows as an aligned table (or CSV/JSON) and can
+persist them with ``--output``; ``--set key=value`` overrides any default
+parameter of the experiment (values are parsed as Python literals when
+possible, so ``--set dims=(4,4,4)`` and ``--set epsilon=1.0`` both work).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from typing import Sequence
+
+from repro.evaluation.io import ExperimentRecord, rows_to_csv, save_records
+from repro.evaluation.registry import available_experiments, get_experiment
+from repro.evaluation.tables import format_table
+from repro.exceptions import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro`` command-line harness."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction harness for the adaptive (eigen-design) matrix mechanism.",
+    )
+    commands = parser.add_subparsers(dest="command")
+
+    commands.add_parser("list", help="list the available experiments")
+
+    info = commands.add_parser("info", help="show one experiment's description and defaults")
+    info.add_argument("experiment", help="experiment name (see 'list')")
+
+    run = commands.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", help="experiment name (see 'list')")
+    run.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a default parameter (repeatable)",
+    )
+    run.add_argument(
+        "--format",
+        choices=("table", "csv", "json"),
+        default="table",
+        help="output format for the result rows",
+    )
+    run.add_argument(
+        "--output",
+        default=None,
+        help="also save the result as a JSON results file at this path",
+    )
+    run.add_argument(
+        "--precision",
+        type=int,
+        default=3,
+        help="decimal places in table output",
+    )
+    return parser
+
+
+def _parse_overrides(pairs: Sequence[str]) -> dict:
+    overrides = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ReproError(f"override {pair!r} is not of the form KEY=VALUE")
+        key, _, raw = pair.partition("=")
+        key = key.strip()
+        raw = raw.strip()
+        if not key:
+            raise ReproError(f"override {pair!r} has an empty key")
+        try:
+            value = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            value = raw
+        overrides[key] = value
+    return overrides
+
+
+def _command_list(out) -> int:
+    rows = [
+        {
+            "experiment": spec.name,
+            "paper": spec.paper_artifact,
+            "description": spec.description,
+        }
+        for spec in available_experiments()
+    ]
+    print(format_table(rows, columns=["experiment", "paper", "description"]), file=out)
+    return 0
+
+
+def _command_info(name: str, out) -> int:
+    spec = get_experiment(name)
+    print(f"{spec.name}: {spec.description}", file=out)
+    print(f"paper artifact: {spec.paper_artifact}", file=out)
+    print("defaults:", file=out)
+    for key, value in sorted(spec.defaults.items()):
+        print(f"  {key} = {value!r}", file=out)
+    return 0
+
+
+def _render(record: ExperimentRecord, fmt: str, precision: int) -> str:
+    if fmt == "csv":
+        return rows_to_csv(record.rows)
+    if fmt == "json":
+        return json.dumps(
+            {
+                "experiment": record.experiment,
+                "parameters": record.parameters,
+                "rows": record.rows,
+                "notes": record.notes,
+            },
+            indent=2,
+            default=str,
+        )
+    title = f"{record.experiment}  ({record.notes})" if record.notes else record.experiment
+    return format_table(record.rows, precision=precision, title=title)
+
+
+def _command_run(arguments, out) -> int:
+    spec = get_experiment(arguments.experiment)
+    overrides = _parse_overrides(arguments.overrides)
+    record = spec.run(**overrides)
+    print(_render(record, arguments.format, arguments.precision), file=out)
+    if arguments.output:
+        path = save_records([record], arguments.output)
+        print(f"[saved to {path}]", file=out)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """Entry point used by ``python -m repro`` (returns a process exit code)."""
+    out = sys.stdout if out is None else out
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    if arguments.command is None:
+        parser.print_help(out)
+        return 2
+    try:
+        if arguments.command == "list":
+            return _command_list(out)
+        if arguments.command == "info":
+            return _command_info(arguments.experiment, out)
+        return _command_run(arguments, out)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1

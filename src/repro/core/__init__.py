@@ -1,0 +1,66 @@
+"""Core abstractions: workloads, strategies, privacy, error analysis, eigen design."""
+
+from repro.core.eigen_design import (
+    EigenDesignResult,
+    eigen_design,
+    eigen_queries,
+    singular_value_strategy,
+)
+from repro.core.error import (
+    approximation_ratio,
+    approximation_ratio_bound,
+    expected_total_squared_error,
+    expected_workload_error,
+    minimum_error_bound,
+    per_query_error,
+    singular_value_bound,
+)
+from repro.core.privacy import PrivacyParams, gaussian_scale, laplace_scale, noise_variance_factor
+from repro.core.query_weighting import (
+    DesignResult,
+    build_weighted_strategy,
+    design_costs,
+    weighted_design_strategy,
+)
+from repro.core.scaling import (
+    normalize_for_relative_error,
+    scale_by_expected_answers,
+    scale_by_importance,
+)
+from repro.core.reductions import (
+    eigen_query_separation,
+    principal_vectors,
+    recommended_group_size,
+)
+from repro.core.strategy import Strategy
+from repro.core.workload import Workload
+
+__all__ = [
+    "DesignResult",
+    "EigenDesignResult",
+    "PrivacyParams",
+    "Strategy",
+    "Workload",
+    "approximation_ratio",
+    "approximation_ratio_bound",
+    "build_weighted_strategy",
+    "design_costs",
+    "eigen_design",
+    "eigen_queries",
+    "eigen_query_separation",
+    "expected_total_squared_error",
+    "expected_workload_error",
+    "gaussian_scale",
+    "laplace_scale",
+    "minimum_error_bound",
+    "noise_variance_factor",
+    "normalize_for_relative_error",
+    "per_query_error",
+    "principal_vectors",
+    "recommended_group_size",
+    "scale_by_expected_answers",
+    "scale_by_importance",
+    "singular_value_bound",
+    "singular_value_strategy",
+    "weighted_design_strategy",
+]

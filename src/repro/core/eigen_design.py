@@ -1,0 +1,135 @@
+"""The Eigen-Design algorithm (Program 2 of the paper).
+
+Given a workload ``W``:
+
+1. compute the eigendecomposition ``W^T W = Q^T D Q`` (the rows of ``Q`` are
+   the *eigen-queries*, Def. 6);
+2. solve the optimal query-weighting problem (Program 1) with the
+   eigen-queries as the design set and the eigenvalues as the costs;
+3. assemble the strategy ``A' = Lambda Q`` and append completion rows so that
+   every column reaches the strategy's L2 sensitivity (steps 4-5).
+
+Eigen-queries with (numerically) zero eigenvalue are excluded from the
+optimisation, exactly as discussed in Sec. 4.1 for low-rank workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.query_weighting import build_weighted_strategy
+from repro.core.strategy import Strategy
+from repro.core.workload import Workload
+from repro.exceptions import OptimizationError
+from repro.optimize import WeightingProblem, WeightingSolution, solve_weighting
+
+__all__ = ["EigenDesignResult", "eigen_design", "eigen_queries", "singular_value_strategy"]
+
+#: Eigenvalues below this fraction of the largest are treated as zero.
+RANK_TOLERANCE = 1e-10
+
+
+@dataclass
+class EigenDesignResult:
+    """Outcome of the Eigen-Design algorithm.
+
+    Attributes
+    ----------
+    strategy:
+        The final strategy matrix ``A`` (weighted eigen-queries plus
+        completion rows).
+    weights:
+        The eigen-query weights ``lambda_i`` (aligned with ``eigen_queries``).
+    eigen_queries:
+        The retained (non-zero eigenvalue) eigen-queries, one per row.
+    eigenvalues:
+        The eigenvalues corresponding to ``eigen_queries``.
+    solution:
+        The raw output of the weighting solver (variables are
+        ``u_i = lambda_i**2``).
+    completion_rows:
+        Number of rows appended by the sensitivity-completion step.
+    method:
+        Which variant produced the result (``"eigen-design"``,
+        ``"eigen-separation"`` or ``"principal-vectors"``).
+    """
+
+    strategy: Strategy
+    weights: np.ndarray
+    eigen_queries: np.ndarray
+    eigenvalues: np.ndarray
+    solution: WeightingSolution
+    completion_rows: int = 0
+    method: str = "eigen-design"
+    diagnostics: dict = field(default_factory=dict)
+
+
+def eigen_queries(workload: Workload) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(eigenvalues, eigen_queries)`` restricted to the non-zero spectrum.
+
+    Eigenvalues are sorted in descending order; eigen-queries are the matching
+    eigenvectors of ``W^T W`` stored one per row.
+    """
+    values, vectors = workload.eigen_decomposition()
+    if values.size == 0 or values[0] <= 0:
+        raise OptimizationError("the workload Gram matrix is identically zero")
+    keep = values > RANK_TOLERANCE * values[0]
+    return values[keep], vectors[keep]
+
+
+def eigen_design(
+    workload: Workload,
+    *,
+    solver: str = "auto",
+    complete: bool = True,
+    **solver_options,
+) -> EigenDesignResult:
+    """Run the Eigen-Design algorithm (Program 2) on ``workload``.
+
+    Parameters
+    ----------
+    workload:
+        The workload to optimise for; may be explicit or Gram-implicit.
+    solver:
+        Weighting-solver backend (``"auto"``, ``"dual-newton"``,
+        ``"dual-ascent"`` or ``"scipy"``).
+    complete:
+        Whether to append the sensitivity-completion rows (steps 4-5); the
+        completion never hurts expected error.
+    solver_options:
+        Forwarded to the solver (e.g. ``tolerance=1e-8``).
+    """
+    values, queries = eigen_queries(workload)
+    # For an orthonormal design set the Thm. 1 costs are exactly the eigenvalues.
+    problem = WeightingProblem(costs=values, constraints=(queries ** 2).T)
+    solution = solve_weighting(problem, solver=solver, **solver_options)
+    strategy, lambdas, completion_rows = build_weighted_strategy(
+        queries, solution.weights, complete=complete, name="eigen-design"
+    )
+    return EigenDesignResult(
+        strategy=strategy,
+        weights=lambdas,
+        eigen_queries=queries,
+        eigenvalues=values,
+        solution=solution,
+        completion_rows=completion_rows,
+        method="eigen-design",
+    )
+
+
+def singular_value_strategy(workload: Workload, *, complete: bool = True) -> Strategy:
+    """The closed-form strategy behind the singular value bound (Thm. 2).
+
+    Weights each eigen-query by ``sigma_i**(1/4)`` (so the squared weights are
+    ``sqrt(sigma_i)``), which attains the bound whenever the resulting column
+    norms are uniform.  It is contained in the search space of Program 2 and
+    serves as a cheap, solver-free baseline and as a warm start.
+    """
+    values, queries = eigen_queries(workload)
+    squared_weights = np.sqrt(values)
+    strategy, _, _ = build_weighted_strategy(
+        queries, squared_weights, complete=complete, name="singular-value"
+    )
+    return strategy

@@ -1,0 +1,131 @@
+"""Error analysis of the matrix mechanism.
+
+Implements the closed-form expected error of Prop. 4, the per-query error of
+Def. 5, the singular-value lower bound of Thm. 2, and the approximation-ratio
+bound of Thm. 3.  All quantities are *expected* (analytical) errors: they do
+not require sampling noise and are independent of the data vector.
+
+Normalisation note
+------------------
+The paper's Def. 5 defines workload error as the root *mean* square error over
+the ``m`` workload queries, so every expression here carries an explicit
+``1/m`` inside the square root.  The lower bound of Thm. 2 is scaled the same
+way so that ratios of measured error to the bound are directly comparable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.privacy import PrivacyParams
+from repro.core.strategy import Strategy
+from repro.core.workload import Workload
+from repro.utils.linalg import solve_psd, trace_ratio
+
+__all__ = [
+    "expected_workload_error",
+    "expected_total_squared_error",
+    "per_query_error",
+    "singular_value_bound",
+    "minimum_error_bound",
+    "approximation_ratio",
+    "approximation_ratio_bound",
+]
+
+#: Default privacy setting used throughout the paper's experiments.
+DEFAULT_PRIVACY = PrivacyParams(epsilon=0.5, delta=1e-4)
+
+
+def expected_total_squared_error(
+    workload: Workload,
+    strategy: Strategy,
+    privacy: PrivacyParams = DEFAULT_PRIVACY,
+) -> float:
+    """Total expected squared error over all workload queries.
+
+    ``P(eps, delta) * ||A||_2^2 * trace(W^T W (A^T A)^{-1})`` — the inner
+    expression of Prop. 4 before the per-query averaging of Def. 5.
+    """
+    core = trace_ratio(workload.gram, strategy.gram)
+    return privacy.variance_factor * strategy.sensitivity_l2**2 * core
+
+
+def expected_workload_error(
+    workload: Workload,
+    strategy: Strategy,
+    privacy: PrivacyParams = DEFAULT_PRIVACY,
+) -> float:
+    """Expected root-mean-square error of answering ``workload`` with ``strategy``.
+
+    This is Def. 5 combined with Prop. 4:
+    ``||A||_2 * sqrt(P(eps, delta)/m * trace(W^T W (A^T A)^{-1}))``.
+    """
+    total = expected_total_squared_error(workload, strategy, privacy)
+    return float(np.sqrt(total / workload.query_count))
+
+
+def per_query_error(
+    workload: Workload,
+    strategy: Strategy,
+    privacy: PrivacyParams = DEFAULT_PRIVACY,
+) -> np.ndarray:
+    """Expected root-mean-square error of each individual workload query.
+
+    Requires the explicit workload matrix.  The variance of query ``w`` is
+    ``sigma^2 * w (A^T A)^{-1} w^T`` where ``sigma`` is the Gaussian scale for
+    the strategy's sensitivity.
+    """
+    matrix = workload.matrix
+    solved = solve_psd(strategy.gram, matrix.T)
+    variances = np.sum(matrix.T * solved, axis=0)
+    scale = privacy.gaussian_scale(strategy.sensitivity_l2)
+    return scale * np.sqrt(np.clip(variances, 0.0, None))
+
+
+def singular_value_bound(workload: Workload) -> float:
+    """The singular value bound ``svdb(W) = (1/n) (sum_i sqrt(sigma_i))^2`` (Thm. 2)."""
+    eigenvalues = np.clip(workload.eigenvalues, 0.0, None)
+    return float(np.sum(np.sqrt(eigenvalues)) ** 2 / workload.column_count)
+
+
+def minimum_error_bound(
+    workload: Workload,
+    privacy: PrivacyParams = DEFAULT_PRIVACY,
+) -> float:
+    """Lower bound on the RMSE achievable by *any* strategy (Thm. 2).
+
+    Scaled with the same ``1/m`` normalisation as
+    :func:`expected_workload_error` so ratios against it are meaningful.
+    """
+    bound = privacy.variance_factor * singular_value_bound(workload)
+    return float(np.sqrt(bound / workload.query_count))
+
+
+def approximation_ratio(
+    workload: Workload,
+    strategy: Strategy,
+    privacy: PrivacyParams = DEFAULT_PRIVACY,
+) -> float:
+    """Measured error divided by the singular-value lower bound (>= 1 ideally).
+
+    Because the lower bound of Thm. 2 is not always achievable, a ratio close
+    to 1 certifies near-optimality but a larger ratio does not prove
+    sub-optimality.
+    """
+    bound = minimum_error_bound(workload, privacy)
+    if bound == 0:
+        return float("inf")
+    return expected_workload_error(workload, strategy, privacy) / bound
+
+
+def approximation_ratio_bound(workload: Workload) -> float:
+    """The worst-case approximation ratio of the eigen design (Thm. 3).
+
+    ``(n * sigma_1 / svdb(W)) ** (1/4)`` where ``sigma_1`` is the largest
+    eigenvalue of ``W^T W``.
+    """
+    svdb = singular_value_bound(workload)
+    if svdb == 0:
+        return float("inf")
+    sigma_1 = float(workload.eigenvalues[0])
+    return float((workload.column_count * sigma_1 / svdb) ** 0.25)

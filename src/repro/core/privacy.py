@@ -1,0 +1,95 @@
+"""Privacy parameters and noise calibration constants.
+
+The paper works under (epsilon, delta)-differential privacy and calibrates
+Gaussian noise to the L2 sensitivity of the strategy (Prop. 2).  The constant
+
+``P(epsilon, delta) = 2 ln(2/delta) / epsilon**2``
+
+appears in every error expression (Prop. 4); it is the variance of the
+Gaussian noise added to a sensitivity-1 strategy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import PrivacyError
+
+__all__ = ["PrivacyParams", "gaussian_scale", "laplace_scale", "noise_variance_factor"]
+
+
+@dataclass(frozen=True)
+class PrivacyParams:
+    """An (epsilon, delta) differential-privacy guarantee.
+
+    ``delta = 0`` denotes pure epsilon-differential privacy (Laplace noise);
+    ``delta > 0`` denotes approximate differential privacy (Gaussian noise).
+    The paper's default experimental setting is ``epsilon=0.5, delta=1e-4``.
+    """
+
+    epsilon: float = 0.5
+    delta: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if not self.epsilon > 0:
+            raise PrivacyError(f"epsilon must be positive, got {self.epsilon}")
+        if not 0 <= self.delta < 1:
+            raise PrivacyError(f"delta must lie in [0, 1), got {self.delta}")
+
+    @property
+    def is_approximate(self) -> bool:
+        """True when delta > 0 (Gaussian / L2 regime)."""
+        return self.delta > 0
+
+    @property
+    def variance_factor(self) -> float:
+        """The factor ``P(epsilon, delta)`` of Prop. 4 (requires delta > 0)."""
+        if not self.is_approximate:
+            raise PrivacyError(
+                "P(epsilon, delta) is only defined for approximate differential "
+                "privacy (delta > 0)"
+            )
+        return 2.0 * math.log(2.0 / self.delta) / self.epsilon**2
+
+    def gaussian_scale(self, l2_sensitivity: float) -> float:
+        """Gaussian noise scale for a query set with the given L2 sensitivity."""
+        return gaussian_scale(l2_sensitivity, self.epsilon, self.delta)
+
+    def laplace_scale(self, l1_sensitivity: float) -> float:
+        """Laplace noise scale for a query set with the given L1 sensitivity."""
+        return laplace_scale(l1_sensitivity, self.epsilon)
+
+    def compose(self, other: "PrivacyParams") -> "PrivacyParams":
+        """Sequential composition: budgets add in both parameters."""
+        return PrivacyParams(self.epsilon + other.epsilon, min(self.delta + other.delta, 1 - 1e-15))
+
+    def split(self, parts: int) -> "PrivacyParams":
+        """Return the per-part budget when splitting this budget evenly."""
+        if parts < 1:
+            raise PrivacyError(f"parts must be >= 1, got {parts}")
+        return PrivacyParams(self.epsilon / parts, self.delta / parts)
+
+
+def noise_variance_factor(epsilon: float, delta: float) -> float:
+    """Return ``P(epsilon, delta) = 2 ln(2/delta) / epsilon**2``."""
+    return PrivacyParams(epsilon, delta).variance_factor
+
+
+def gaussian_scale(l2_sensitivity: float, epsilon: float, delta: float) -> float:
+    """Standard deviation of the Gaussian mechanism noise (Prop. 2)."""
+    if l2_sensitivity < 0:
+        raise PrivacyError(f"sensitivity must be non-negative, got {l2_sensitivity}")
+    params = PrivacyParams(epsilon, delta)
+    if not params.is_approximate:
+        raise PrivacyError("the Gaussian mechanism requires delta > 0")
+    return l2_sensitivity * math.sqrt(2.0 * math.log(2.0 / delta)) / epsilon
+
+
+def laplace_scale(l1_sensitivity: float, epsilon: float) -> float:
+    """Scale parameter of the Laplace mechanism noise."""
+    if l1_sensitivity < 0:
+        raise PrivacyError(f"sensitivity must be non-negative, got {l1_sensitivity}")
+    if not epsilon > 0:
+        raise PrivacyError(f"epsilon must be positive, got {epsilon}")
+    return l1_sensitivity / epsilon

@@ -1,0 +1,157 @@
+"""Optimal query weighting over an arbitrary design set (Program 1 / Thm. 1).
+
+Given a workload ``W`` and a set of design queries ``Q`` (one per row), this
+module computes the per-query costs ``c_i = ||column_i(W Q^+)||^2`` of
+Thm. 1, builds the weighting problem, solves it, and assembles the weighted
+strategy ``A = diag(lambda) Q`` together with the sensitivity-completion step
+of Program 2 (steps 4-5).
+
+The eigen-design algorithm of the paper is this machinery applied with the
+eigen-queries of ``W`` as the design set (see
+:mod:`repro.core.eigen_design`); Fig. 5 of the paper applies the same
+machinery with the wavelet and Fourier matrices as alternative design sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.strategy import Strategy
+from repro.core.workload import Workload
+from repro.exceptions import OptimizationError
+from repro.optimize import WeightingProblem, WeightingSolution, solve_weighting
+from repro.utils.validation import check_matrix
+
+__all__ = [
+    "DesignResult",
+    "design_costs",
+    "build_weighted_strategy",
+    "weighted_design_strategy",
+]
+
+#: Design weights (relative to the largest) below this threshold are dropped.
+WEIGHT_DROP_TOLERANCE = 1e-12
+
+
+@dataclass
+class DesignResult:
+    """Outcome of optimally weighting a design set for a workload.
+
+    Attributes
+    ----------
+    strategy:
+        The final strategy (weighted design queries plus completion rows).
+    weights:
+        The design-query weights ``lambda_i`` (zero-weight queries included).
+    design_queries:
+        The design matrix that was weighted (one query per row).
+    costs:
+        The Thm. 1 costs ``c_i`` used in the objective.
+    solution:
+        The raw solver output (weights there are ``u_i = lambda_i**2``).
+    completion_rows:
+        Number of rows appended by the sensitivity-completion step.
+    """
+
+    strategy: Strategy
+    weights: np.ndarray
+    design_queries: np.ndarray
+    costs: np.ndarray
+    solution: WeightingSolution
+    completion_rows: int = 0
+    diagnostics: dict = field(default_factory=dict)
+
+
+def design_costs(workload: Workload, design_queries: np.ndarray) -> np.ndarray:
+    """Return the Thm. 1 costs: squared column norms of ``W Q^+``.
+
+    Only the workload Gram matrix is needed, so implicit workloads are
+    supported.  For an orthonormal design (such as the eigen-queries) the
+    costs reduce to ``diag(Q W^T W Q^T)``.
+    """
+    design_queries = check_matrix(design_queries, "design queries")
+    if design_queries.shape[1] != workload.column_count:
+        raise OptimizationError(
+            f"design queries have {design_queries.shape[1]} cells, workload has "
+            f"{workload.column_count}"
+        )
+    pinv = np.linalg.pinv(design_queries)
+    costs = np.einsum("ji,jk,ki->i", pinv, workload.gram, pinv)
+    return np.clip(costs, 0.0, None)
+
+
+def build_weighted_strategy(
+    design_queries: np.ndarray,
+    squared_weights: np.ndarray,
+    *,
+    complete: bool = True,
+    name: str = "weighted-design",
+) -> tuple[Strategy, np.ndarray, int]:
+    """Assemble ``A = diag(lambda) Q`` plus the completion rows of Program 2.
+
+    Returns ``(strategy, lambdas, completion_row_count)``.  Design queries
+    whose weight is negligible relative to the largest weight are dropped from
+    the strategy (they carry no information), mirroring the paper's remark
+    that zero-weight design queries are omitted.
+    """
+    design_queries = check_matrix(design_queries, "design queries")
+    squared_weights = np.clip(np.asarray(squared_weights, dtype=float), 0.0, None)
+    if squared_weights.shape[0] != design_queries.shape[0]:
+        raise OptimizationError(
+            f"got {squared_weights.shape[0]} weights for {design_queries.shape[0]} design queries"
+        )
+    lambdas = np.sqrt(squared_weights)
+    top = float(lambdas.max(initial=0.0))
+    if top <= 0:
+        raise OptimizationError("all design weights are zero; cannot build a strategy")
+    keep = lambdas > WEIGHT_DROP_TOLERANCE * top
+    weighted = lambdas[keep, None] * design_queries[keep]
+
+    rows = [weighted]
+    completion_rows = 0
+    if complete:
+        column_norms_sq = np.sum(weighted * weighted, axis=0)
+        target = float(column_norms_sq.max())
+        deficit = np.sqrt(np.clip(target - column_norms_sq, 0.0, None))
+        needs = deficit > np.sqrt(target) * 1e-8
+        completion_rows = int(np.sum(needs))
+        if completion_rows:
+            extra = np.zeros((completion_rows, design_queries.shape[1]))
+            extra[np.arange(completion_rows), np.flatnonzero(needs)] = deficit[needs]
+            rows.append(extra)
+    strategy = Strategy(np.vstack(rows), name=name)
+    return strategy, lambdas, completion_rows
+
+
+def weighted_design_strategy(
+    workload: Workload,
+    design_queries: np.ndarray,
+    *,
+    solver: str = "auto",
+    complete: bool = True,
+    name: str = "weighted-design",
+    **solver_options,
+) -> DesignResult:
+    """Run Program 1 on ``design_queries`` for ``workload`` and build the strategy.
+
+    This is the general-purpose entry point used both by the eigen-design
+    algorithm (with the eigen-queries as the design set) and by the design-set
+    comparison experiment of Fig. 5 (with wavelet / Fourier design sets).
+    """
+    costs = design_costs(workload, design_queries)
+    constraints = (design_queries ** 2).T
+    problem = WeightingProblem(costs=costs, constraints=constraints)
+    solution = solve_weighting(problem, solver=solver, **solver_options)
+    strategy, lambdas, completion_rows = build_weighted_strategy(
+        design_queries, solution.weights, complete=complete, name=name
+    )
+    return DesignResult(
+        strategy=strategy,
+        weights=lambdas,
+        design_queries=design_queries,
+        costs=costs,
+        solution=solution,
+        completion_rows=completion_rows,
+    )

@@ -1,0 +1,182 @@
+"""Performance optimisations for strategy selection (Sec. 4.2 of the paper).
+
+Two workload-reduction approaches are implemented, both of which shrink the
+number of optimisation variables while keeping every non-zero eigen-query in
+the strategy (the strategy's rank may not drop below the workload's rank):
+
+* **Eigen-query separation** — partition the eigen-queries into groups by
+  descending eigenvalue, optimise the weights within each group
+  independently, and then run a second (small) optimisation over one scale
+  factor per group.
+* **Principal-vector optimisation** — optimise individual weights only for
+  the top-``k`` eigen-queries and a single shared weight for all remaining
+  non-zero eigen-queries, reducing the variable count to ``k + 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.eigen_design import EigenDesignResult, eigen_queries
+from repro.core.query_weighting import build_weighted_strategy
+from repro.core.workload import Workload
+from repro.exceptions import OptimizationError
+from repro.optimize import WeightingProblem, solve_weighting
+
+__all__ = ["eigen_query_separation", "principal_vectors", "recommended_group_size"]
+
+
+def recommended_group_size(cell_count: int) -> int:
+    """The asymptotically optimal group size ``n**(1/3)`` (Sec. 4.2)."""
+    return max(2, int(round(cell_count ** (1.0 / 3.0))))
+
+
+def eigen_query_separation(
+    workload: Workload,
+    *,
+    group_size: int | None = None,
+    solver: str = "auto",
+    complete: bool = True,
+    **solver_options,
+) -> EigenDesignResult:
+    """Approximate Program 2 by optimising groups of eigen-queries separately.
+
+    Parameters
+    ----------
+    group_size:
+        Number of eigen-queries per group; defaults to the ``n**(1/3)`` rule.
+    """
+    values, queries = eigen_queries(workload)
+    count = values.shape[0]
+    if group_size is None:
+        group_size = recommended_group_size(workload.column_count)
+    if group_size < 1:
+        raise OptimizationError(f"group_size must be >= 1, got {group_size}")
+    group_size = min(group_size, count)
+    constraints = (queries ** 2).T
+
+    # Stage 1: optimise each group of eigen-queries in isolation.
+    groups = [np.arange(start, min(start + group_size, count)) for start in range(0, count, group_size)]
+    group_weights: list[np.ndarray] = []
+    group_costs = np.zeros(len(groups))
+    group_columns = np.zeros((constraints.shape[0], len(groups)))
+    iterations = 0
+    for position, indexes in enumerate(groups):
+        problem = WeightingProblem(costs=values[indexes], constraints=constraints[:, indexes])
+        solution = solve_weighting(problem, solver=solver, **solver_options)
+        iterations += solution.iterations
+        group_weights.append(solution.weights)
+        group_costs[position] = problem.objective(problem.scale_to_feasible(solution.weights))
+        group_columns[:, position] = constraints[:, indexes] @ problem.scale_to_feasible(solution.weights)
+
+    # Stage 2: one multiplicative factor per group; this is the same weighting
+    # problem with the group strategies playing the role of design queries.
+    if len(groups) == 1:
+        combined = np.ones(1)
+        combine_solution = None
+    else:
+        combine_problem = WeightingProblem(costs=group_costs, constraints=group_columns)
+        combine_solution = solve_weighting(combine_problem, solver=solver, **solver_options)
+        iterations += combine_solution.iterations
+        combined = combine_solution.weights
+
+    squared_weights = np.zeros(count)
+    for position, indexes in enumerate(groups):
+        problem = WeightingProblem(costs=values[indexes], constraints=constraints[:, indexes])
+        scaled = problem.scale_to_feasible(group_weights[position])
+        squared_weights[indexes] = scaled * combined[position]
+
+    strategy, lambdas, completion_rows = build_weighted_strategy(
+        queries, squared_weights, complete=complete, name="eigen-separation"
+    )
+    final_problem = WeightingProblem(costs=values, constraints=constraints)
+    feasible = final_problem.scale_to_feasible(squared_weights)
+    reporting = combine_solution if combine_solution is not None else None
+    solution = _reporting_solution(final_problem, feasible, iterations, reporting)
+    return EigenDesignResult(
+        strategy=strategy,
+        weights=lambdas,
+        eigen_queries=queries,
+        eigenvalues=values,
+        solution=solution,
+        completion_rows=completion_rows,
+        method="eigen-separation",
+        diagnostics={"group_size": group_size, "groups": len(groups)},
+    )
+
+
+def principal_vectors(
+    workload: Workload,
+    *,
+    count: int | None = None,
+    fraction: float | None = None,
+    solver: str = "auto",
+    complete: bool = True,
+    **solver_options,
+) -> EigenDesignResult:
+    """Approximate Program 2 with individual weights only for the top eigen-queries.
+
+    Exactly one of ``count`` and ``fraction`` may be given; the default is the
+    paper's observation that ~10% of the eigenvectors usually suffices.
+    """
+    values, queries = eigen_queries(workload)
+    total = values.shape[0]
+    if count is not None and fraction is not None:
+        raise OptimizationError("specify either count or fraction, not both")
+    if count is None:
+        fraction = 0.1 if fraction is None else float(fraction)
+        if not 0 < fraction <= 1:
+            raise OptimizationError(f"fraction must lie in (0, 1], got {fraction}")
+        count = max(1, int(round(fraction * total)))
+    count = int(count)
+    if not 1 <= count <= total:
+        raise OptimizationError(f"count must lie in [1, {total}], got {count}")
+    constraints = (queries ** 2).T
+
+    if count == total:
+        reduced_costs = values
+        reduced_constraints = constraints
+    else:
+        tail_cost = float(np.sum(values[count:]))
+        tail_column = constraints[:, count:].sum(axis=1, keepdims=True)
+        reduced_costs = np.concatenate([values[:count], [tail_cost]])
+        reduced_constraints = np.hstack([constraints[:, :count], tail_column])
+
+    problem = WeightingProblem(costs=reduced_costs, constraints=reduced_constraints)
+    solution = solve_weighting(problem, solver=solver, **solver_options)
+
+    squared_weights = np.empty(total)
+    squared_weights[:count] = solution.weights[:count]
+    if count < total:
+        squared_weights[count:] = solution.weights[count]
+
+    strategy, lambdas, completion_rows = build_weighted_strategy(
+        queries, squared_weights, complete=complete, name="principal-vectors"
+    )
+    return EigenDesignResult(
+        strategy=strategy,
+        weights=lambdas,
+        eigen_queries=queries,
+        eigenvalues=values,
+        solution=solution,
+        completion_rows=completion_rows,
+        method="principal-vectors",
+        diagnostics={"principal_count": count, "total_eigen_queries": total},
+    )
+
+
+def _reporting_solution(problem, feasible_weights, iterations, inner_solution):
+    """Build a WeightingSolution describing the combined two-stage outcome."""
+    from repro.optimize import WeightingSolution
+
+    objective = problem.objective(feasible_weights)
+    dual_value = float("nan") if inner_solution is None else inner_solution.dual_value
+    return WeightingSolution(
+        weights=feasible_weights,
+        objective_value=objective,
+        dual_value=dual_value,
+        duality_gap=float("nan"),
+        iterations=iterations,
+        converged=True,
+        solver="eigen-separation",
+    )

@@ -1,0 +1,96 @@
+"""Workload scalings for relative-error and importance-weighted objectives.
+
+The eigen design minimises *absolute* workload error; Sec. 3.4 of the paper
+explains how to retarget it at other objectives purely by rescaling the
+workload rows before strategy selection:
+
+* for **relative error** with an unknown data distribution, normalise every
+  query to unit L2 norm (the uniform-distribution heuristic);
+* when an (approximate) cell **distribution is known**, weight every query by
+  the inverse of its expected answer, which is the scaling the paper says
+  would be ideal if the distribution were available;
+* when some queries simply **matter more** than others, scale them by the
+  square root of their importance so the squared-error objective weights them
+  proportionally.
+
+All functions return a new workload; the original is never modified, and the
+relative-error experiments always report errors against the *original*
+workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.workload import Workload
+from repro.exceptions import WorkloadError
+from repro.utils.validation import check_vector
+
+__all__ = [
+    "normalize_for_relative_error",
+    "scale_by_expected_answers",
+    "scale_by_importance",
+]
+
+
+def normalize_for_relative_error(workload: Workload) -> Workload:
+    """Scale every query to unit L2 norm (the paper's Sec. 3.4 heuristic).
+
+    Equivalent to assuming a uniform distribution over the cells; queries that
+    are identically zero are left unchanged.
+    """
+    return workload.normalize_rows()
+
+
+def scale_by_expected_answers(
+    workload: Workload,
+    cell_distribution: np.ndarray,
+    *,
+    floor_fraction: float = 1e-3,
+) -> Workload:
+    """Scale each query by the inverse of its expected answer under a distribution.
+
+    ``cell_distribution`` is a non-negative vector over the cells (it is
+    normalised internally); the expected answer of query ``w`` is
+    ``w @ p * N`` up to the total count, so dividing each row by
+    ``max(|w| @ p, floor)`` makes the optimisation target (squared absolute
+    error of the scaled rows) a proxy for squared *relative* error of the
+    original rows.  ``floor_fraction`` bounds the scaling of queries whose
+    expected answer is (nearly) zero.
+    """
+    matrix = workload.matrix
+    distribution = check_vector(cell_distribution, "cell_distribution", workload.column_count)
+    if np.any(distribution < 0):
+        raise WorkloadError("cell_distribution must be non-negative")
+    total = distribution.sum()
+    if total <= 0:
+        raise WorkloadError("cell_distribution must not sum to zero")
+    distribution = distribution / total
+    expected = np.abs(matrix) @ distribution
+    floor = floor_fraction * max(float(expected.max()), 1e-300)
+    weights = 1.0 / np.maximum(expected, floor)
+    return Workload(
+        matrix * weights[:, None],
+        domain=workload.domain,
+        name=f"{workload.name}-relative-scaled",
+    )
+
+
+def scale_by_importance(workload: Workload, importance: np.ndarray) -> Workload:
+    """Scale queries by the square root of per-query importance weights.
+
+    The workload error of Def. 5 averages *squared* per-query errors, so
+    scaling query ``i`` by ``sqrt(importance_i)`` makes its squared error
+    count ``importance_i`` times in the objective.  Importance weights must be
+    positive.
+    """
+    matrix = workload.matrix
+    importance = check_vector(importance, "importance", workload.query_count)
+    if np.any(importance <= 0):
+        raise WorkloadError("importance weights must be strictly positive")
+    weights = np.sqrt(importance)
+    return Workload(
+        matrix * weights[:, None],
+        domain=workload.domain,
+        name=f"{workload.name}-importance-scaled",
+    )

@@ -1,0 +1,213 @@
+"""The :class:`Strategy` abstraction.
+
+A strategy is the set of queries actually submitted to the Gaussian mechanism
+by the matrix mechanism (Prop. 3).  Like workloads, strategies may be
+explicit (an ``(p, n)`` matrix) or Gram-implicit, since all error analysis
+depends on a strategy only through ``A^T A`` and its L2 sensitivity.  Running
+the mechanism on real data requires an explicit strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import MaterializationError, StrategyError
+from repro.utils.linalg import symmetrize
+from repro.utils.validation import check_matrix
+
+__all__ = ["Strategy"]
+
+
+class Strategy:
+    """A set of strategy queries used by the matrix mechanism."""
+
+    def __init__(
+        self,
+        matrix: np.ndarray | None = None,
+        *,
+        gram: np.ndarray | None = None,
+        name: str = "",
+    ):
+        if matrix is None and gram is None:
+            raise StrategyError("a strategy needs either an explicit matrix or a Gram matrix")
+        self._matrix = None if matrix is None else check_matrix(matrix, "strategy matrix")
+        if gram is None:
+            self._gram = None
+        else:
+            gram = check_matrix(gram, "gram matrix")
+            if gram.shape[0] != gram.shape[1]:
+                raise StrategyError(f"gram matrix must be square, got {gram.shape}")
+            self._gram = symmetrize(gram)
+        if self._matrix is not None and self._gram is not None:
+            if self._matrix.shape[1] != self._gram.shape[0]:
+                raise StrategyError(
+                    "matrix and gram disagree on the number of cells: "
+                    f"{self._matrix.shape[1]} vs {self._gram.shape[0]}"
+                )
+        self.name = name
+        # Kronecker factors kept for lazy materialisation of large products.
+        self._factors: tuple["Strategy", ...] | None = None
+
+    # ----------------------------------------------------------- constructors
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray, *, name: str = "") -> "Strategy":
+        """Build an explicit strategy from a ``(p, n)`` matrix."""
+        return cls(matrix, name=name)
+
+    @classmethod
+    def from_gram(cls, gram: np.ndarray, *, name: str = "") -> "Strategy":
+        """Build a Gram-implicit strategy from ``A^T A``."""
+        return cls(None, gram=gram, name=name)
+
+    @classmethod
+    def identity(cls, size: int, *, name: str = "identity") -> "Strategy":
+        """The identity strategy (ask for every cell count)."""
+        return cls(np.eye(size), name=name)
+
+    @classmethod
+    def kronecker(cls, factors: Sequence["Strategy"], *, name: str = "") -> "Strategy":
+        """The Kronecker-product strategy of per-attribute factor strategies.
+
+        The explicit matrix is kept only when every factor is explicit and the
+        product stays small; otherwise the result is Gram-implicit.  The L2
+        sensitivity of a Kronecker product is the product of the factor
+        sensitivities, which the Gram representation preserves exactly.
+        """
+        if not factors:
+            raise StrategyError("kronecker requires at least one factor")
+        explicit = all(f.has_matrix for f in factors)
+        if explicit:
+            rows = 1
+            cells = 1
+            for factor in factors:
+                rows *= factor.matrix.shape[0]
+                cells *= factor.column_count
+            explicit = rows * cells <= 10**7
+        if explicit:
+            matrix = factors[0].matrix
+            for factor in factors[1:]:
+                matrix = np.kron(matrix, factor.matrix)
+            return cls(matrix, name=name)
+        gram = factors[0].gram
+        for factor in factors[1:]:
+            gram = np.kron(gram, factor.gram)
+        strategy = cls(None, gram=gram, name=name)
+        if all(f.has_matrix for f in factors):
+            # Keep the factors so the explicit matrix can still be built lazily
+            # (e.g. when the strategy is handed to the matrix mechanism).
+            strategy._factors = tuple(factors)
+        return strategy
+
+    # -------------------------------------------------------------- properties
+    @property
+    def has_matrix(self) -> bool:
+        """True when the explicit matrix is available."""
+        return self._matrix is not None
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The explicit strategy matrix.
+
+        Kronecker-product strategies built from explicit factors are
+        materialised lazily on first access; purely Gram-implicit strategies
+        raise :class:`~repro.exceptions.MaterializationError`.
+        """
+        if self._matrix is None and self._factors is not None:
+            matrix = self._factors[0].matrix
+            for factor in self._factors[1:]:
+                matrix = np.kron(matrix, factor.matrix)
+            self._matrix = matrix
+        if self._matrix is None:
+            raise MaterializationError(
+                f"strategy {self.name!r} is Gram-implicit; running the mechanism "
+                "requires an explicit strategy matrix"
+            )
+        return self._matrix
+
+    @property
+    def gram(self) -> np.ndarray:
+        """The ``n x n`` Gram matrix ``A^T A`` (computed lazily and cached)."""
+        if self._gram is None:
+            self._gram = symmetrize(self._matrix.T @ self._matrix)
+        return self._gram
+
+    @property
+    def query_count(self) -> int:
+        """Number of strategy queries ``p`` (requires the explicit matrix)."""
+        return self.matrix.shape[0]
+
+    @property
+    def column_count(self) -> int:
+        """The number of cells ``n``."""
+        if self._gram is not None:
+            return self._gram.shape[0]
+        return self._matrix.shape[1]
+
+    @property
+    def sensitivity_l2(self) -> float:
+        """Maximum L2 column norm of ``A`` (the Gaussian-noise calibration)."""
+        return float(np.sqrt(np.max(np.diag(self.gram))))
+
+    @property
+    def sensitivity_l1(self) -> float:
+        """Maximum L1 column norm of ``A`` (requires the explicit matrix)."""
+        return float(np.max(np.sum(np.abs(self.matrix), axis=0)))
+
+    @property
+    def rank(self) -> int:
+        """Numerical rank of the strategy."""
+        values = np.linalg.eigvalsh(self.gram)
+        top = float(values.max(initial=0.0))
+        if top <= 0:
+            return 0
+        threshold = top * self.column_count * np.finfo(float).eps
+        return int(np.sum(values > threshold))
+
+    @property
+    def is_full_rank(self) -> bool:
+        """True when the strategy determines every cell count."""
+        return self.rank == self.column_count
+
+    # ---------------------------------------------------------------- actions
+    def normalize_sensitivity(self) -> "Strategy":
+        """Return a copy scaled so its L2 sensitivity equals 1.
+
+        The expected error of the matrix mechanism is invariant to this
+        rescaling; normalising makes strategies directly comparable.
+        """
+        sensitivity = self.sensitivity_l2
+        if sensitivity <= 0:
+            raise StrategyError("cannot normalise a zero strategy")
+        if self.has_matrix:
+            return Strategy(self.matrix / sensitivity, name=self.name)
+        return Strategy(None, gram=self.gram / sensitivity**2, name=self.name)
+
+    def supports(self, workload_gram: np.ndarray, tolerance: float = 1e-6) -> bool:
+        """Return True when the workload row space lies in the strategy row space."""
+        import scipy.linalg
+
+        from repro.utils.linalg import _spectral_pseudo_inverse
+
+        # Fast path: a positive-definite Gram matrix means the strategy has
+        # full rank and therefore supports every workload.
+        try:
+            scipy.linalg.cho_factor(self.gram, check_finite=False)
+            return True
+        except scipy.linalg.LinAlgError:
+            pass
+        workload_gram = symmetrize(np.asarray(workload_gram, dtype=float))
+        _, projector = _spectral_pseudo_inverse(self.gram)
+        residual = workload_gram - projector @ workload_gram @ projector
+        scale = max(np.abs(workload_gram).max(), 1.0)
+        return bool(np.abs(residual).max() <= tolerance * scale)
+
+    def pseudo_inverse(self) -> np.ndarray:
+        """Return ``A^+``, used by the matrix mechanism's inference step."""
+        return np.linalg.pinv(self.matrix)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "explicit" if self.has_matrix else "implicit"
+        label = f" {self.name!r}" if self.name else ""
+        return f"Strategy({kind}{label}, n={self.column_count})"

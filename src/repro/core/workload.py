@@ -1,0 +1,289 @@
+"""The :class:`Workload` abstraction (Def. 2 and 3 of the paper).
+
+A workload is a set of linear counting queries over a length-``n`` data
+vector, conceptually an ``(m, n)`` matrix ``W`` with one query per row.  Two
+representations are supported:
+
+* **explicit** — the matrix ``W`` itself is stored; every operation is
+  available;
+* **implicit** — only the Gram matrix ``W^T W`` and the query count ``m`` are
+  stored.  This is essential for workloads such as "all multi-dimensional
+  range queries" whose explicit matrix has millions of rows but whose Gram
+  matrix is only ``n x n``.  All error analysis of the matrix mechanism
+  (Prop. 4, Thm. 2) depends on the workload only through ``W^T W`` and ``m``,
+  so implicit workloads support the entire eigen-design pipeline; only
+  operations that genuinely need per-query rows (answering queries, row
+  scaling) require the explicit matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.domain.domain import Domain
+from repro.exceptions import MaterializationError, WorkloadError
+from repro.utils.linalg import symmetrize
+from repro.utils.validation import check_matrix, check_vector
+
+__all__ = ["Workload"]
+
+
+class Workload:
+    """A set of linear counting queries over a data vector of length ``n``."""
+
+    def __init__(
+        self,
+        matrix: np.ndarray | None = None,
+        *,
+        gram: np.ndarray | None = None,
+        query_count: int | None = None,
+        domain: Domain | None = None,
+        name: str = "",
+    ):
+        if matrix is None and gram is None:
+            raise WorkloadError("a workload needs either an explicit matrix or a Gram matrix")
+        self._matrix = None if matrix is None else check_matrix(matrix, "workload matrix")
+        if gram is None:
+            self._gram = None
+        else:
+            gram = check_matrix(gram, "gram matrix")
+            if gram.shape[0] != gram.shape[1]:
+                raise WorkloadError(f"gram matrix must be square, got {gram.shape}")
+            self._gram = symmetrize(gram)
+        if self._matrix is not None and self._gram is not None:
+            if self._matrix.shape[1] != self._gram.shape[0]:
+                raise WorkloadError(
+                    "matrix and gram disagree on the number of cells: "
+                    f"{self._matrix.shape[1]} vs {self._gram.shape[0]}"
+                )
+        if query_count is None:
+            if self._matrix is None:
+                raise WorkloadError("implicit workloads must specify query_count")
+            query_count = self._matrix.shape[0]
+        self._query_count = int(query_count)
+        if self._query_count < 1:
+            raise WorkloadError(f"query_count must be >= 1, got {self._query_count}")
+        if self._matrix is not None and self._matrix.shape[0] != self._query_count:
+            raise WorkloadError(
+                f"query_count {self._query_count} does not match matrix rows {self._matrix.shape[0]}"
+            )
+        self.domain = domain
+        if domain is not None and domain.size != self.column_count:
+            raise WorkloadError(
+                f"domain size {domain.size} does not match workload cells {self.column_count}"
+            )
+        self.name = name
+        self._eigenvalues: np.ndarray | None = None
+        self._eigenvectors: np.ndarray | None = None
+
+    # ----------------------------------------------------------- constructors
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray, *, domain: Domain | None = None, name: str = "") -> "Workload":
+        """Build an explicit workload from an ``(m, n)`` matrix."""
+        return cls(matrix, domain=domain, name=name)
+
+    @classmethod
+    def from_gram(
+        cls,
+        gram: np.ndarray,
+        query_count: int,
+        *,
+        domain: Domain | None = None,
+        name: str = "",
+    ) -> "Workload":
+        """Build an implicit workload from its Gram matrix and query count."""
+        return cls(None, gram=gram, query_count=query_count, domain=domain, name=name)
+
+    @classmethod
+    def identity(cls, size: int, *, name: str = "identity") -> "Workload":
+        """The workload asking for every individual cell count."""
+        return cls(np.eye(size), name=name)
+
+    @classmethod
+    def total(cls, size: int, *, name: str = "total") -> "Workload":
+        """The single query summing all cells."""
+        return cls(np.ones((1, size)), name=name)
+
+    @classmethod
+    def kronecker(cls, factors: Sequence["Workload"], *, domain: Domain | None = None, name: str = "") -> "Workload":
+        """The Kronecker-product workload of per-attribute factor workloads.
+
+        If every factor is explicit and the resulting matrix is of manageable
+        size (at most ``10**7`` entries) the result is explicit; otherwise it
+        is Gram-implicit (``W^T W`` of a Kronecker product is the Kronecker
+        product of the factor Gram matrices).
+        """
+        if not factors:
+            raise WorkloadError("kronecker requires at least one factor")
+        query_count = 1
+        cells = 1
+        for factor in factors:
+            query_count *= factor.query_count
+            cells *= factor.column_count
+        explicit = all(f.has_matrix for f in factors) and query_count * cells <= 10**7
+        if explicit:
+            matrix = factors[0].matrix
+            for factor in factors[1:]:
+                matrix = np.kron(matrix, factor.matrix)
+            return cls(matrix, domain=domain, name=name)
+        gram = factors[0].gram
+        for factor in factors[1:]:
+            gram = np.kron(gram, factor.gram)
+        return cls(None, gram=gram, query_count=query_count, domain=domain, name=name)
+
+    @classmethod
+    def union(cls, workloads: Sequence["Workload"], *, name: str = "") -> "Workload":
+        """Concatenate several workloads over the same cells into one.
+
+        Explicit workloads are stacked row-wise; if any input is implicit the
+        result is implicit (Gram matrices and query counts add).
+        """
+        if not workloads:
+            raise WorkloadError("union requires at least one workload")
+        cells = workloads[0].column_count
+        if any(w.column_count != cells for w in workloads):
+            raise WorkloadError("all workloads in a union must have the same number of cells")
+        domain = workloads[0].domain
+        if all(w.has_matrix for w in workloads):
+            matrix = np.vstack([w.matrix for w in workloads])
+            return cls(matrix, domain=domain, name=name)
+        gram = sum(w.gram for w in workloads)
+        query_count = sum(w.query_count for w in workloads)
+        return cls(None, gram=gram, query_count=query_count, domain=domain, name=name)
+
+    # -------------------------------------------------------------- properties
+    @property
+    def has_matrix(self) -> bool:
+        """True when the explicit ``(m, n)`` matrix is available."""
+        return self._matrix is not None
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The explicit query matrix (raises for implicit workloads)."""
+        if self._matrix is None:
+            raise MaterializationError(
+                f"workload {self.name!r} is Gram-implicit; the explicit matrix "
+                f"({self._query_count} x {self.column_count}) is not materialised"
+            )
+        return self._matrix
+
+    @property
+    def gram(self) -> np.ndarray:
+        """The ``n x n`` Gram matrix ``W^T W`` (computed lazily and cached)."""
+        if self._gram is None:
+            self._gram = symmetrize(self._matrix.T @ self._matrix)
+        return self._gram
+
+    @property
+    def query_count(self) -> int:
+        """The number of queries ``m``."""
+        return self._query_count
+
+    @property
+    def column_count(self) -> int:
+        """The number of cells ``n`` (length of the data vector)."""
+        if self._gram is not None:
+            return self._gram.shape[0]
+        return self._matrix.shape[1]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(m, n)``."""
+        return (self.query_count, self.column_count)
+
+    @property
+    def sensitivity_l2(self) -> float:
+        """Maximum L2 column norm of ``W`` (Prop. 1), available from the Gram."""
+        return float(np.sqrt(np.max(np.diag(self.gram))))
+
+    @property
+    def sensitivity_l1(self) -> float:
+        """Maximum L1 column norm of ``W`` (requires the explicit matrix)."""
+        return float(np.max(np.sum(np.abs(self.matrix), axis=0)))
+
+    # -------------------------------------------------------- spectral analysis
+    def eigen_decomposition(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(eigenvalues, eigen_queries)`` of ``W^T W``.
+
+        Eigenvalues are sorted in descending order; ``eigen_queries`` has the
+        corresponding eigenvectors as *rows* (Def. 6).  Both are cached.
+        """
+        if self._eigenvalues is None:
+            values, vectors = np.linalg.eigh(self.gram)
+            order = np.argsort(values)[::-1]
+            self._eigenvalues = np.clip(values[order], 0.0, None)
+            self._eigenvectors = vectors[:, order].T
+        return self._eigenvalues, self._eigenvectors
+
+    @property
+    def eigenvalues(self) -> np.ndarray:
+        """Eigenvalues of ``W^T W`` in descending order."""
+        return self.eigen_decomposition()[0]
+
+    @property
+    def rank(self) -> int:
+        """Numerical rank of the workload."""
+        values = self.eigenvalues
+        if values.size == 0:
+            return 0
+        threshold = values[0] * self.column_count * np.finfo(float).eps
+        return int(np.sum(values > max(threshold, 0.0)))
+
+    # ---------------------------------------------------------------- actions
+    def answer(self, data: np.ndarray) -> np.ndarray:
+        """Return the exact (noise-free) answers ``W x``."""
+        data = check_vector(data, "data", self.column_count)
+        return self.matrix @ data
+
+    def scale_rows(self, weights: np.ndarray | float) -> "Workload":
+        """Return a workload with each query scaled by the matching weight."""
+        matrix = self.matrix
+        if np.isscalar(weights):
+            scaled = matrix * float(weights)
+        else:
+            weights = check_vector(weights, "weights", self.query_count)
+            scaled = matrix * weights[:, None]
+        return Workload(scaled, domain=self.domain, name=f"{self.name}-scaled")
+
+    def normalize_rows(self) -> "Workload":
+        """Scale every query to unit L2 norm (the relative-error heuristic of Sec. 3.4).
+
+        Rows that are identically zero are left unchanged.
+        """
+        matrix = self.matrix
+        norms = np.linalg.norm(matrix, axis=1)
+        safe = np.where(norms > 0, norms, 1.0)
+        return Workload(matrix / safe[:, None], domain=self.domain, name=f"{self.name}-normalized")
+
+    def permute_columns(self, permutation: Sequence[int]) -> "Workload":
+        """Return a semantically-equivalent workload with reordered cell conditions."""
+        permutation = np.asarray(permutation, dtype=int)
+        if sorted(permutation.tolist()) != list(range(self.column_count)):
+            raise WorkloadError("permutation must be a permutation of the cell indexes")
+        if self.has_matrix:
+            return Workload(self.matrix[:, permutation], domain=self.domain, name=f"{self.name}-permuted")
+        gram = self.gram[np.ix_(permutation, permutation)]
+        return Workload(
+            None,
+            gram=gram,
+            query_count=self.query_count,
+            domain=self.domain,
+            name=f"{self.name}-permuted",
+        )
+
+    def rotate(self, orthogonal: np.ndarray) -> "Workload":
+        """Return the error-equivalent workload ``Q W`` for orthogonal ``Q`` (Prop. 6)."""
+        orthogonal = check_matrix(orthogonal, "orthogonal matrix")
+        matrix = self.matrix
+        if orthogonal.shape != (self.query_count, self.query_count):
+            raise WorkloadError(
+                f"orthogonal matrix must be {self.query_count} x {self.query_count}, got {orthogonal.shape}"
+            )
+        return Workload(orthogonal @ matrix, domain=self.domain, name=f"{self.name}-rotated")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "explicit" if self.has_matrix else "implicit"
+        label = f" {self.name!r}" if self.name else ""
+        return f"Workload({kind}{label}, m={self.query_count}, n={self.column_count})"

@@ -1,0 +1,21 @@
+"""Datasets: synthetic stand-ins for the paper's US Census and Adult data."""
+
+from repro.datasets.loaders import Dataset, available_datasets, load_dataset
+from repro.datasets.synthetic import (
+    adult_like,
+    census_like,
+    mixture_histogram,
+    uniform_dataset,
+    zipf_dataset,
+)
+
+__all__ = [
+    "Dataset",
+    "adult_like",
+    "available_datasets",
+    "census_like",
+    "load_dataset",
+    "mixture_histogram",
+    "uniform_dataset",
+    "zipf_dataset",
+]

@@ -1,0 +1,96 @@
+"""Dataset container and registry.
+
+A :class:`Dataset` pairs a :class:`~repro.domain.Domain` with a data vector of
+cell counts.  The real datasets used in the paper (IPUMS US Census microdata
+and the UCI Adult dataset) are not redistributable and unavailable offline, so
+the registry serves synthetic stand-ins with matching shape, scale and skew
+(see :mod:`repro.datasets.synthetic` and DESIGN.md for the substitution
+rationale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.domain.domain import Domain
+from repro.exceptions import DatasetError
+
+__all__ = ["Dataset", "load_dataset", "available_datasets"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An immutable histogram dataset: a domain plus one count per cell."""
+
+    name: str
+    domain: Domain
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        data = np.asarray(self.data, dtype=float)
+        if data.shape != (self.domain.size,):
+            raise DatasetError(
+                f"data vector has shape {data.shape}, expected ({self.domain.size},)"
+            )
+        if np.any(data < 0) or not np.all(np.isfinite(data)):
+            raise DatasetError("cell counts must be finite and non-negative")
+        object.__setattr__(self, "data", data)
+
+    @property
+    def total(self) -> float:
+        """Total number of tuples."""
+        return float(self.data.sum())
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Per-attribute bucket counts."""
+        return self.domain.shape
+
+    def histogram(self) -> np.ndarray:
+        """The counts reshaped to the domain's multi-dimensional shape."""
+        return self.data.reshape(self.domain.shape)
+
+    def describe(self) -> dict:
+        """Summary statistics used in the Table 1 reproduction."""
+        data = self.data
+        return {
+            "name": self.name,
+            "dimension": "x".join(str(s) for s in self.shape),
+            "cells": self.domain.size,
+            "tuples": int(round(self.total)),
+            "nonzero_cells": int(np.count_nonzero(data)),
+            "max_cell": float(data.max()),
+            "mean_cell": float(data.mean()),
+        }
+
+
+def available_datasets() -> list[str]:
+    """Names accepted by :func:`load_dataset`."""
+    return ["census", "adult", "uniform", "zipf"]
+
+
+def load_dataset(name: str, *, random_state=None, **options) -> Dataset:
+    """Load (generate) a dataset by name.
+
+    ``census`` and ``adult`` are the synthetic stand-ins for the paper's two
+    real datasets; ``uniform`` and ``zipf`` are simple generic generators for
+    testing and examples.  Extra keyword arguments are forwarded to the
+    generators (e.g. ``total=...`` or ``shape=...``).
+    """
+    from repro.datasets import synthetic
+
+    generators = {
+        "census": synthetic.census_like,
+        "adult": synthetic.adult_like,
+        "uniform": synthetic.uniform_dataset,
+        "zipf": synthetic.zipf_dataset,
+    }
+    try:
+        generator = generators[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; choose from {available_datasets()}"
+        ) from None
+    return generator(random_state=random_state, **options)

@@ -1,0 +1,25 @@
+"""Data model: domains, schemas, predicates and data vectors."""
+
+from repro.domain.datavector import (
+    data_vector_from_cells,
+    data_vector_from_histogram,
+    marginal_counts,
+)
+from repro.domain.domain import Domain
+from repro.domain.predicates import AttributeRange, Conjunction, Predicate, predicate_vector
+from repro.domain.schema import Attribute, CategoricalAttribute, NumericAttribute, Schema
+
+__all__ = [
+    "Attribute",
+    "AttributeRange",
+    "CategoricalAttribute",
+    "Conjunction",
+    "Domain",
+    "NumericAttribute",
+    "Predicate",
+    "Schema",
+    "data_vector_from_cells",
+    "data_vector_from_histogram",
+    "marginal_counts",
+    "predicate_vector",
+]

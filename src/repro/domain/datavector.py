@@ -1,0 +1,58 @@
+"""Construction and manipulation of data vectors (Def. 1)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.domain.domain import Domain
+from repro.exceptions import DomainError
+
+__all__ = ["data_vector_from_cells", "data_vector_from_histogram", "marginal_counts"]
+
+
+def data_vector_from_cells(domain: Domain, cells: Iterable[int]) -> np.ndarray:
+    """Build a data vector by counting occurrences of flat cell indexes."""
+    counts = np.zeros(domain.size)
+    for cell in cells:
+        cell = int(cell)
+        if not 0 <= cell < domain.size:
+            raise DomainError(f"cell index {cell} out of range for domain size {domain.size}")
+        counts[cell] += 1.0
+    return counts
+
+
+def data_vector_from_histogram(domain: Domain, histogram: np.ndarray) -> np.ndarray:
+    """Flatten a multi-dimensional histogram into a data vector.
+
+    The histogram's shape must match the domain's shape exactly; counts are
+    validated to be finite and non-negative.
+    """
+    histogram = np.asarray(histogram, dtype=float)
+    if histogram.shape != domain.shape:
+        raise DomainError(
+            f"histogram shape {histogram.shape} does not match domain shape {domain.shape}"
+        )
+    if not np.all(np.isfinite(histogram)):
+        raise DomainError("histogram contains non-finite entries")
+    if np.any(histogram < 0):
+        raise DomainError("histogram contains negative counts")
+    return histogram.reshape(-1).astype(float)
+
+
+def marginal_counts(domain: Domain, data: np.ndarray, attributes: Sequence[int | str]) -> np.ndarray:
+    """Return the exact marginal counts of ``data`` over ``attributes``.
+
+    This is the noise-free reference used when evaluating relative error of
+    marginal workloads.
+    """
+    data = np.asarray(data, dtype=float)
+    if data.shape != (domain.size,):
+        raise DomainError(
+            f"data vector has shape {data.shape}, expected ({domain.size},)"
+        )
+    indexes = domain.resolve(attributes)
+    cube = data.reshape(domain.shape)
+    drop = tuple(i for i in range(domain.dimensions) if i not in indexes)
+    return cube.sum(axis=drop).reshape(-1)

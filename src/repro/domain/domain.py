@@ -1,0 +1,154 @@
+"""Multi-dimensional cell domains.
+
+A :class:`Domain` describes how the data vector ``x`` of the paper is laid
+out: it is the cross product of per-attribute bucketings.  Cell ``i`` of the
+data vector corresponds to one combination of buckets, in row-major
+(C-contiguous) order over the attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import DomainError
+
+__all__ = ["Domain"]
+
+
+@dataclass(frozen=True)
+class Domain:
+    """The shape of a data vector: one bucket count per attribute.
+
+    Parameters
+    ----------
+    shape:
+        Number of buckets for each attribute, e.g. ``(8, 16, 16)`` for the
+        paper's US-Census configuration (age x occupation x income).
+    names:
+        Optional attribute names; defaults to ``attr0, attr1, ...``.
+    """
+
+    shape: tuple[int, ...]
+    names: tuple[str, ...] = ()
+
+    def __init__(self, shape: Sequence[int], names: Sequence[str] | None = None):
+        shape = tuple(int(s) for s in shape)
+        if not shape:
+            raise DomainError("a domain needs at least one attribute")
+        if any(s < 1 for s in shape):
+            raise DomainError(f"all attribute sizes must be >= 1, got {shape}")
+        if names is None:
+            names = tuple(f"attr{i}" for i in range(len(shape)))
+        else:
+            names = tuple(str(n) for n in names)
+            if len(names) != len(shape):
+                raise DomainError(
+                    f"got {len(names)} names for {len(shape)} attributes"
+                )
+            if len(set(names)) != len(names):
+                raise DomainError(f"attribute names must be unique, got {names}")
+        object.__setattr__(self, "shape", shape)
+        object.__setattr__(self, "names", names)
+
+    # ------------------------------------------------------------------ size
+    @property
+    def size(self) -> int:
+        """Total number of cells (the length ``n`` of the data vector)."""
+        return int(np.prod(self.shape))
+
+    @property
+    def dimensions(self) -> int:
+        """Number of attributes."""
+        return len(self.shape)
+
+    def __len__(self) -> int:
+        return self.dimensions
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.shape)
+
+    # -------------------------------------------------------------- indexing
+    def attribute_index(self, name: str) -> int:
+        """Return the position of attribute ``name``."""
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise DomainError(f"unknown attribute {name!r}; have {self.names}") from None
+
+    def size_of(self, attributes: Sequence[int | str]) -> int:
+        """Return the number of cells of the marginal over ``attributes``."""
+        indexes = self.resolve(attributes)
+        return int(np.prod([self.shape[i] for i in indexes])) if indexes else 1
+
+    def resolve(self, attributes: Sequence[int | str]) -> tuple[int, ...]:
+        """Normalise a mixed list of names/indexes into sorted unique indexes."""
+        indexes = []
+        for attribute in attributes:
+            if isinstance(attribute, str):
+                indexes.append(self.attribute_index(attribute))
+            else:
+                index = int(attribute)
+                if not 0 <= index < self.dimensions:
+                    raise DomainError(
+                        f"attribute index {index} out of range for {self.dimensions} attributes"
+                    )
+                indexes.append(index)
+        unique = sorted(set(indexes))
+        if len(unique) != len(indexes):
+            raise DomainError(f"duplicate attributes in {attributes}")
+        return tuple(unique)
+
+    def ravel(self, buckets: Sequence[int]) -> int:
+        """Return the flat cell index of a per-attribute bucket combination."""
+        if len(buckets) != self.dimensions:
+            raise DomainError(
+                f"expected {self.dimensions} bucket indexes, got {len(buckets)}"
+            )
+        for bucket, size in zip(buckets, self.shape):
+            if not 0 <= bucket < size:
+                raise DomainError(f"bucket index {bucket} out of range for size {size}")
+        return int(np.ravel_multi_index(tuple(buckets), self.shape))
+
+    def unravel(self, cell: int) -> tuple[int, ...]:
+        """Return the per-attribute bucket combination of flat cell ``cell``."""
+        if not 0 <= cell < self.size:
+            raise DomainError(f"cell index {cell} out of range for size {self.size}")
+        return tuple(int(v) for v in np.unravel_index(cell, self.shape))
+
+    # ------------------------------------------------------------ projection
+    def project(self, attributes: Sequence[int | str]) -> "Domain":
+        """Return the sub-domain containing only ``attributes``."""
+        indexes = self.resolve(attributes)
+        if not indexes:
+            raise DomainError("cannot project onto an empty attribute set")
+        return Domain(
+            [self.shape[i] for i in indexes], [self.names[i] for i in indexes]
+        )
+
+    def marginalization_matrix(self, attributes: Sequence[int | str]) -> np.ndarray:
+        """Return the 0/1 matrix mapping the data vector to a marginal.
+
+        The returned matrix has one row per cell of the marginal over
+        ``attributes`` and one column per cell of the full domain; entry
+        ``(r, c)`` is 1 exactly when full-domain cell ``c`` projects onto
+        marginal cell ``r``.  The empty attribute set yields the single total
+        query.
+        """
+        indexes = self.resolve(attributes)
+        factors = []
+        for position, size in enumerate(self.shape):
+            if position in indexes:
+                factors.append(np.eye(size))
+            else:
+                factors.append(np.ones((1, size)))
+        result = factors[0]
+        for factor in factors[1:]:
+            result = np.kron(result, factor)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{n}={s}" for n, s in zip(self.names, self.shape))
+        return f"Domain({inner})"

@@ -1,0 +1,88 @@
+"""Predicates over domain cells.
+
+The paper defines cell conditions as Boolean predicates over tuples; here we
+provide the matching machinery over *cells* of a :class:`~repro.domain.Domain`
+so that arbitrary predicate counting queries (0/1 rows) can be constructed and
+composed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.domain.domain import Domain
+from repro.exceptions import DomainError
+
+__all__ = ["Predicate", "AttributeRange", "Conjunction", "predicate_vector"]
+
+
+class Predicate:
+    """Base class for predicates evaluated on every cell of a domain."""
+
+    def vector(self, domain: Domain) -> np.ndarray:
+        """Return the 0/1 indicator row vector of the predicate on ``domain``."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "Conjunction":
+        return Conjunction([self, other])
+
+
+@dataclass(frozen=True)
+class AttributeRange(Predicate):
+    """Membership of one attribute's bucket index in ``[low, high]`` (inclusive)."""
+
+    attribute: str | int
+    low: int
+    high: int
+
+    def vector(self, domain: Domain) -> np.ndarray:
+        index = (
+            domain.attribute_index(self.attribute)
+            if isinstance(self.attribute, str)
+            else int(self.attribute)
+        )
+        size = domain.shape[index]
+        if not (0 <= self.low <= self.high < size):
+            raise DomainError(
+                f"range [{self.low}, {self.high}] invalid for attribute of size {size}"
+            )
+        mask = np.zeros(size)
+        mask[self.low : self.high + 1] = 1.0
+        factors = [
+            mask if position == index else np.ones(s)
+            for position, s in enumerate(domain.shape)
+        ]
+        result = factors[0]
+        for factor in factors[1:]:
+            result = np.kron(result, factor)
+        return result
+
+
+@dataclass(frozen=True)
+class Conjunction(Predicate):
+    """Logical AND of several predicates (product of indicator vectors)."""
+
+    terms: Sequence[Predicate] = field(default_factory=tuple)
+
+    def vector(self, domain: Domain) -> np.ndarray:
+        if not self.terms:
+            return np.ones(domain.size)
+        result = np.ones(domain.size)
+        for term in self.terms:
+            result = result * term.vector(domain)
+        return result
+
+
+def predicate_vector(domain: Domain, conditions: Mapping[str | int, tuple[int, int]]) -> np.ndarray:
+    """Build a predicate row from ``{attribute: (low, high)}`` range conditions.
+
+    Attributes not mentioned are unconstrained.  This is a convenience wrapper
+    around :class:`AttributeRange` / :class:`Conjunction` for the common case
+    of conjunctive range predicates such as
+    ``{"gender": (0, 0), "gpa": (2, 3)}``.
+    """
+    terms = [AttributeRange(attribute, low, high) for attribute, (low, high) in conditions.items()]
+    return Conjunction(terms).vector(domain)

@@ -1,0 +1,156 @@
+"""Relational schemas and cell conditions (Def. 1 of the paper).
+
+A :class:`Schema` describes the attributes of a single relation together with
+a bucketing of each attribute domain.  Buckets play the role of the paper's
+cell conditions: they are pairwise unsatisfiable and every tuple falls in
+exactly one bucket per attribute, hence in exactly one cell of the cross
+product.  The schema knows how to map raw tuples to cells and therefore how
+to build the data vector ``x``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.domain.domain import Domain
+from repro.exceptions import DomainError
+
+__all__ = ["Attribute", "CategoricalAttribute", "NumericAttribute", "Schema"]
+
+
+class Attribute:
+    """Base class: an attribute with a finite bucketing of its values."""
+
+    name: str
+
+    @property
+    def size(self) -> int:
+        """Number of buckets."""
+        raise NotImplementedError
+
+    def bucket_of(self, value: object) -> int:
+        """Return the bucket index of ``value`` (raises if out of domain)."""
+        raise NotImplementedError
+
+    def bucket_label(self, index: int) -> str:
+        """Human-readable description of bucket ``index``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CategoricalAttribute(Attribute):
+    """An attribute whose buckets are individual categorical values."""
+
+    name: str
+    values: tuple
+
+    def __init__(self, name: str, values: Iterable[object]):
+        values = tuple(values)
+        if not values:
+            raise DomainError(f"attribute {name!r} needs at least one value")
+        if len(set(values)) != len(values):
+            raise DomainError(f"attribute {name!r} has duplicate values")
+        object.__setattr__(self, "name", str(name))
+        object.__setattr__(self, "values", values)
+
+    @property
+    def size(self) -> int:
+        return len(self.values)
+
+    def bucket_of(self, value: object) -> int:
+        try:
+            return self.values.index(value)
+        except ValueError:
+            raise DomainError(f"value {value!r} not in domain of {self.name!r}") from None
+
+    def bucket_label(self, index: int) -> str:
+        return f"{self.name} = {self.values[index]!r}"
+
+
+@dataclass(frozen=True)
+class NumericAttribute(Attribute):
+    """An ordered attribute bucketed into half-open ranges ``[edge_i, edge_{i+1})``."""
+
+    name: str
+    edges: tuple
+
+    def __init__(self, name: str, edges: Sequence[float]):
+        edges = tuple(float(e) for e in edges)
+        if len(edges) < 2:
+            raise DomainError(f"attribute {name!r} needs at least two bucket edges")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise DomainError(f"bucket edges of {name!r} must be strictly increasing")
+        object.__setattr__(self, "name", str(name))
+        object.__setattr__(self, "edges", edges)
+
+    @property
+    def size(self) -> int:
+        return len(self.edges) - 1
+
+    def bucket_of(self, value: object) -> int:
+        value = float(value)
+        if not (self.edges[0] <= value < self.edges[-1]):
+            raise DomainError(
+                f"value {value} outside domain [{self.edges[0]}, {self.edges[-1]}) "
+                f"of attribute {self.name!r}"
+            )
+        return int(np.searchsorted(self.edges, value, side="right")) - 1
+
+    def bucket_label(self, index: int) -> str:
+        return f"{self.name} in [{self.edges[index]}, {self.edges[index + 1]})"
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of bucketed attributes defining the data vector."""
+
+    attributes: tuple[Attribute, ...]
+
+    def __init__(self, attributes: Sequence[Attribute]):
+        attributes = tuple(attributes)
+        if not attributes:
+            raise DomainError("a schema needs at least one attribute")
+        names = [a.name for a in attributes]
+        if len(set(names)) != len(names):
+            raise DomainError(f"attribute names must be unique, got {names}")
+        object.__setattr__(self, "attributes", attributes)
+
+    @property
+    def domain(self) -> Domain:
+        """The cell domain induced by the bucketings."""
+        return Domain([a.size for a in self.attributes], [a.name for a in self.attributes])
+
+    def cell_of(self, record: Mapping[str, object] | Sequence[object]) -> int:
+        """Return the flat cell index of a record.
+
+        ``record`` is either a mapping from attribute name to value or a
+        sequence of values in schema order.
+        """
+        if isinstance(record, Mapping):
+            values = [record[a.name] for a in self.attributes]
+        else:
+            values = list(record)
+            if len(values) != len(self.attributes):
+                raise DomainError(
+                    f"record has {len(values)} values, schema has {len(self.attributes)}"
+                )
+        buckets = [a.bucket_of(v) for a, v in zip(self.attributes, values)]
+        return self.domain.ravel(buckets)
+
+    def cell_condition(self, cell: int) -> str:
+        """Return the human-readable cell condition phi_i of flat cell ``cell``."""
+        buckets = self.domain.unravel(cell)
+        return " AND ".join(
+            attribute.bucket_label(bucket)
+            for attribute, bucket in zip(self.attributes, buckets)
+        )
+
+    def data_vector(self, records: Iterable[Mapping[str, object] | Sequence[object]]) -> np.ndarray:
+        """Aggregate raw records into the length-``n`` data vector of counts."""
+        counts = np.zeros(self.domain.size)
+        for record in records:
+            counts[self.cell_of(record)] += 1.0
+        return counts

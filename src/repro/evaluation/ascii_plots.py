@@ -1,0 +1,140 @@
+"""Plain-text charts for rendering the paper's figures in a terminal.
+
+The benchmark harness reproduces the *numbers* behind each figure; these
+helpers render them as ASCII bar charts and line charts so the shape of a
+figure (who wins, where curves cross) can be eyeballed without any plotting
+dependency.  Output is deterministic, making it safe to snapshot in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["bar_chart", "line_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _format_number(value: float) -> str:
+    if value != value or value in (float("inf"), float("-inf")):
+        return str(value)
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1000 or magnitude < 0.01:
+        return f"{value:.2e}"
+    return f"{value:.3g}"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    title: str | None = None,
+) -> str:
+    """Render one horizontal bar per (label, value) pair.
+
+    Bars are scaled to the largest finite value; non-finite values render as
+    an annotation instead of a bar.
+    """
+    if len(labels) != len(values):
+        raise ValueError(f"got {len(labels)} labels for {len(values)} values")
+    if not labels:
+        raise ValueError("bar_chart needs at least one bar")
+    width = max(10, int(width))
+    finite = [v for v in values if math.isfinite(v)]
+    top = max(finite) if finite else 1.0
+    top = top if top > 0 else 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        prefix = f"{str(label).ljust(label_width)} |"
+        if not math.isfinite(value):
+            lines.append(f"{prefix} ({value})")
+            continue
+        bar = "#" * max(0, int(round(width * value / top)))
+        lines.append(f"{prefix}{bar} {_format_number(value)}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = False,
+    title: str | None = None,
+) -> str:
+    """Render one or more series as an ASCII scatter/line chart.
+
+    Each series gets a distinct marker; the legend maps markers back to the
+    series names.  ``log_y`` plots the y axis on a log scale (non-positive
+    values are dropped from the scaling but still listed in the legend).
+    """
+    if not series:
+        raise ValueError("line_chart needs at least one series")
+    x_values = [float(x) for x in x_values]
+    if not x_values:
+        raise ValueError("line_chart needs at least one x value")
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points for {len(x_values)} x values"
+            )
+    width = max(20, int(width))
+    height = max(5, int(height))
+
+    def transform(value: float) -> float | None:
+        if not math.isfinite(value):
+            return None
+        if log_y:
+            if value <= 0:
+                return None
+            return math.log10(value)
+        return value
+
+    transformed = {
+        name: [transform(v) for v in values] for name, values in series.items()
+    }
+    all_points = [v for values in transformed.values() for v in values if v is not None]
+    if not all_points:
+        raise ValueError("no finite data points to plot")
+    y_low, y_high = min(all_points), max(all_points)
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    x_low, x_high = min(x_values), max(x_values)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(transformed.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(x_values, values):
+            if y is None:
+                continue
+            column = int(round((x - x_low) / (x_high - x_low) * (width - 1)))
+            row = int(round((y - y_low) / (y_high - y_low) * (height - 1)))
+            grid[height - 1 - row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"1e{y_high:.2f}" if log_y else _format_number(y_high)
+    bottom_label = f"1e{y_low:.2f}" if log_y else _format_number(y_low)
+    lines.append(f"{top_label:>10} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{bottom_label:>10} +" + "".join(grid[-1]))
+    lines.append(
+        " " * 12 + f"{_format_number(x_low)}" + " " * (width - 12) + f"{_format_number(x_high)}"
+    )
+    legend = "  ".join(
+        f"{_MARKERS[index % len(_MARKERS)]}={name}" for index, name in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Persistence of experiment results (JSON and CSV).
+
+The benchmark suite and the command-line harness both produce tables of rows
+(dictionaries of scalars).  This module gives them a single, versioned
+on-disk representation so results can be archived, diffed between runs and
+loaded back for analysis without re-running the experiments.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.exceptions import ReproError
+
+__all__ = ["ExperimentRecord", "save_records", "load_records", "rows_to_csv", "rows_from_csv"]
+
+#: Format version written into every results file.
+FORMAT_VERSION = 1
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment's output: an identifier, its parameters and its rows."""
+
+    experiment: str
+    parameters: dict = field(default_factory=dict)
+    rows: list = field(default_factory=list)
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.experiment:
+            raise ReproError("an experiment record needs a non-empty experiment id")
+        self.parameters = dict(self.parameters)
+        self.rows = [dict(row) for row in self.rows]
+
+
+def _jsonify(value):
+    """Coerce numpy scalars/arrays and other simple objects into JSON-friendly values."""
+    if isinstance(value, Mapping):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if hasattr(value, "tolist") and not isinstance(value, (str, bytes)):
+        # numpy arrays and numpy scalars both expose tolist().
+        return _jsonify(value.tolist())
+    if isinstance(value, float) and (value != value or value in (float("inf"), float("-inf"))):
+        return str(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def save_records(records: Sequence[ExperimentRecord], path: str | Path) -> Path:
+    """Write experiment records to ``path`` as JSON and return the path."""
+    path = Path(path)
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "records": [
+            {
+                "experiment": record.experiment,
+                "parameters": _jsonify(record.parameters),
+                "rows": _jsonify(record.rows),
+                "notes": record.notes,
+            }
+            for record in records
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_records(path: str | Path) -> list[ExperimentRecord]:
+    """Load experiment records previously written by :func:`save_records`."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise ReproError(f"{path} is not a valid results file: {error}") from None
+    if not isinstance(payload, dict) or "records" not in payload:
+        raise ReproError(f"{path} is not a results file (missing 'records')")
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ReproError(
+            f"{path} has results format version {version!r}; this build reads version {FORMAT_VERSION}"
+        )
+    records = []
+    for entry in payload["records"]:
+        records.append(
+            ExperimentRecord(
+                experiment=entry["experiment"],
+                parameters=entry.get("parameters", {}),
+                rows=entry.get("rows", []),
+                notes=entry.get("notes", ""),
+            )
+        )
+    return records
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, object]], *, columns: Sequence[str] | None = None) -> str:
+    """Render rows as CSV text (header included)."""
+    if not rows:
+        raise ReproError("rows_to_csv needs at least one row")
+    if columns is None:
+        columns = list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns), lineterminator="\n", extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({column: _jsonify(row.get(column, "")) for column in columns})
+    return buffer.getvalue()
+
+
+def rows_from_csv(text: str) -> list[dict]:
+    """Parse CSV text back into rows, converting numeric fields to floats."""
+    reader = csv.DictReader(io.StringIO(text))
+    rows: list[dict] = []
+    for row in reader:
+        parsed: dict = {}
+        for key, value in row.items():
+            if value is None:
+                parsed[key] = None
+                continue
+            try:
+                number = float(value)
+            except ValueError:
+                parsed[key] = value
+                continue
+            parsed[key] = int(number) if number.is_integer() and "." not in value else number
+        rows.append(parsed)
+    if not rows:
+        raise ReproError("the CSV text contains no data rows")
+    return rows

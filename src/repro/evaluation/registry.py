@@ -1,0 +1,489 @@
+"""A registry of runnable experiments mirroring the paper's tables and figures.
+
+Every entry wraps one of the paper's evaluation artifacts (or one of this
+reproduction's ablations) as a parameterised function returning an
+:class:`~repro.evaluation.io.ExperimentRecord`.  The registry powers the
+command-line harness (``python -m repro``) and gives tests a single place to
+exercise each experiment at a tiny scale.
+
+The benchmark suite under ``benchmarks/`` remains the canonical reproduction
+of the paper's numbers; the registry versions use the same library calls but
+default to smaller domains so they finish interactively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core.eigen_design import eigen_design
+from repro.core.error import expected_workload_error, minimum_error_bound
+from repro.core.privacy import PrivacyParams
+from repro.core.query_weighting import weighted_design_strategy
+from repro.core.reductions import eigen_query_separation, principal_vectors
+from repro.core.workload import Workload
+from repro.datasets.loaders import load_dataset
+from repro.evaluation.experiments import compare_strategies
+from repro.evaluation.io import ExperimentRecord
+from repro.evaluation.relative_error import relative_error
+from repro.evaluation.timing import timed
+from repro.exceptions import ReproError
+from repro.strategies import (
+    datacube_strategy,
+    fourier_strategy,
+    hb_strategy,
+    hierarchical_strategy,
+    identity_strategy,
+    wavelet_strategy,
+    workload_strategy,
+)
+from repro.workloads import (
+    all_range_queries_1d,
+    cdf_workload,
+    example_workload,
+    kway_marginals,
+    kway_range_marginals,
+    marginal_attribute_sets,
+    permuted_workload,
+    random_range_queries,
+)
+
+__all__ = ["ExperimentSpec", "available_experiments", "get_experiment", "run_experiment"]
+
+DEFAULT_PRIVACY = PrivacyParams(epsilon=0.5, delta=1e-4)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named, runnable experiment with a description and default parameters."""
+
+    name: str
+    description: str
+    paper_artifact: str
+    runner: Callable[..., ExperimentRecord]
+    defaults: Mapping[str, object]
+
+    def run(self, **overrides) -> ExperimentRecord:
+        """Run the experiment with ``overrides`` applied on top of the defaults."""
+        parameters = dict(self.defaults)
+        unknown = set(overrides) - set(parameters)
+        if unknown:
+            raise ReproError(
+                f"unknown parameter(s) {sorted(unknown)} for experiment {self.name!r}; "
+                f"accepted: {sorted(parameters)}"
+            )
+        parameters.update({k: v for k, v in overrides.items() if v is not None})
+        return self.runner(**parameters)
+
+
+def _privacy(epsilon: float, delta: float) -> PrivacyParams:
+    return PrivacyParams(float(epsilon), float(delta))
+
+
+# --------------------------------------------------------------------- E1 ---
+def _run_example(epsilon: float, delta: float) -> ExperimentRecord:
+    privacy = _privacy(epsilon, delta)
+    workload = example_workload()
+    strategies = {
+        "workload-as-strategy": workload_strategy(workload),
+        "identity": identity_strategy(workload.column_count),
+        "wavelet": wavelet_strategy(workload.column_count),
+        "eigen-design": eigen_design(workload).strategy,
+    }
+    comparison = compare_strategies(workload, strategies, privacy)
+    return ExperimentRecord(
+        experiment="example",
+        parameters={"epsilon": epsilon, "delta": delta},
+        rows=comparison.summary_rows(),
+        notes="Example 4 / Fig. 2: the Fig. 1(b) workload under alternative strategies.",
+    )
+
+
+# --------------------------------------------------------------- Fig. 3(a) ---
+def _run_range_absolute(cells: int, queries: int, epsilon: float, delta: float, seed: int) -> ExperimentRecord:
+    privacy = _privacy(epsilon, delta)
+    rows = []
+    workloads = {
+        "all-range": all_range_queries_1d(cells),
+        "random-range": random_range_queries([cells], queries, random_state=seed),
+    }
+    for label, workload in workloads.items():
+        strategies = {
+            "hierarchical": hierarchical_strategy(cells),
+            "wavelet": wavelet_strategy(cells),
+            "hb": hb_strategy(cells, workload),
+            "eigen-design": eigen_design(workload).strategy,
+        }
+        comparison = compare_strategies(workload, strategies, privacy)
+        for row in comparison.summary_rows():
+            rows.append({"workload": label, **{k: v for k, v in row.items() if k != "workload"}})
+    return ExperimentRecord(
+        experiment="range-absolute",
+        parameters={"cells": cells, "queries": queries, "epsilon": epsilon, "delta": delta, "seed": seed},
+        rows=rows,
+        notes="Fig. 3(a): absolute error on range workloads.",
+    )
+
+
+# --------------------------------------------------------------- Fig. 3(c) ---
+def _run_marginal_absolute(dims: tuple[int, ...], order: int, epsilon: float, delta: float) -> ExperimentRecord:
+    privacy = _privacy(epsilon, delta)
+    dims = tuple(int(d) for d in dims)
+    workload = kway_marginals(list(dims), order)
+    strategies = {
+        "fourier": fourier_strategy(list(dims), order),
+        "datacube": datacube_strategy(list(dims), marginal_attribute_sets(list(dims), order)),
+        "eigen-design": eigen_design(workload).strategy,
+    }
+    comparison = compare_strategies(workload, strategies, privacy)
+    return ExperimentRecord(
+        experiment="marginal-absolute",
+        parameters={"dims": list(dims), "order": order, "epsilon": epsilon, "delta": delta},
+        rows=comparison.summary_rows(),
+        notes="Fig. 3(c): absolute error on k-way marginal workloads.",
+    )
+
+
+# ---------------------------------------------------------- Fig. 3(b)/(d) ---
+def _run_relative(
+    dataset: str,
+    workload_kind: str,
+    epsilon: float,
+    delta: float,
+    trials: int,
+    seed: int,
+    shape: tuple[int, ...] | None = None,
+) -> ExperimentRecord:
+    privacy = _privacy(epsilon, delta)
+    options = {} if shape is None else {"shape": tuple(int(s) for s in shape)}
+    data = load_dataset(dataset, random_state=seed, **options)
+    shape = list(data.domain.shape)
+    if workload_kind == "range":
+        workload = random_range_queries(shape, 128, random_state=seed)
+        competitors = {
+            "hierarchical": hierarchical_strategy(shape),
+            "wavelet": wavelet_strategy(shape),
+        }
+    elif workload_kind == "marginal":
+        workload = kway_marginals(shape, 2)
+        competitors = {
+            "fourier": fourier_strategy(shape, 2),
+            "datacube": datacube_strategy(shape, marginal_attribute_sets(shape, 2)),
+        }
+    else:
+        raise ReproError(f"unknown workload kind {workload_kind!r}; use 'range' or 'marginal'")
+    scaled = workload.normalize_rows()
+    strategies = dict(competitors)
+    strategies["eigen-design"] = eigen_design(scaled).strategy
+    rows = []
+    for label, strategy in strategies.items():
+        result = relative_error(
+            workload, strategy, data, privacy, trials=trials, random_state=seed
+        )
+        rows.append(
+            {
+                "strategy": label,
+                "mean_relative_error": result.mean_relative_error,
+                "median_relative_error": result.median_relative_error,
+                "trials": trials,
+            }
+        )
+    return ExperimentRecord(
+        experiment=f"relative-{workload_kind}",
+        parameters={
+            "dataset": dataset,
+            "workload_kind": workload_kind,
+            "epsilon": epsilon,
+            "delta": delta,
+            "trials": trials,
+            "seed": seed,
+            "shape": None if shape is None else list(shape),
+        },
+        rows=rows,
+        notes="Fig. 3(b)/(d): Monte-Carlo relative error on a concrete dataset.",
+    )
+
+
+# ------------------------------------------------------------------ Table 2 ---
+def _run_alternative_workloads(cells: int, epsilon: float, delta: float, seed: int) -> ExperimentRecord:
+    privacy = _privacy(epsilon, delta)
+    rng = np.random.default_rng(seed)
+    square = int(round(np.sqrt(cells)))
+    workloads: dict[str, Workload] = {
+        "permuted-1d-range": permuted_workload(all_range_queries_1d(cells), random_state=rng),
+        "1-way-range-marginal": kway_range_marginals([square, square], 1),
+        "2-way-range-marginal": kway_range_marginals([square, square], 2),
+        "1d-cdf": cdf_workload(cells),
+    }
+    rows = []
+    for label, workload in workloads.items():
+        shape = [square, square] if "marginal" in label else [cells]
+        strategies = {
+            "hierarchical": hierarchical_strategy(shape),
+            "wavelet": wavelet_strategy(shape),
+            "eigen-design": eigen_design(workload).strategy,
+        }
+        comparison = compare_strategies(workload, strategies, privacy)
+        eigen = comparison.errors["eigen-design"]
+        best_label, best = comparison.best_competitor("eigen-design")
+        worst_label, worst = comparison.worst_competitor("eigen-design")
+        rows.append(
+            {
+                "workload": label,
+                "eigen_error": eigen,
+                "best_competitor": best_label,
+                "best_ratio": best / eigen if eigen > 0 else float("inf"),
+                "worst_competitor": worst_label,
+                "worst_ratio": worst / eigen if eigen > 0 else float("inf"),
+                "bound_ratio": comparison.ratio_to_bound("eigen-design"),
+            }
+        )
+    return ExperimentRecord(
+        experiment="alternative-workloads",
+        parameters={"cells": cells, "epsilon": epsilon, "delta": delta, "seed": seed},
+        rows=rows,
+        notes="Table 2: error-reduction factors on workloads not targeted by prior work.",
+    )
+
+
+# -------------------------------------------------------------------- Fig. 4 ---
+def _run_optimizations(cells: int, epsilon: float, delta: float) -> ExperimentRecord:
+    privacy = _privacy(epsilon, delta)
+    workload = all_range_queries_1d(cells)
+    rows = []
+    with timed() as clock:
+        full = eigen_design(workload)
+    rows.append(
+        {
+            "method": "full eigen design",
+            "parameter": "-",
+            "error": expected_workload_error(workload, full.strategy, privacy),
+            "seconds": clock(),
+        }
+    )
+    for group_size in (4, 16, 64):
+        if group_size > cells:
+            continue
+        with timed() as clock:
+            reduced = eigen_query_separation(workload, group_size=group_size)
+        rows.append(
+            {
+                "method": "eigen separation",
+                "parameter": f"group={group_size}",
+                "error": expected_workload_error(workload, reduced.strategy, privacy),
+                "seconds": clock(),
+            }
+        )
+    for fraction in (0.25, 0.1):
+        with timed() as clock:
+            reduced = principal_vectors(workload, fraction=fraction)
+        rows.append(
+            {
+                "method": "principal vectors",
+                "parameter": f"{int(fraction * 100)}%",
+                "error": expected_workload_error(workload, reduced.strategy, privacy),
+                "seconds": clock(),
+            }
+        )
+    rows.append(
+        {
+            "method": "lower bound",
+            "parameter": "-",
+            "error": minimum_error_bound(workload, privacy),
+            "seconds": 0.0,
+        }
+    )
+    return ExperimentRecord(
+        experiment="optimizations",
+        parameters={"cells": cells, "epsilon": epsilon, "delta": delta},
+        rows=rows,
+        notes="Fig. 4: quality/time trade-off of eigen-query separation and principal vectors.",
+    )
+
+
+# -------------------------------------------------------------------- Fig. 5 ---
+def _run_design_queries(cells: int, epsilon: float, delta: float, seed: int) -> ExperimentRecord:
+    privacy = _privacy(epsilon, delta)
+    workload = all_range_queries_1d(cells)
+    permuted = permuted_workload(workload, random_state=seed)
+    rows = []
+    for label, target in (("1d-range", workload), ("1d-range-permuted", permuted)):
+        designs = {
+            "wavelet-design": wavelet_strategy(cells).matrix,
+            "eigen-design": None,
+        }
+        for design_label, design_matrix in designs.items():
+            if design_matrix is None:
+                strategy = eigen_design(target).strategy
+            else:
+                strategy = weighted_design_strategy(target, design_matrix, name=design_label).strategy
+            rows.append(
+                {
+                    "workload": label,
+                    "design_set": design_label,
+                    "error": expected_workload_error(target, strategy, privacy),
+                    "bound": minimum_error_bound(target, privacy),
+                }
+            )
+    return ExperimentRecord(
+        experiment="design-queries",
+        parameters={"cells": cells, "epsilon": epsilon, "delta": delta, "seed": seed},
+        rows=rows,
+        notes="Fig. 5: the eigen-queries versus a fixed wavelet design set, with and without permutation.",
+    )
+
+
+# ------------------------------------------------------------------ ablation ---
+def _run_scalability(max_cells: int, epsilon: float, delta: float) -> ExperimentRecord:
+    privacy = _privacy(epsilon, delta)
+    rows = []
+    cells = 16
+    while cells <= max_cells:
+        workload = all_range_queries_1d(cells)
+        with timed() as clock:
+            design = eigen_design(workload)
+        rows.append(
+            {
+                "cells": cells,
+                "seconds": clock(),
+                "error": expected_workload_error(workload, design.strategy, privacy),
+                "bound": minimum_error_bound(workload, privacy),
+            }
+        )
+        cells *= 2
+    return ExperimentRecord(
+        experiment="scalability",
+        parameters={"max_cells": max_cells, "epsilon": epsilon, "delta": delta},
+        rows=rows,
+        notes="Ablation: eigen-design runtime and error versus domain size (all 1-D ranges).",
+    )
+
+
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def _register(spec: ExperimentSpec) -> None:
+    _REGISTRY[spec.name] = spec
+
+
+_register(
+    ExperimentSpec(
+        name="example",
+        description="The Fig. 1(b) workload under identity / wavelet / eigen strategies",
+        paper_artifact="Example 4, Fig. 2",
+        runner=_run_example,
+        defaults={"epsilon": 0.5, "delta": 1e-4},
+    )
+)
+_register(
+    ExperimentSpec(
+        name="range-absolute",
+        description="Absolute error of range workloads vs hierarchical/wavelet/HB",
+        paper_artifact="Fig. 3(a)",
+        runner=_run_range_absolute,
+        defaults={"cells": 128, "queries": 128, "epsilon": 0.5, "delta": 1e-4, "seed": 0},
+    )
+)
+_register(
+    ExperimentSpec(
+        name="marginal-absolute",
+        description="Absolute error of 2-way marginal workloads vs Fourier/DataCube",
+        paper_artifact="Fig. 3(c)",
+        runner=_run_marginal_absolute,
+        defaults={"dims": (8, 8, 8), "order": 2, "epsilon": 0.5, "delta": 1e-4},
+    )
+)
+_register(
+    ExperimentSpec(
+        name="relative-range",
+        description="Monte-Carlo relative error of range workloads on a dataset",
+        paper_artifact="Fig. 3(b)",
+        runner=lambda dataset, epsilon, delta, trials, seed, shape: _run_relative(
+            dataset, "range", epsilon, delta, trials, seed, shape
+        ),
+        defaults={
+            "dataset": "adult",
+            "epsilon": 0.5,
+            "delta": 1e-4,
+            "trials": 3,
+            "seed": 0,
+            "shape": None,
+        },
+    )
+)
+_register(
+    ExperimentSpec(
+        name="relative-marginal",
+        description="Monte-Carlo relative error of marginal workloads on a dataset",
+        paper_artifact="Fig. 3(d)",
+        runner=lambda dataset, epsilon, delta, trials, seed, shape: _run_relative(
+            dataset, "marginal", epsilon, delta, trials, seed, shape
+        ),
+        defaults={
+            "dataset": "adult",
+            "epsilon": 0.5,
+            "delta": 1e-4,
+            "trials": 3,
+            "seed": 0,
+            "shape": None,
+        },
+    )
+)
+_register(
+    ExperimentSpec(
+        name="alternative-workloads",
+        description="Error-reduction factors on permuted range, range-marginal and CDF workloads",
+        paper_artifact="Table 2",
+        runner=_run_alternative_workloads,
+        defaults={"cells": 64, "epsilon": 0.5, "delta": 1e-4, "seed": 0},
+    )
+)
+_register(
+    ExperimentSpec(
+        name="optimizations",
+        description="Quality/time trade-off of eigen separation and principal vectors",
+        paper_artifact="Fig. 4",
+        runner=_run_optimizations,
+        defaults={"cells": 256, "epsilon": 0.5, "delta": 1e-4},
+    )
+)
+_register(
+    ExperimentSpec(
+        name="design-queries",
+        description="Eigen-queries versus wavelet matrix as the design set",
+        paper_artifact="Fig. 5",
+        runner=_run_design_queries,
+        defaults={"cells": 64, "epsilon": 0.5, "delta": 1e-4, "seed": 0},
+    )
+)
+_register(
+    ExperimentSpec(
+        name="scalability",
+        description="Eigen-design runtime and error versus domain size",
+        paper_artifact="ablation (not in paper)",
+        runner=_run_scalability,
+        defaults={"max_cells": 256, "epsilon": 0.5, "delta": 1e-4},
+    )
+)
+
+
+def available_experiments() -> list[ExperimentSpec]:
+    """All registered experiments, sorted by name."""
+    return [spec for _, spec in sorted(_REGISTRY.items())]
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Look up one experiment by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def run_experiment(name: str, **overrides) -> ExperimentRecord:
+    """Run a registered experiment with parameter overrides."""
+    return get_experiment(name).run(**overrides)

@@ -1,0 +1,59 @@
+"""Plain-text table formatting for experiment results.
+
+Benchmarks print the same rows/series the paper reports; this module keeps the
+formatting logic in one place so every benchmark produces consistent output.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_comparison"]
+
+
+def _format_value(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Sequence[str] | None = None,
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return title or ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[_format_value(row.get(column, ""), precision) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_comparison(comparison, *, precision: int = 3) -> str:
+    """Render a :class:`~repro.evaluation.experiments.StrategyComparison`."""
+    return format_table(
+        comparison.summary_rows(),
+        columns=["workload", "strategy", "error", "ratio_to_bound"],
+        precision=precision,
+        title=f"Workload: {comparison.workload_name}",
+    )

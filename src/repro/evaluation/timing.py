@@ -1,0 +1,46 @@
+"""Wall-clock timing helpers for the performance experiments (Fig. 4)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "timed"]
+
+
+@dataclass
+class Timer:
+    """Accumulates named wall-clock measurements."""
+
+    measurements: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, label: str):
+        """Context manager recording the elapsed time under ``label``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.measurements[label] = self.measurements.get(label, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def seconds(self, label: str) -> float:
+        """Total seconds recorded under ``label``."""
+        return self.measurements.get(label, 0.0)
+
+
+@contextmanager
+def timed():
+    """Context manager yielding a zero-argument callable returning elapsed seconds."""
+    start = time.perf_counter()
+    elapsed = {"value": 0.0}
+
+    def reader() -> float:
+        return elapsed["value"] if elapsed["value"] else time.perf_counter() - start
+
+    try:
+        yield reader
+    finally:
+        elapsed["value"] = time.perf_counter() - start

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` package."""
+
+
+class DomainError(ReproError):
+    """Raised when a domain, schema, or cell specification is invalid."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload is malformed or an operation is unsupported."""
+
+
+class MaterializationError(WorkloadError):
+    """Raised when an explicit matrix is requested from an implicit object.
+
+    Workloads such as the full multi-dimensional range workload are
+    represented only by their Gram matrix ``W^T W`` because the explicit
+    matrix would be too large to materialise.  Operations that require the
+    explicit matrix raise this error instead of silently building a huge
+    array.
+    """
+
+
+class StrategyError(ReproError):
+    """Raised when a strategy matrix is invalid for the requested operation."""
+
+
+class SingularStrategyError(StrategyError):
+    """Raised when a strategy cannot answer the workload.
+
+    The matrix mechanism requires the workload's row space to be contained in
+    the strategy's row space; otherwise the least-squares inference step does
+    not determine the workload answers and the expected error is infinite.
+    """
+
+
+class PrivacyError(ReproError):
+    """Raised when privacy parameters are invalid (e.g. epsilon <= 0)."""
+
+
+class OptimizationError(ReproError):
+    """Raised when a convex solver fails to produce a usable solution."""
+
+
+class ConvergenceWarning(UserWarning):
+    """Warning issued when a solver stops before reaching its tolerance."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset cannot be generated or does not match a domain."""
+
+
+class RelationalError(ReproError):
+    """Raised when a relation (tuple-level table) is malformed or misused."""
+
+
+class QueryParseError(RelationalError):
+    """Raised when a textual counting query cannot be parsed."""
+
+
+class MisalignedPredicateError(RelationalError):
+    """Raised when a tuple-level predicate does not align with the cell bucketing.
+
+    Linear counting queries are defined over the cells of a
+    :class:`~repro.domain.Schema`; a predicate such as ``gpa >= 3.25`` cannot
+    be expressed exactly when the bucket edges are ``[3.0, 3.5)`` because that
+    bucket is only partially covered.  Rather than silently approximating, the
+    compilation step raises this error and reports the offending cells.
+    """

@@ -1,0 +1,60 @@
+"""A simple sequential-composition privacy accountant.
+
+Batch query answering (the paper's setting) spends the whole budget in a
+single interaction, but applications often run the mechanism several times —
+e.g. once per release period.  The accountant tracks cumulative (epsilon,
+delta) spending under basic sequential composition and refuses to exceed a
+configured budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.privacy import PrivacyParams
+from repro.exceptions import PrivacyError
+
+__all__ = ["PrivacyAccountant", "BudgetExceededError"]
+
+
+class BudgetExceededError(PrivacyError):
+    """Raised when a requested spend would exceed the configured budget."""
+
+
+@dataclass
+class PrivacyAccountant:
+    """Tracks (epsilon, delta) spending under basic sequential composition."""
+
+    budget: PrivacyParams
+    spent_epsilon: float = 0.0
+    spent_delta: float = 0.0
+    history: list = field(default_factory=list)
+
+    @property
+    def remaining(self) -> PrivacyParams | None:
+        """The unspent budget, or ``None`` when it is (numerically) exhausted."""
+        epsilon = self.budget.epsilon - self.spent_epsilon
+        delta = self.budget.delta - self.spent_delta
+        if epsilon <= 0:
+            return None
+        return PrivacyParams(epsilon, max(delta, 0.0))
+
+    def can_spend(self, request: PrivacyParams) -> bool:
+        """Whether ``request`` fits in the remaining budget."""
+        return (
+            self.spent_epsilon + request.epsilon <= self.budget.epsilon + 1e-12
+            and self.spent_delta + request.delta <= self.budget.delta + 1e-15
+        )
+
+    def spend(self, request: PrivacyParams, *, label: str = "") -> PrivacyParams:
+        """Record a spend of ``request`` and return it; raises if over budget."""
+        if not self.can_spend(request):
+            raise BudgetExceededError(
+                f"spending (epsilon={request.epsilon}, delta={request.delta}) would exceed "
+                f"the remaining budget (spent epsilon={self.spent_epsilon}, delta={self.spent_delta} "
+                f"of epsilon={self.budget.epsilon}, delta={self.budget.delta})"
+            )
+        self.spent_epsilon += request.epsilon
+        self.spent_delta += request.delta
+        self.history.append((label, request))
+        return request

@@ -1,0 +1,202 @@
+"""Privacy composition: basic, advanced and zero-concentrated accounting.
+
+The paper spends its entire budget in one batch interaction, but real
+deployments repeat releases (new time periods, additional workloads).  This
+module provides the standard tools for reasoning about the cumulative
+guarantee of several Gaussian-mechanism invocations:
+
+* **basic (sequential) composition** — epsilons and deltas add;
+* **advanced composition** (Dwork, Rothblum, Vadhan) — ``k`` uses of an
+  (epsilon, delta) mechanism satisfy a tighter
+  (epsilon', k*delta + delta') guarantee;
+* **zero-concentrated differential privacy (zCDP)** — the natural accounting
+  language for Gaussian noise: a Gaussian mechanism with noise scale
+  ``sigma`` on an L2-sensitivity-``s`` query set is ``(s^2 / (2 sigma^2))``-zCDP,
+  zCDP composes additively, and converts back to (epsilon, delta).
+
+The :class:`CompositionAccountant` tracks a sequence of releases under any of
+the three regimes and reports the tightest cumulative guarantee.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.privacy import PrivacyParams
+from repro.exceptions import PrivacyError
+
+__all__ = [
+    "basic_composition",
+    "advanced_composition",
+    "gaussian_zcdp",
+    "zcdp_to_approx_dp",
+    "approx_dp_to_zcdp",
+    "zcdp_noise_scale",
+    "CompositionAccountant",
+]
+
+
+def basic_composition(guarantees: list[PrivacyParams] | tuple[PrivacyParams, ...]) -> PrivacyParams:
+    """Sequential composition: epsilons and deltas add."""
+    if not guarantees:
+        raise PrivacyError("basic_composition needs at least one guarantee")
+    epsilon = sum(g.epsilon for g in guarantees)
+    delta = min(sum(g.delta for g in guarantees), 1 - 1e-15)
+    return PrivacyParams(epsilon, delta)
+
+
+def advanced_composition(
+    per_query: PrivacyParams, uses: int, *, delta_slack: float = 1e-6
+) -> PrivacyParams:
+    """Advanced composition of ``uses`` invocations of the same mechanism.
+
+    Returns the (epsilon', uses*delta + delta_slack) guarantee of Dwork,
+    Rothblum and Vadhan:
+
+    ``epsilon' = epsilon * sqrt(2 uses ln(1/delta_slack)) + uses * epsilon * (e^epsilon - 1)``.
+
+    For small per-query epsilon and moderately many uses this is much tighter
+    than basic composition (epsilon grows as ``sqrt(uses)`` instead of
+    ``uses``).
+    """
+    if uses < 1:
+        raise PrivacyError(f"uses must be >= 1, got {uses}")
+    if not 0 < delta_slack < 1:
+        raise PrivacyError(f"delta_slack must lie in (0, 1), got {delta_slack}")
+    epsilon = per_query.epsilon
+    total_epsilon = epsilon * math.sqrt(2.0 * uses * math.log(1.0 / delta_slack)) + uses * epsilon * (
+        math.exp(epsilon) - 1.0
+    )
+    total_delta = min(uses * per_query.delta + delta_slack, 1 - 1e-15)
+    return PrivacyParams(total_epsilon, total_delta)
+
+
+def gaussian_zcdp(noise_scale: float, l2_sensitivity: float = 1.0) -> float:
+    """The zCDP parameter ``rho`` of Gaussian noise with the given scale.
+
+    A Gaussian mechanism adding ``Normal(0, noise_scale**2)`` noise to a query
+    set of L2 sensitivity ``l2_sensitivity`` satisfies
+    ``rho = l2_sensitivity**2 / (2 * noise_scale**2)`` zero-concentrated
+    differential privacy (Bun & Steinke).
+    """
+    if noise_scale <= 0:
+        raise PrivacyError(f"noise_scale must be positive, got {noise_scale}")
+    if l2_sensitivity < 0:
+        raise PrivacyError(f"sensitivity must be non-negative, got {l2_sensitivity}")
+    return l2_sensitivity**2 / (2.0 * noise_scale**2)
+
+
+def zcdp_noise_scale(rho: float, l2_sensitivity: float = 1.0) -> float:
+    """Gaussian noise scale needed for a target zCDP level ``rho``."""
+    if rho <= 0:
+        raise PrivacyError(f"rho must be positive, got {rho}")
+    if l2_sensitivity < 0:
+        raise PrivacyError(f"sensitivity must be non-negative, got {l2_sensitivity}")
+    return l2_sensitivity / math.sqrt(2.0 * rho)
+
+
+def zcdp_to_approx_dp(rho: float, delta: float) -> PrivacyParams:
+    """Convert a zCDP guarantee into (epsilon, delta)-differential privacy.
+
+    Uses the standard conversion ``epsilon = rho + 2 * sqrt(rho * ln(1/delta))``.
+    """
+    if rho <= 0:
+        raise PrivacyError(f"rho must be positive, got {rho}")
+    if not 0 < delta < 1:
+        raise PrivacyError(f"delta must lie in (0, 1), got {delta}")
+    epsilon = rho + 2.0 * math.sqrt(rho * math.log(1.0 / delta))
+    return PrivacyParams(epsilon, delta)
+
+
+def approx_dp_to_zcdp(privacy: PrivacyParams) -> float:
+    """The zCDP level implied by the paper's Gaussian-mechanism calibration.
+
+    The Gaussian mechanism of Prop. 2 uses
+    ``sigma = s * sqrt(2 ln(2/delta)) / epsilon`` for sensitivity ``s``, which
+    corresponds to ``rho = epsilon**2 / (4 ln(2/delta))``.  This is the rho
+    actually delivered when the mechanism is run with ``privacy``; it is
+    useful for re-expressing a sequence of matrix-mechanism releases in zCDP
+    terms.
+    """
+    if not privacy.is_approximate:
+        raise PrivacyError("approx_dp_to_zcdp requires delta > 0")
+    return privacy.epsilon**2 / (4.0 * math.log(2.0 / privacy.delta))
+
+
+@dataclass
+class CompositionAccountant:
+    """Tracks a sequence of Gaussian-mechanism releases under three accountings.
+
+    Every release is recorded once (via :meth:`record` or
+    :meth:`record_gaussian`); the cumulative guarantee can then be read under
+    basic composition, advanced composition, or zCDP conversion, and
+    :meth:`tightest` reports the smallest cumulative epsilon at a target
+    delta.
+    """
+
+    target_delta: float = 1e-6
+    releases: list[PrivacyParams] = field(default_factory=list)
+    rho_total: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.target_delta < 1:
+            raise PrivacyError(f"target_delta must lie in (0, 1), got {self.target_delta}")
+
+    # ----------------------------------------------------------------- record
+    def record(self, privacy: PrivacyParams) -> None:
+        """Record one release made with the paper's (epsilon, delta) calibration."""
+        self.releases.append(privacy)
+        self.rho_total += approx_dp_to_zcdp(privacy)
+
+    def record_gaussian(self, noise_scale: float, l2_sensitivity: float) -> None:
+        """Record one release specified directly by its noise scale and sensitivity."""
+        rho = gaussian_zcdp(noise_scale, l2_sensitivity)
+        self.rho_total += rho
+        self.releases.append(zcdp_to_approx_dp(rho, self.target_delta))
+
+    # ------------------------------------------------------------------ report
+    @property
+    def release_count(self) -> int:
+        """Number of releases recorded so far."""
+        return len(self.releases)
+
+    def basic(self) -> PrivacyParams:
+        """Cumulative guarantee under basic composition."""
+        if not self.releases:
+            raise PrivacyError("no releases recorded")
+        return basic_composition(self.releases)
+
+    def advanced(self, *, delta_slack: float | None = None) -> PrivacyParams:
+        """Cumulative guarantee under advanced composition (homogeneous case).
+
+        The bound is applied with the largest recorded per-release epsilon,
+        which is safe (monotone) when releases differ.
+        """
+        if not self.releases:
+            raise PrivacyError("no releases recorded")
+        slack = self.target_delta if delta_slack is None else delta_slack
+        worst = max(self.releases, key=lambda p: p.epsilon)
+        reference = PrivacyParams(worst.epsilon, max(p.delta for p in self.releases))
+        return advanced_composition(reference, len(self.releases), delta_slack=slack)
+
+    def zcdp(self) -> float:
+        """Cumulative zCDP parameter (rho adds across releases)."""
+        return self.rho_total
+
+    def as_approx_dp(self, delta: float | None = None) -> PrivacyParams:
+        """Cumulative (epsilon, delta) guarantee via the zCDP conversion."""
+        if self.rho_total <= 0:
+            raise PrivacyError("no releases recorded")
+        return zcdp_to_approx_dp(self.rho_total, self.target_delta if delta is None else delta)
+
+    def tightest(self, delta: float | None = None) -> PrivacyParams:
+        """The smallest cumulative epsilon among the available accountings."""
+        delta = self.target_delta if delta is None else delta
+        candidates = [self.basic()]
+        try:
+            candidates.append(self.advanced(delta_slack=delta))
+        except PrivacyError:
+            pass
+        candidates.append(self.as_approx_dp(delta))
+        return min(candidates, key=lambda p: p.epsilon)

@@ -1,0 +1,49 @@
+"""The Laplace mechanism (standard epsilon-differential privacy)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.privacy import PrivacyParams
+from repro.core.workload import Workload
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_matrix, check_vector
+
+__all__ = ["LaplaceMechanism"]
+
+
+class LaplaceMechanism:
+    """Answer a set of queries by adding independent Laplace noise.
+
+    The noise scale is calibrated to the L1 sensitivity of the query matrix:
+    ``b = ||W||_1 / epsilon``.
+    """
+
+    def __init__(self, privacy: PrivacyParams | float):
+        if isinstance(privacy, PrivacyParams):
+            self.epsilon = privacy.epsilon
+        else:
+            self.epsilon = float(privacy)
+        if not self.epsilon > 0:
+            raise ValueError(f"epsilon must be positive, got {self.epsilon}")
+
+    def noise_scale(self, queries: Workload | np.ndarray) -> float:
+        """Return the Laplace scale parameter for ``queries``."""
+        matrix = queries.matrix if isinstance(queries, Workload) else np.asarray(queries, float)
+        sensitivity = float(np.max(np.sum(np.abs(matrix), axis=0)))
+        return sensitivity / self.epsilon
+
+    def answer(
+        self,
+        queries: Workload | np.ndarray,
+        data: np.ndarray,
+        *,
+        random_state=None,
+    ) -> np.ndarray:
+        """Return epsilon-differentially-private answers to ``queries``."""
+        matrix = queries.matrix if isinstance(queries, Workload) else check_matrix(queries, "queries")
+        data = check_vector(data, "data", matrix.shape[1])
+        rng = as_generator(random_state)
+        scale = self.noise_scale(queries)
+        noise = rng.laplace(0.0, scale, size=matrix.shape[0])
+        return matrix @ data + noise

@@ -1,0 +1,93 @@
+"""Convex-optimisation substrate for strategy selection.
+
+The entry point is :func:`solve_weighting`, which dispatches a
+:class:`~repro.optimize.weighting_problem.WeightingProblem` to one of three
+backends:
+
+* ``"dual-newton"`` — damped Newton on the dual (default for moderate sizes);
+* ``"dual-ascent"`` — projected gradient on the dual (scales to large sizes);
+* ``"scipy"`` — SLSQP reference implementation for small problems.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.exceptions import ConvergenceWarning, OptimizationError
+from repro.optimize.dual_ascent import solve_dual_ascent
+from repro.optimize.exact_gram import (
+    GramDescentResult,
+    optimal_gram_strategy,
+    strategy_from_gram,
+)
+from repro.optimize.dual_newton import solve_dual_newton
+from repro.optimize.l1_weighting import l1_weighting_problem, solve_l1_weights
+from repro.optimize.result import WeightingSolution
+from repro.optimize.scipy_backend import solve_scipy
+from repro.optimize.weighting_problem import WeightingProblem
+
+__all__ = [
+    "GramDescentResult",
+    "WeightingProblem",
+    "WeightingSolution",
+    "l1_weighting_problem",
+    "optimal_gram_strategy",
+    "solve_dual_ascent",
+    "solve_dual_newton",
+    "solve_l1_weights",
+    "solve_scipy",
+    "solve_weighting",
+    "strategy_from_gram",
+]
+
+#: Problems with more constraints than this are never escalated to the
+#: second-order (dense Hessian) fallback solver.
+NEWTON_CONSTRAINT_LIMIT = 2200
+
+_SOLVERS = {
+    "dual-newton": solve_dual_newton,
+    "dual-ascent": solve_dual_ascent,
+    "scipy": solve_scipy,
+}
+
+
+def solve_weighting(
+    problem: WeightingProblem,
+    *,
+    solver: str = "auto",
+    warn_on_no_convergence: bool = True,
+    **options,
+) -> WeightingSolution:
+    """Solve a weighting problem with the requested (or automatic) backend.
+
+    ``solver`` is one of ``"auto"``, ``"dual-newton"``, ``"dual-ascent"`` or
+    ``"scipy"``.  Extra keyword arguments are forwarded to the backend.
+    """
+    name = solver
+    if name == "auto":
+        # The first-order method scales best and converges on virtually every
+        # instance; the second-order method is the fallback for the rare cases
+        # where it stalls (and only when the Hessian is affordable).
+        solution = solve_dual_ascent(problem, **options)
+        if not solution.converged and problem.constraint_count <= NEWTON_CONSTRAINT_LIMIT:
+            shared = {k: v for k, v in options.items() if k in ("tolerance", "max_iterations")}
+            newton = solve_dual_newton(problem, **shared)
+            if newton.objective_value <= solution.objective_value or newton.converged:
+                solution = newton
+    else:
+        try:
+            backend = _SOLVERS[name]
+        except KeyError:
+            raise OptimizationError(
+                f"unknown solver {solver!r}; choose from {sorted(_SOLVERS)} or 'auto'"
+            ) from None
+        solution = backend(problem, **options)
+    if warn_on_no_convergence and not solution.converged:
+        warnings.warn(
+            f"weighting solver {solution.solver!r} stopped after "
+            f"{solution.iterations} iterations with relative gap "
+            f"{solution.relative_gap:.2e}",
+            ConvergenceWarning,
+            stacklevel=2,
+        )
+    return solution

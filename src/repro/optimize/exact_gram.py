@@ -1,0 +1,230 @@
+"""Direct optimisation of the strategy Gram matrix (the OptStrat(W) reference).
+
+Program 2 restricts the strategy to weighted eigen-queries; the *exact*
+problem OptStrat(W) of Sec. 2.4 optimises over every strategy.  Under
+(epsilon, delta)-differential privacy the problem depends on the strategy
+only through its Gram matrix ``X = A^T A``:
+
+    minimise    trace(W^T W  X^{-1})
+    subject to  diag(X) <= 1,   X  positive semidefinite,
+
+because the squared L2 sensitivity of ``A`` is ``max_j X_jj`` and the error
+expression is scale-invariant (scaling ``X`` up only helps, so the maximum
+diagonal is 1 at the optimum).  This is a convex problem; the paper's point is
+that solving it with a general-purpose SDP solver costs ``O(n^8)`` and is
+impractical.  For *small* domains it is still valuable as a ground-truth
+reference, which is how this module is used: the projected-gradient solver
+below certifies how close the eigen design gets to the true optimum (e.g. the
+"no strategy can do better than 29.18" statement of Example 4).
+
+The solver is a feasible-descent method: gradient steps on
+``f(X) = trace(G X^{-1})`` (gradient ``-X^{-1} G X^{-1}``), followed by a
+projection onto the PSD cone and a uniform rescaling that restores
+``diag(X) <= 1``.  Because the objective is homogeneous of degree -1, the
+rescaling never increases it, so every iterate is feasible and the objective
+is monotone under the Armijo backtracking line search.  A warm start from the
+eigen design makes convergence fast in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.privacy import PrivacyParams
+from repro.core.strategy import Strategy
+from repro.core.workload import Workload
+from repro.exceptions import OptimizationError
+from repro.utils.linalg import psd_project, symmetrize
+
+__all__ = ["GramDescentResult", "optimal_gram_strategy", "strategy_from_gram"]
+
+#: Domains larger than this are refused: the reference solver is O(n^3) per
+#: iteration and intended for ground-truth comparisons, not production use.
+MAX_CELLS = 512
+
+
+@dataclass
+class GramDescentResult:
+    """Outcome of the direct Gram-matrix optimisation.
+
+    Attributes
+    ----------
+    strategy:
+        A strategy whose Gram matrix is the optimised ``X`` (via its
+        eigendecomposition).
+    gram:
+        The optimised Gram matrix itself.
+    objective:
+        ``trace(W^T W X^{-1})`` at the returned point (sensitivity-1 scale).
+    iterations:
+        Number of accepted gradient steps.
+    converged:
+        Whether the relative improvement dropped below the tolerance.
+    objective_trace:
+        Objective value after every accepted step (for diagnostics/plots).
+    """
+
+    strategy: Strategy
+    gram: np.ndarray
+    objective: float
+    iterations: int
+    converged: bool
+    objective_trace: list[float] = field(default_factory=list)
+
+
+def strategy_from_gram(gram: np.ndarray, *, name: str = "gram-strategy") -> Strategy:
+    """Build an explicit strategy whose Gram matrix equals ``gram``.
+
+    Uses the symmetric square root: if ``X = V diag(s) V^T`` then
+    ``A = diag(sqrt(s)) V^T`` satisfies ``A^T A = X``.
+    """
+    gram = symmetrize(np.asarray(gram, dtype=float))
+    values, vectors = np.linalg.eigh(gram)
+    values = np.clip(values, 0.0, None)
+    matrix = (np.sqrt(values)[:, None]) * vectors.T
+    keep = values > values.max(initial=0.0) * 1e-14
+    if not np.any(keep):
+        raise OptimizationError("the Gram matrix is identically zero")
+    return Strategy(matrix[keep], name=name)
+
+
+def _feasible(gram: np.ndarray) -> np.ndarray:
+    """Project onto the PSD cone and rescale so the largest diagonal entry is 1.
+
+    The objective is homogeneous of degree -1, so scaling the Gram matrix up
+    until the sensitivity constraint is tight can only reduce it; normalising
+    in both directions therefore keeps iterates feasible without ever hurting
+    the objective.
+    """
+    projected = psd_project(gram)
+    top = float(np.max(np.diag(projected)))
+    if top <= 0:
+        raise OptimizationError("descent produced a zero Gram matrix")
+    return projected / top
+
+
+def _objective_and_gradient(workload_gram: np.ndarray, gram: np.ndarray, ridge: float):
+    """Return ``trace(G X^{-1})`` and its gradient ``-X^{-1} G X^{-1}``."""
+    size = gram.shape[0]
+    regularised = gram + ridge * np.eye(size)
+    inverse = np.linalg.inv(regularised)
+    product = inverse @ workload_gram
+    objective = float(np.trace(product))
+    gradient = -(product @ inverse)
+    return objective, symmetrize(gradient)
+
+
+def optimal_gram_strategy(
+    workload: Workload,
+    *,
+    max_iterations: int = 300,
+    tolerance: float = 1e-7,
+    warm_start: Strategy | None = None,
+    privacy: PrivacyParams | None = None,
+    ridge: float = 1e-10,
+) -> GramDescentResult:
+    """Approximate OptStrat(W) by projected gradient descent on the Gram matrix.
+
+    Parameters
+    ----------
+    workload:
+        The target workload (explicit or Gram-implicit); its cell count must
+        not exceed :data:`MAX_CELLS`.
+    max_iterations:
+        Cap on accepted gradient steps.
+    tolerance:
+        Relative-improvement stopping threshold.
+    warm_start:
+        Optional strategy whose (sensitivity-normalised) Gram matrix seeds the
+        descent.  By default the solver seeds itself with the singular-value
+        strategy of Thm. 2 (the same closed-form weighting that motivates the
+        lower bound), which is already close to optimal for most workloads;
+        passing the eigen design as a warm start certifies its local
+        optimality.
+    privacy:
+        Unused by the optimisation itself (the optimum does not depend on it)
+        but accepted for signature symmetry with the rest of the library.
+    ridge:
+        Tikhonov term added before inverting, for numerical safety on
+        rank-deficient iterates.
+    """
+    del privacy  # the optimal Gram matrix is independent of (epsilon, delta)
+    size = workload.column_count
+    if size > MAX_CELLS:
+        raise OptimizationError(
+            f"optimal_gram_strategy is a small-domain reference solver; "
+            f"{size} cells exceeds the limit of {MAX_CELLS}"
+        )
+    workload_gram = symmetrize(workload.gram)
+    if not np.any(workload_gram):
+        raise OptimizationError("the workload Gram matrix is identically zero")
+
+    seeds: list[np.ndarray] = []
+    if warm_start is not None:
+        seeds.append(warm_start.normalize_sensitivity().gram)
+    else:
+        # Solver-free seeds spanning the known good candidates: the
+        # singular-value strategy of Thm. 2, the eigen design itself, and a
+        # blend with the identity (which helps highly skewed workloads such as
+        # the CDF workload).  Descent then refines the best of them.
+        from repro.core.eigen_design import eigen_design, singular_value_strategy
+
+        svdb_gram = singular_value_strategy(workload).normalize_sensitivity().gram
+        seeds.append(svdb_gram)
+        seeds.append(0.9 * svdb_gram + 0.1 * np.eye(size))
+        seeds.append(eigen_design(workload).strategy.normalize_sensitivity().gram)
+
+    best: tuple[float, np.ndarray, list[float], int, bool] | None = None
+    for seed in seeds:
+        gram = _feasible(seed)
+        objective, gradient = _objective_and_gradient(workload_gram, gram, ridge)
+        trace = [objective]
+        step = 1.0 / max(float(np.linalg.norm(gradient)), 1e-12)
+        iterations = 0
+        converged = False
+        stall_count = 0
+        for _ in range(max_iterations):
+            improved = False
+            # Armijo backtracking on the feasible (projected) candidate.
+            for _attempt in range(40):
+                candidate = _feasible(gram - step * gradient)
+                candidate_objective, candidate_gradient = _objective_and_gradient(
+                    workload_gram, candidate, ridge
+                )
+                if candidate_objective < objective * (1.0 - 1e-14):
+                    improved = True
+                    break
+                step *= 0.5
+            if not improved:
+                converged = True
+                break
+            relative_improvement = (objective - candidate_objective) / max(objective, 1e-300)
+            gram, objective, gradient = candidate, candidate_objective, candidate_gradient
+            trace.append(objective)
+            iterations += 1
+            step *= 2.0
+            # Declare convergence only after several consecutive negligible
+            # steps, so one overly cautious line-search step does not end the run.
+            if relative_improvement < tolerance:
+                stall_count += 1
+                if stall_count >= 3:
+                    converged = True
+                    break
+            else:
+                stall_count = 0
+        if best is None or objective < best[0]:
+            best = (objective, gram, trace, iterations, converged)
+
+    assert best is not None  # at least one seed is always present
+    objective, gram, trace, iterations, converged = best
+    strategy = strategy_from_gram(gram, name="optimal-gram")
+    return GramDescentResult(
+        strategy=strategy,
+        gram=gram,
+        objective=objective,
+        iterations=iterations,
+        converged=converged,
+        objective_trace=trace,
+    )

@@ -1,0 +1,64 @@
+"""Tuple-level relational substrate: relations, predicates, SQL and vectorisation.
+
+This subpackage connects raw records to the paper's linear-algebraic data
+model: a :class:`Relation` holds tuples, :func:`infer_schema` and
+:func:`data_vector` derive the bucketed schema and cell-count vector of
+Def. 1, the expression language and the SQL front end compile analyst-level
+counting queries into workload rows, and :class:`WorkloadBuilder` assembles
+complete workloads ready for the eigen-design pipeline.
+"""
+
+from repro.relational.builder import WorkloadBuilder
+from repro.relational.csvio import read_csv, read_csv_text, write_csv, write_csv_text
+from repro.relational.expressions import (
+    And,
+    Between,
+    CellCover,
+    Comparison,
+    Expression,
+    IsIn,
+    Not,
+    Or,
+    TrueExpression,
+)
+from repro.relational.relation import Relation
+from repro.relational.sql import (
+    CountingQuery,
+    answer_sql,
+    parse_counting_query,
+    workload_from_sql,
+)
+from repro.relational.vectorize import (
+    bucket_indexes,
+    data_vector,
+    infer_schema,
+    relation_from_histogram,
+    sample_relation,
+)
+
+__all__ = [
+    "And",
+    "Between",
+    "CellCover",
+    "Comparison",
+    "CountingQuery",
+    "Expression",
+    "IsIn",
+    "Not",
+    "Or",
+    "Relation",
+    "TrueExpression",
+    "WorkloadBuilder",
+    "answer_sql",
+    "bucket_indexes",
+    "data_vector",
+    "infer_schema",
+    "parse_counting_query",
+    "read_csv",
+    "read_csv_text",
+    "relation_from_histogram",
+    "sample_relation",
+    "workload_from_sql",
+    "write_csv",
+    "write_csv_text",
+]

@@ -1,0 +1,112 @@
+"""CSV import/export for relations.
+
+Real deployments start from flat files; this module reads and writes the
+:class:`~repro.relational.Relation` container using only the standard
+library's :mod:`csv` module.  Column types are inferred conservatively: a
+column becomes numeric only when every non-empty value parses as a number,
+otherwise it stays categorical (string-valued).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Sequence
+
+from repro.exceptions import RelationalError
+from repro.relational.relation import Relation
+
+__all__ = ["read_csv", "read_csv_text", "write_csv", "write_csv_text"]
+
+
+def _parse_column(values: list[str]) -> list:
+    """Convert a column of strings to floats when every value is numeric."""
+    parsed: list[float] = []
+    for value in values:
+        text = value.strip()
+        if text == "":
+            return list(values)
+        try:
+            parsed.append(float(text))
+        except ValueError:
+            return list(values)
+    return parsed
+
+
+def read_csv_text(
+    text: str,
+    *,
+    delimiter: str = ",",
+    has_header: bool = True,
+    column_names: Sequence[str] | None = None,
+    name: str = "relation",
+) -> Relation:
+    """Parse CSV text into a relation.
+
+    With ``has_header`` the first row provides the column names; otherwise
+    ``column_names`` must be given.  Columns whose every value parses as a
+    number become numeric; all others keep their string values.
+    """
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    rows = [row for row in reader if row]
+    if not rows:
+        raise RelationalError("the CSV input contains no rows")
+    if has_header:
+        header = [cell.strip() for cell in rows[0]]
+        body = rows[1:]
+    else:
+        if column_names is None:
+            raise RelationalError("column_names is required when has_header is False")
+        header = [str(n) for n in column_names]
+        body = rows
+    if not body:
+        raise RelationalError("the CSV input contains a header but no data rows")
+    width = len(header)
+    for index, row in enumerate(body):
+        if len(row) != width:
+            raise RelationalError(
+                f"CSV row {index + 1} has {len(row)} fields, expected {width}"
+            )
+    columns = {
+        column: _parse_column([row[position].strip() for row in body])
+        for position, column in enumerate(header)
+    }
+    return Relation(columns, name=name)
+
+
+def read_csv(
+    path: str | Path,
+    *,
+    delimiter: str = ",",
+    has_header: bool = True,
+    column_names: Sequence[str] | None = None,
+    name: str | None = None,
+) -> Relation:
+    """Read a CSV file from ``path`` into a relation."""
+    path = Path(path)
+    text = path.read_text()
+    return read_csv_text(
+        text,
+        delimiter=delimiter,
+        has_header=has_header,
+        column_names=column_names,
+        name=name if name is not None else path.stem,
+    )
+
+
+def write_csv_text(relation: Relation, *, delimiter: str = ",") -> str:
+    """Render a relation as CSV text (with a header row)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, delimiter=delimiter, lineterminator="\n")
+    writer.writerow(relation.column_names)
+    for row in relation.iter_rows():
+        writer.writerow(["" if value is None else value for value in row])
+    return buffer.getvalue()
+
+
+def write_csv(relation: Relation, path: str | Path, *, delimiter: str = ",") -> Path:
+    """Write a relation to ``path`` as CSV and return the path."""
+    path = Path(path)
+    path.write_text(write_csv_text(relation, delimiter=delimiter))
+    return path

@@ -1,0 +1,395 @@
+"""Tuple-level predicate expressions and their compilation to linear queries.
+
+The paper expresses every counting query as a row vector over the cells of a
+data vector (Def. 2).  Analysts, however, think in terms of predicates over
+*tuples* ("female students with gpa >= 3.0").  This module provides a small
+expression language that can be
+
+* **evaluated** against a :class:`~repro.relational.Relation` (producing a
+  Boolean row mask, i.e. the exact answer substrate), and
+* **compiled** against a :class:`~repro.domain.Schema` into a 0/1 linear query
+  row over the schema's cells, provided the predicate is *aligned* with the
+  bucketing.
+
+Compilation uses interval arithmetic over the buckets: for each cell the
+expression is classified as fully included, fully excluded, or partially
+covered.  Partial coverage means the predicate cannot be represented exactly
+as a linear query over these cells, and a
+:class:`~repro.exceptions.MisalignedPredicateError` is raised that names the
+offending cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.domain.schema import Attribute, CategoricalAttribute, NumericAttribute, Schema
+from repro.exceptions import MisalignedPredicateError, RelationalError
+from repro.relational.relation import Relation
+
+__all__ = [
+    "Expression",
+    "Comparison",
+    "Between",
+    "IsIn",
+    "And",
+    "Or",
+    "Not",
+    "TrueExpression",
+    "CellCover",
+]
+
+_OPERATORS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class CellCover:
+    """Tri-state coverage of a predicate over the cells of a schema.
+
+    ``lower`` marks cells every tuple of which satisfies the predicate;
+    ``upper`` marks cells at least one possible tuple of which satisfies it.
+    A predicate is exactly representable as a linear query when the two masks
+    agree; the cells where they disagree are only partially covered.
+    """
+
+    lower: np.ndarray
+    upper: np.ndarray
+
+    @property
+    def is_exact(self) -> bool:
+        """True when the predicate covers every cell either fully or not at all."""
+        return bool(np.array_equal(self.lower, self.upper))
+
+    @property
+    def partial_cells(self) -> np.ndarray:
+        """Indexes of cells that are only partially covered."""
+        return np.flatnonzero(self.upper & ~self.lower)
+
+    def intersect(self, other: "CellCover") -> "CellCover":
+        return CellCover(self.lower & other.lower, self.upper & other.upper)
+
+    def union(self, other: "CellCover") -> "CellCover":
+        return CellCover(self.lower | other.lower, self.upper | other.upper)
+
+    def negate(self) -> "CellCover":
+        return CellCover(~self.upper, ~self.lower)
+
+
+class Expression:
+    """Base class for tuple-level Boolean predicates."""
+
+    def evaluate(self, relation: Relation) -> np.ndarray:
+        """Return the Boolean mask of rows of ``relation`` satisfying the predicate."""
+        raise NotImplementedError
+
+    def cover(self, schema: Schema) -> CellCover:
+        """Return the tri-state cell coverage of the predicate under ``schema``."""
+        raise NotImplementedError
+
+    def query_vector(self, schema: Schema) -> np.ndarray:
+        """Compile the predicate into a 0/1 linear query row over the schema's cells.
+
+        Raises :class:`~repro.exceptions.MisalignedPredicateError` when the
+        predicate only partially covers some cell.
+        """
+        cover = self.cover(schema)
+        if not cover.is_exact:
+            offending = cover.partial_cells
+            described = [schema.cell_condition(int(cell)) for cell in offending[:3]]
+            more = "" if offending.size <= 3 else f" (+{offending.size - 3} more)"
+            raise MisalignedPredicateError(
+                f"predicate {self} only partially covers {offending.size} cell(s): "
+                f"{'; '.join(described)}{more}"
+            )
+        return cover.lower.astype(float)
+
+    # Operator sugar so predicates compose naturally: (a & b) | ~c.
+    def __and__(self, other: "Expression") -> "And":
+        return And((self, other))
+
+    def __or__(self, other: "Expression") -> "Or":
+        return Or((self, other))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+def _attribute(schema: Schema, name: str) -> tuple[int, Attribute]:
+    for position, attribute in enumerate(schema.attributes):
+        if attribute.name == name:
+            return position, attribute
+    raise RelationalError(
+        f"unknown attribute {name!r}; schema has {[a.name for a in schema.attributes]}"
+    )
+
+
+def _expand_bucket_masks(
+    schema: Schema, position: int, lower: np.ndarray, upper: np.ndarray
+) -> CellCover:
+    """Lift per-bucket masks of one attribute to masks over all schema cells."""
+    lower_factors = []
+    upper_factors = []
+    for index, attribute in enumerate(schema.attributes):
+        if index == position:
+            lower_factors.append(lower)
+            upper_factors.append(upper)
+        else:
+            ones = np.ones(attribute.size, dtype=bool)
+            lower_factors.append(ones)
+            upper_factors.append(ones)
+
+    def _kron_bool(factors: Sequence[np.ndarray]) -> np.ndarray:
+        result = factors[0].astype(float)
+        for factor in factors[1:]:
+            result = np.kron(result, factor.astype(float))
+        return result > 0.5
+
+    return CellCover(_kron_bool(lower_factors), _kron_bool(upper_factors))
+
+
+def _bucket_interval(attribute: NumericAttribute, index: int) -> tuple[float, float]:
+    return attribute.edges[index], attribute.edges[index + 1]
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """``attribute <op> value`` with ``<op>`` one of ``== != < <= > >=``."""
+
+    attribute: str
+    operator: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.operator not in _OPERATORS:
+            raise RelationalError(
+                f"unknown comparison operator {self.operator!r}; choose from {_OPERATORS}"
+            )
+
+    def evaluate(self, relation: Relation) -> np.ndarray:
+        column = relation.column(self.attribute)
+        value = self.value
+        if column.dtype.kind == "f":
+            value = float(value)  # type: ignore[arg-type]
+        if self.operator == "==":
+            return column == value
+        if self.operator == "!=":
+            return column != value
+        if column.dtype == object:
+            # Ordered comparisons on object columns compare element-wise in Python.
+            ops = {
+                "<": lambda a: a < value,
+                "<=": lambda a: a <= value,
+                ">": lambda a: a > value,
+                ">=": lambda a: a >= value,
+            }
+            return np.fromiter((ops[self.operator](v) for v in column), dtype=bool, count=len(column))
+        if self.operator == "<":
+            return column < value
+        if self.operator == "<=":
+            return column <= value
+        if self.operator == ">":
+            return column > value
+        return column >= value
+
+    def cover(self, schema: Schema) -> CellCover:
+        position, attribute = _attribute(schema, self.attribute)
+        size = attribute.size
+        lower = np.zeros(size, dtype=bool)
+        upper = np.zeros(size, dtype=bool)
+        if isinstance(attribute, CategoricalAttribute):
+            for index, bucket_value in enumerate(attribute.values):
+                satisfied = self._compare_scalar(bucket_value)
+                lower[index] = satisfied
+                upper[index] = satisfied
+            return _expand_bucket_masks(schema, position, lower, upper)
+        if not isinstance(attribute, NumericAttribute):
+            raise RelationalError(
+                f"cannot compile comparisons on attribute type {type(attribute).__name__}"
+            )
+        threshold = float(self.value)  # type: ignore[arg-type]
+        for index in range(size):
+            low, high = _bucket_interval(attribute, index)
+            all_in, any_in = self._interval_coverage(low, high, threshold)
+            lower[index] = all_in
+            upper[index] = any_in
+        return _expand_bucket_masks(schema, position, lower, upper)
+
+    def _compare_scalar(self, candidate: object) -> bool:
+        value = self.value
+        if self.operator == "==":
+            return bool(candidate == value)
+        if self.operator == "!=":
+            return bool(candidate != value)
+        if self.operator == "<":
+            return bool(candidate < value)  # type: ignore[operator]
+        if self.operator == "<=":
+            return bool(candidate <= value)  # type: ignore[operator]
+        if self.operator == ">":
+            return bool(candidate > value)  # type: ignore[operator]
+        return bool(candidate >= value)  # type: ignore[operator]
+
+    def _interval_coverage(self, low: float, high: float, threshold: float) -> tuple[bool, bool]:
+        """Return ``(all values in [low, high) satisfy, any value satisfies)``."""
+        if self.operator == "<":
+            return high <= threshold, low < threshold
+        if self.operator == "<=":
+            # [low, high) is half-open, so "all <= t" holds whenever high <= t
+            # (every value is strictly below high); "any" holds when low <= t.
+            return high <= threshold, low <= threshold
+        if self.operator == ">":
+            # A value equal to the lower edge fails the strict comparison, so
+            # full coverage needs low > t; write ">= edge" for bucket-aligned
+            # queries at an edge.
+            return low > threshold, high > threshold
+        if self.operator == ">=":
+            return low >= threshold, high > threshold
+        if self.operator == "==":
+            # Equality on a continuous bucket can only be exact for a
+            # degenerate single-point bucket, which NumericAttribute forbids.
+            return False, low <= threshold < high
+        # "!=": all values differ from threshold unless it lies inside the bucket.
+        inside = low <= threshold < high
+        return not inside, True
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.attribute} {self.operator} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    """``low <= attribute < high`` (half-open, matching the bucket convention)."""
+
+    attribute: str
+    low: float
+    high: float
+
+    def evaluate(self, relation: Relation) -> np.ndarray:
+        column = relation.column(self.attribute).astype(float)
+        return (column >= float(self.low)) & (column < float(self.high))
+
+    def cover(self, schema: Schema) -> CellCover:
+        lower_bound = Comparison(self.attribute, ">=", float(self.low))
+        upper_bound = Comparison(self.attribute, "<", float(self.high))
+        return lower_bound.cover(schema).intersect(upper_bound.cover(schema))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.attribute} in [{self.low}, {self.high})"
+
+
+@dataclass(frozen=True)
+class IsIn(Expression):
+    """Membership of a (categorical) attribute in an explicit value set."""
+
+    attribute: str
+    values: tuple
+
+    def __init__(self, attribute: str, values: Sequence[object]):
+        object.__setattr__(self, "attribute", str(attribute))
+        object.__setattr__(self, "values", tuple(values))
+        if not self.values:
+            raise RelationalError("IsIn needs at least one value")
+
+    def evaluate(self, relation: Relation) -> np.ndarray:
+        column = relation.column(self.attribute)
+        allowed = set(self.values)
+        if column.dtype.kind == "f":
+            allowed = {float(v) for v in self.values}
+        return np.fromiter((v in allowed for v in column), dtype=bool, count=len(column))
+
+    def cover(self, schema: Schema) -> CellCover:
+        cover = Comparison(self.attribute, "==", self.values[0]).cover(schema)
+        for value in self.values[1:]:
+            cover = cover.union(Comparison(self.attribute, "==", value).cover(schema))
+        return cover
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.attribute} in {self.values!r}"
+
+
+@dataclass(frozen=True)
+class And(Expression):
+    """Logical conjunction of sub-expressions."""
+
+    terms: tuple
+
+    def __init__(self, terms: Sequence[Expression]):
+        object.__setattr__(self, "terms", tuple(terms))
+        if not self.terms:
+            raise RelationalError("And needs at least one term")
+
+    def evaluate(self, relation: Relation) -> np.ndarray:
+        mask = self.terms[0].evaluate(relation)
+        for term in self.terms[1:]:
+            mask = mask & term.evaluate(relation)
+        return mask
+
+    def cover(self, schema: Schema) -> CellCover:
+        cover = self.terms[0].cover(schema)
+        for term in self.terms[1:]:
+            cover = cover.intersect(term.cover(schema))
+        return cover
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "(" + " AND ".join(str(t) for t in self.terms) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Expression):
+    """Logical disjunction of sub-expressions."""
+
+    terms: tuple
+
+    def __init__(self, terms: Sequence[Expression]):
+        object.__setattr__(self, "terms", tuple(terms))
+        if not self.terms:
+            raise RelationalError("Or needs at least one term")
+
+    def evaluate(self, relation: Relation) -> np.ndarray:
+        mask = self.terms[0].evaluate(relation)
+        for term in self.terms[1:]:
+            mask = mask | term.evaluate(relation)
+        return mask
+
+    def cover(self, schema: Schema) -> CellCover:
+        cover = self.terms[0].cover(schema)
+        for term in self.terms[1:]:
+            cover = cover.union(term.cover(schema))
+        return cover
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "(" + " OR ".join(str(t) for t in self.terms) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    """Logical negation of a sub-expression."""
+
+    term: Expression
+
+    def evaluate(self, relation: Relation) -> np.ndarray:
+        return ~self.term.evaluate(relation)
+
+    def cover(self, schema: Schema) -> CellCover:
+        return self.term.cover(schema).negate()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NOT {self.term}"
+
+
+@dataclass(frozen=True)
+class TrueExpression(Expression):
+    """The always-true predicate (``COUNT(*)`` with no WHERE clause)."""
+
+    def evaluate(self, relation: Relation) -> np.ndarray:
+        return np.ones(relation.row_count, dtype=bool)
+
+    def cover(self, schema: Schema) -> CellCover:
+        size = schema.domain.size
+        ones = np.ones(size, dtype=bool)
+        return CellCover(ones, ones.copy())
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "TRUE"

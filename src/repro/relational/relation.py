@@ -1,0 +1,234 @@
+"""An in-memory, column-oriented relation (single-table) substrate.
+
+The paper's data model starts from an instance ``I`` of a single-relation
+schema ``R(A)`` (Sec. 2.1); the library's numerical pipeline only ever sees
+the derived data vector ``x``.  This module supplies the missing tuple-level
+substrate: a small column store from which data vectors, schemas and
+counting-query workloads can be derived, so that end-to-end examples (raw
+records -> private workload answers) run against realistic inputs.
+
+The representation is deliberately simple: one NumPy array per column, all of
+equal length.  Numeric columns are stored as ``float64``; everything else is
+stored as an object array of Python values.  Operations never mutate a
+relation — selections and projections return new :class:`Relation` objects
+sharing column arrays where possible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import RelationalError
+
+__all__ = ["Relation"]
+
+
+def _as_column(values: Sequence[object], name: str) -> np.ndarray:
+    """Coerce ``values`` into a 1-D column array (float64 if possible)."""
+    array = np.asarray(values)
+    if array.ndim != 1:
+        raise RelationalError(f"column {name!r} must be 1-dimensional, got shape {array.shape}")
+    if array.dtype.kind in "iuf":
+        return array.astype(float)
+    if array.dtype.kind == "b":
+        return array.astype(float)
+    # Mixed / string data stays as an object column so values round-trip exactly.
+    return array.astype(object)
+
+
+class Relation:
+    """A single-table, column-oriented collection of tuples.
+
+    Parameters
+    ----------
+    columns:
+        Mapping from column name to a sequence of values.  All columns must
+        have the same length.  Column order is preserved.
+    name:
+        Optional table name (used by the SQL front end and in messages).
+    """
+
+    def __init__(self, columns: Mapping[str, Sequence[object]], *, name: str = "relation"):
+        if not columns:
+            raise RelationalError("a relation needs at least one column")
+        self._columns: dict[str, np.ndarray] = {}
+        length: int | None = None
+        for column_name, values in columns.items():
+            array = _as_column(values, str(column_name))
+            if length is None:
+                length = array.shape[0]
+            elif array.shape[0] != length:
+                raise RelationalError(
+                    f"column {column_name!r} has {array.shape[0]} values, expected {length}"
+                )
+            self._columns[str(column_name)] = array
+        self._row_count = int(length or 0)
+        self.name = str(name)
+
+    # ----------------------------------------------------------- constructors
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Iterable[Sequence[object]],
+        column_names: Sequence[str],
+        *,
+        name: str = "relation",
+    ) -> "Relation":
+        """Build a relation from an iterable of row tuples and column names."""
+        column_names = [str(n) for n in column_names]
+        materialised = [tuple(row) for row in rows]
+        for row in materialised:
+            if len(row) != len(column_names):
+                raise RelationalError(
+                    f"row has {len(row)} values but there are {len(column_names)} columns"
+                )
+        columns = {
+            column: [row[index] for row in materialised]
+            for index, column in enumerate(column_names)
+        }
+        if not materialised:
+            columns = {column: [] for column in column_names}
+        return cls(columns, name=name)
+
+    @classmethod
+    def from_records(
+        cls, records: Iterable[Mapping[str, object]], *, name: str = "relation"
+    ) -> "Relation":
+        """Build a relation from an iterable of ``{column: value}`` mappings."""
+        materialised = list(records)
+        if not materialised:
+            raise RelationalError("from_records needs at least one record")
+        column_names = list(materialised[0].keys())
+        rows = []
+        for record in materialised:
+            if set(record.keys()) != set(column_names):
+                raise RelationalError(
+                    f"record keys {sorted(record)} do not match columns {sorted(column_names)}"
+                )
+            rows.append([record[column] for column in column_names])
+        return cls.from_rows(rows, column_names, name=name)
+
+    # -------------------------------------------------------------- properties
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """The column names, in declaration order."""
+        return tuple(self._columns)
+
+    @property
+    def row_count(self) -> int:
+        """Number of tuples."""
+        return self._row_count
+
+    def __len__(self) -> int:
+        return self._row_count
+
+    def __contains__(self, column: str) -> bool:
+        return column in self._columns
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the array of values of one column (raises for unknown names)."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise RelationalError(
+                f"unknown column {name!r}; relation {self.name!r} has {list(self._columns)}"
+            ) from None
+
+    def distinct(self, name: str) -> list:
+        """Return the distinct values of a column, in first-appearance order."""
+        seen: dict[object, None] = {}
+        for value in self.column(name):
+            seen.setdefault(value, None)
+        return list(seen)
+
+    # ---------------------------------------------------------------- algebra
+    def select(self, mask: np.ndarray) -> "Relation":
+        """Return the sub-relation of rows where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self._row_count,):
+            raise RelationalError(
+                f"selection mask has shape {mask.shape}, expected ({self._row_count},)"
+            )
+        columns = {name: values[mask] for name, values in self._columns.items()}
+        return Relation(columns, name=self.name)
+
+    def project(self, columns: Sequence[str]) -> "Relation":
+        """Return a relation containing only ``columns`` (order as given)."""
+        columns = [str(c) for c in columns]
+        if not columns:
+            raise RelationalError("cannot project onto an empty column list")
+        return Relation({c: self.column(c) for c in columns}, name=self.name)
+
+    def head(self, count: int = 5) -> "Relation":
+        """Return the first ``count`` rows (a copy)."""
+        count = max(0, int(count))
+        columns = {name: values[:count] for name, values in self._columns.items()}
+        return Relation(columns, name=self.name)
+
+    def concat(self, other: "Relation") -> "Relation":
+        """Stack two relations with identical columns."""
+        if self.column_names != other.column_names:
+            raise RelationalError(
+                f"cannot concatenate relations with different columns: "
+                f"{self.column_names} vs {other.column_names}"
+            )
+        columns = {
+            name: np.concatenate([self._columns[name], other._columns[name]])
+            for name in self.column_names
+        }
+        return Relation(columns, name=self.name)
+
+    def sample(self, count: int, *, random_state=None, replace: bool = False) -> "Relation":
+        """Return a uniform random sample of rows."""
+        from repro.utils.rng import as_generator
+
+        if count < 0:
+            raise RelationalError(f"sample size must be non-negative, got {count}")
+        if not replace and count > self._row_count:
+            raise RelationalError(
+                f"cannot sample {count} rows without replacement from {self._row_count}"
+            )
+        rng = as_generator(random_state)
+        indexes = rng.choice(self._row_count, size=count, replace=replace)
+        columns = {name: values[indexes] for name, values in self._columns.items()}
+        return Relation(columns, name=self.name)
+
+    # ------------------------------------------------------------ aggregation
+    def count(self) -> int:
+        """``COUNT(*)`` — the number of tuples."""
+        return self._row_count
+
+    def group_by_counts(self, columns: Sequence[str]) -> dict[tuple, int]:
+        """Return ``{group key: count}`` for grouping on ``columns``.
+
+        The group key is a tuple of the grouped column values, in the order of
+        ``columns``.  This is the noise-free reference for group-by counting
+        queries.
+        """
+        columns = [str(c) for c in columns]
+        arrays = [self.column(c) for c in columns]
+        counts: dict[tuple, int] = {}
+        for row in zip(*arrays):
+            key = tuple(row)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------- conversion
+    def to_records(self) -> list[dict[str, object]]:
+        """Return the relation as a list of ``{column: value}`` dictionaries."""
+        names = self.column_names
+        arrays = [self._columns[name] for name in names]
+        return [dict(zip(names, row)) for row in zip(*arrays)]
+
+    def iter_rows(self) -> Iterator[tuple]:
+        """Iterate over the rows as tuples in column order."""
+        arrays = [self._columns[name] for name in self.column_names]
+        return iter(zip(*arrays))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Relation({self.name!r}, rows={self._row_count}, "
+            f"columns={list(self.column_names)})"
+        )

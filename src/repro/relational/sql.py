@@ -1,0 +1,337 @@
+"""A miniature SQL front end for counting-query workloads.
+
+Analysts usually describe their task as a handful of aggregate SQL queries;
+the matrix mechanism needs the same task as a workload matrix.  This module
+parses a restricted SQL dialect of counting queries into
+:class:`~repro.relational.Expression` trees, from which the workload rows are
+compiled against a :class:`~repro.domain.Schema`.
+
+Supported statement shape::
+
+    SELECT COUNT(*) FROM <table>
+    [WHERE <condition>]
+    [GROUP BY <attr> [, <attr> ...]]
+
+Conditions support ``=``, ``!=``, ``<``, ``<=``, ``>``, ``>=``,
+``BETWEEN x AND y`` (half-open, ``x <= attr < y``), ``IN (v1, v2, ...)``,
+parentheses, ``AND``, ``OR`` and ``NOT``.  Values are numbers or
+single-quoted strings.  A statement without GROUP BY contributes one query;
+``GROUP BY`` contributes one query per combination of grouped bucket values
+(i.e. a marginal restricted by the WHERE clause).
+
+The dialect is intentionally tiny — it is a convenience layer, not a SQL
+engine — but it is enough to express every workload used in the paper's
+motivating examples (Fig. 1).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.workload import Workload
+from repro.domain.schema import Schema
+from repro.exceptions import QueryParseError, RelationalError
+from repro.relational.expressions import (
+    And,
+    Between,
+    Comparison,
+    Expression,
+    IsIn,
+    Not,
+    Or,
+    TrueExpression,
+)
+from repro.relational.relation import Relation
+
+__all__ = ["CountingQuery", "parse_counting_query", "workload_from_sql", "answer_sql"]
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    \s*(
+        <=|>=|!=|<>|=|<|>            # comparison operators
+      | \(|\)|,|\*                   # punctuation
+      | '(?:[^']*)'                  # single-quoted string
+      | [A-Za-z_][A-Za-z_0-9]*       # identifiers / keywords
+      | -?\d+\.\d*|-?\.\d+|-?\d+     # numbers
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "SELECT",
+    "COUNT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "AND",
+    "OR",
+    "NOT",
+    "BETWEEN",
+    "IN",
+}
+
+
+@dataclass
+class CountingQuery:
+    """A parsed counting query: a predicate plus optional grouping attributes."""
+
+    table: str
+    condition: Expression
+    group_by: tuple[str, ...] = ()
+    text: str = ""
+
+    def expressions(self, schema: Schema) -> list[tuple[str, Expression]]:
+        """Expand GROUP BY into one labelled predicate per group cell.
+
+        Without grouping the result is a single ``(label, condition)`` pair.
+        With grouping, every combination of bucket indexes of the grouped
+        attributes yields one conjunct of the WHERE condition with the bucket
+        membership predicates.
+        """
+        if not self.group_by:
+            return [(self.text or str(self.condition), self.condition)]
+        positions = []
+        for name in self.group_by:
+            found = [a for a in schema.attributes if a.name == name]
+            if not found:
+                raise QueryParseError(
+                    f"GROUP BY attribute {name!r} is not in the schema "
+                    f"({[a.name for a in schema.attributes]})"
+                )
+            positions.append(found[0])
+        expansions: list[tuple[str, Expression]] = []
+        shapes = [attribute.size for attribute in positions]
+        for flat in range(int(np.prod(shapes))):
+            buckets = np.unravel_index(flat, shapes)
+            terms: list[Expression] = [self.condition]
+            labels = []
+            for attribute, bucket in zip(positions, buckets):
+                terms.append(_bucket_membership(attribute, int(bucket)))
+                labels.append(attribute.bucket_label(int(bucket)))
+            expansions.append((" AND ".join(labels), And(terms)))
+        return expansions
+
+
+def _bucket_membership(attribute, bucket: int) -> Expression:
+    """The predicate 'the attribute falls in bucket ``bucket``'."""
+    from repro.domain.schema import CategoricalAttribute, NumericAttribute
+
+    if isinstance(attribute, CategoricalAttribute):
+        return Comparison(attribute.name, "==", attribute.values[bucket])
+    if isinstance(attribute, NumericAttribute):
+        return Between(attribute.name, attribute.edges[bucket], attribute.edges[bucket + 1])
+    raise RelationalError(f"unsupported attribute type {type(attribute).__name__}")
+
+
+# --------------------------------------------------------------------- lexer
+def _tokenize(text: str) -> list[str]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            if text[position].isspace():
+                position += 1
+                continue
+            raise QueryParseError(f"cannot tokenise query near {text[position:position + 20]!r}")
+        token = match.group(1)
+        tokens.append(token)
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: list[str], text: str):
+        self.tokens = tokens
+        self.position = 0
+        self.text = text
+
+    # ------------------------------------------------------------- utilities
+    def peek(self) -> str | None:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def peek_keyword(self) -> str | None:
+        token = self.peek()
+        if token is not None and token.upper() in _KEYWORDS:
+            return token.upper()
+        return None
+
+    def advance(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise QueryParseError(f"unexpected end of query: {self.text!r}")
+        self.position += 1
+        return token
+
+    def expect(self, expected: str) -> str:
+        token = self.advance()
+        if token.upper() != expected.upper():
+            raise QueryParseError(
+                f"expected {expected!r} but found {token!r} in query {self.text!r}"
+            )
+        return token
+
+    def at_end(self) -> bool:
+        return self.position >= len(self.tokens)
+
+    # --------------------------------------------------------------- grammar
+    def parse_statement(self) -> CountingQuery:
+        self.expect("SELECT")
+        self.expect("COUNT")
+        self.expect("(")
+        self.expect("*")
+        self.expect(")")
+        self.expect("FROM")
+        table = self.advance()
+        condition: Expression = TrueExpression()
+        group_by: tuple[str, ...] = ()
+        if not self.at_end() and self.peek_keyword() == "WHERE":
+            self.advance()
+            condition = self.parse_or()
+        if not self.at_end() and self.peek_keyword() == "GROUP":
+            self.advance()
+            self.expect("BY")
+            names = [self.advance()]
+            while not self.at_end() and self.peek() == ",":
+                self.advance()
+                names.append(self.advance())
+            group_by = tuple(names)
+        if not self.at_end():
+            raise QueryParseError(
+                f"unexpected trailing tokens {self.tokens[self.position:]} in {self.text!r}"
+            )
+        return CountingQuery(table=table, condition=condition, group_by=group_by, text=self.text)
+
+    def parse_or(self) -> Expression:
+        terms = [self.parse_and()]
+        while not self.at_end() and self.peek_keyword() == "OR":
+            self.advance()
+            terms.append(self.parse_and())
+        if len(terms) == 1:
+            return terms[0]
+        return Or(terms)
+
+    def parse_and(self) -> Expression:
+        terms = [self.parse_unary()]
+        while not self.at_end() and self.peek_keyword() == "AND":
+            self.advance()
+            terms.append(self.parse_unary())
+        if len(terms) == 1:
+            return terms[0]
+        return And(terms)
+
+    def parse_unary(self) -> Expression:
+        if self.peek_keyword() == "NOT":
+            self.advance()
+            return Not(self.parse_unary())
+        if self.peek() == "(":
+            self.advance()
+            inner = self.parse_or()
+            self.expect(")")
+            return inner
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expression:
+        attribute = self.advance()
+        if attribute.upper() in _KEYWORDS or not re.match(r"[A-Za-z_]", attribute):
+            raise QueryParseError(f"expected an attribute name, found {attribute!r}")
+        keyword = self.peek_keyword()
+        if keyword == "BETWEEN":
+            self.advance()
+            low = self._parse_value()
+            self.expect("AND")
+            high = self._parse_value()
+            return Between(attribute, float(low), float(high))
+        if keyword == "IN":
+            self.advance()
+            self.expect("(")
+            values = [self._parse_value()]
+            while self.peek() == ",":
+                self.advance()
+                values.append(self._parse_value())
+            self.expect(")")
+            return IsIn(attribute, values)
+        operator = self.advance()
+        mapped = {"=": "==", "<>": "!="}.get(operator, operator)
+        if mapped not in ("==", "!=", "<", "<=", ">", ">="):
+            raise QueryParseError(f"unknown operator {operator!r} in {self.text!r}")
+        value = self._parse_value()
+        return Comparison(attribute, mapped, value)
+
+    def _parse_value(self) -> object:
+        token = self.advance()
+        if token.startswith("'") and token.endswith("'"):
+            return token[1:-1]
+        try:
+            if re.fullmatch(r"-?\d+", token):
+                return int(token)
+            return float(token)
+        except ValueError:
+            raise QueryParseError(f"expected a literal value, found {token!r}") from None
+
+
+def parse_counting_query(text: str) -> CountingQuery:
+    """Parse one counting-query statement into a :class:`CountingQuery`."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise QueryParseError("empty query")
+    return _Parser(tokens, text.strip()).parse_statement()
+
+
+@dataclass
+class _CompiledWorkload:
+    workload: Workload
+    labels: list[str] = field(default_factory=list)
+
+
+def workload_from_sql(
+    schema: Schema,
+    statements: list[str] | tuple[str, ...],
+    *,
+    name: str = "sql-workload",
+) -> tuple[Workload, list[str]]:
+    """Compile SQL counting queries into a workload over ``schema``'s cells.
+
+    Returns ``(workload, labels)`` where ``labels[i]`` describes row ``i``.
+    GROUP BY statements expand into one row per group, so the number of rows
+    can exceed the number of statements.
+    """
+    if not statements:
+        raise QueryParseError("workload_from_sql needs at least one statement")
+    rows: list[np.ndarray] = []
+    labels: list[str] = []
+    for statement in statements:
+        query = parse_counting_query(statement)
+        for label, expression in query.expressions(schema):
+            rows.append(expression.query_vector(schema))
+            labels.append(label)
+    matrix = np.vstack(rows)
+    return Workload(matrix, domain=schema.domain, name=name), labels
+
+
+def answer_sql(relation: Relation, statement: str) -> dict[str, int]:
+    """Answer one counting query exactly against a relation (no privacy).
+
+    Returns a mapping from group label (or the statement itself when there is
+    no GROUP BY) to the exact count.  Used as ground truth in examples and
+    tests of the private pipeline.
+    """
+    query = parse_counting_query(statement)
+    mask = query.condition.evaluate(relation)
+    if not query.group_by:
+        return {query.text or str(query.condition): int(mask.sum())}
+    selected = relation.select(mask)
+    grouped = selected.group_by_counts(list(query.group_by))
+    return {
+        " / ".join(f"{attr}={value!r}" for attr, value in zip(query.group_by, key)): count
+        for key, count in grouped.items()
+    }

@@ -1,0 +1,43 @@
+"""Strategy constructors: baselines from prior work plus the eigen-design strategies."""
+
+from repro.strategies.datacube import datacube_strategy, select_cuboids
+from repro.strategies.eigen import (
+    eigen_separation_strategy,
+    eigen_strategy,
+    principal_vectors_strategy,
+    singular_value_strategy,
+)
+from repro.strategies.fourier import fourier_basis, fourier_strategy, full_fourier_matrix
+from repro.strategies.hb import (
+    hb_strategy,
+    optimal_branching_factor,
+    weighted_hierarchical_strategy,
+)
+from repro.strategies.hierarchical import hierarchical_strategy, hierarchical_tree_matrix
+from repro.strategies.identity import identity_strategy, workload_strategy
+from repro.strategies.quadtree import box_query_vector, kd_tree_strategy, quadtree_strategy
+from repro.strategies.wavelet import wavelet_matrix, wavelet_strategy
+
+__all__ = [
+    "box_query_vector",
+    "datacube_strategy",
+    "eigen_separation_strategy",
+    "eigen_strategy",
+    "fourier_basis",
+    "fourier_strategy",
+    "full_fourier_matrix",
+    "hb_strategy",
+    "hierarchical_strategy",
+    "hierarchical_tree_matrix",
+    "identity_strategy",
+    "kd_tree_strategy",
+    "optimal_branching_factor",
+    "principal_vectors_strategy",
+    "quadtree_strategy",
+    "select_cuboids",
+    "singular_value_strategy",
+    "wavelet_matrix",
+    "wavelet_strategy",
+    "weighted_hierarchical_strategy",
+    "workload_strategy",
+]

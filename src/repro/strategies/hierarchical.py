@@ -1,0 +1,35 @@
+"""The hierarchical strategy of Hay et al., multi-dimensional.
+
+The 1-D strategy is a balanced ``b``-ary tree of interval-sum queries: the
+root asks for the total, every internal node's children partition its interval
+and every leaf asks for an individual cell.  Multi-dimensional domains use the
+Kronecker product of per-attribute trees (the adaptation described in the
+paper's experimental section).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.strategy import Strategy
+from repro.domain.domain import Domain
+from repro.utils.linalg import hierarchical_matrix
+
+__all__ = ["hierarchical_strategy", "hierarchical_tree_matrix"]
+
+
+def hierarchical_tree_matrix(size: int, *, branching: int = 2):
+    """The 1-D hierarchical (tree) strategy matrix for ``size`` cells."""
+    return hierarchical_matrix(size, branching=branching)
+
+
+def hierarchical_strategy(domain: Domain | Sequence[int] | int, *, branching: int = 2) -> Strategy:
+    """The multi-dimensional binary (or ``branching``-ary) hierarchical strategy."""
+    if isinstance(domain, int):
+        shape: tuple[int, ...] = (domain,)
+    elif isinstance(domain, Domain):
+        shape = domain.shape
+    else:
+        shape = tuple(int(d) for d in domain)
+    factors = [Strategy(hierarchical_tree_matrix(size, branching=branching)) for size in shape]
+    return Strategy.kronecker(factors, name=f"hierarchical{list(shape)}")

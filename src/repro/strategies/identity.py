@@ -1,0 +1,31 @@
+"""The identity and workload-as-strategy baselines."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.strategy import Strategy
+from repro.core.workload import Workload
+from repro.domain.domain import Domain
+
+__all__ = ["identity_strategy", "workload_strategy"]
+
+
+def identity_strategy(domain: Domain | Sequence[int] | int) -> Strategy:
+    """The identity strategy: ask the Gaussian mechanism for every cell count."""
+    if isinstance(domain, Domain):
+        size = domain.size
+    elif isinstance(domain, int):
+        size = domain
+    else:
+        size = 1
+        for dimension in domain:
+            size *= int(dimension)
+    return Strategy.identity(size)
+
+
+def workload_strategy(workload: Workload) -> Strategy:
+    """Use the workload itself as the strategy (the naive Gaussian-mechanism baseline)."""
+    if workload.has_matrix:
+        return Strategy(workload.matrix, name=f"workload({workload.name})")
+    return Strategy.from_gram(workload.gram, name=f"workload({workload.name})")

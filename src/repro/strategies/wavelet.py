@@ -1,0 +1,36 @@
+"""The Haar-wavelet strategy of Xiao et al. (Privelet), multi-dimensional.
+
+For a 1-D ordered domain the strategy is the Haar wavelet transform: the total
+query plus, for each dyadic range, the difference between its left and right
+halves.  Any range query can then be reconstructed from O(log n) wavelet
+queries.  Multi-dimensional domains use the Kronecker product of per-attribute
+wavelet matrices, exactly as in the paper's adaptation of Privelet.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.strategy import Strategy
+from repro.domain.domain import Domain
+from repro.utils.linalg import haar_matrix
+
+__all__ = ["wavelet_strategy", "wavelet_matrix"]
+
+
+def wavelet_matrix(size: int, *, normalized: bool = False):
+    """The (generalised) Haar wavelet matrix for a single attribute of ``size`` buckets."""
+    return haar_matrix(size, normalized=normalized)
+
+
+def wavelet_strategy(domain: Domain | Sequence[int] | int, *, normalized: bool = False) -> Strategy:
+    """The multi-dimensional Haar wavelet strategy for ``domain``."""
+    if isinstance(domain, int):
+        shape: tuple[int, ...] = (domain,)
+    elif isinstance(domain, Domain):
+        shape = domain.shape
+    else:
+        shape = tuple(int(d) for d in domain)
+    factors = [Strategy(wavelet_matrix(size, normalized=normalized)) for size in shape]
+    strategy = Strategy.kronecker(factors, name=f"wavelet{list(shape)}")
+    return strategy

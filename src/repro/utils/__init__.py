@@ -1,0 +1,39 @@
+"""Shared utilities: linear algebra helpers, validation, randomness."""
+
+from repro.utils.linalg import (
+    haar_matrix,
+    hierarchical_matrix,
+    kron_all,
+    max_column_norm,
+    prefix_matrix,
+    psd_project,
+    solve_psd,
+    symmetrize,
+    trace_product,
+    trace_ratio,
+)
+from repro.utils.rng import as_generator
+from repro.utils.validation import (
+    check_matrix,
+    check_positive,
+    check_probability,
+    check_vector,
+)
+
+__all__ = [
+    "as_generator",
+    "check_matrix",
+    "check_positive",
+    "check_probability",
+    "check_vector",
+    "haar_matrix",
+    "hierarchical_matrix",
+    "kron_all",
+    "max_column_norm",
+    "prefix_matrix",
+    "psd_project",
+    "solve_psd",
+    "symmetrize",
+    "trace_product",
+    "trace_ratio",
+]

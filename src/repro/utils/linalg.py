@@ -1,0 +1,226 @@
+"""Dense linear-algebra helpers used across the package.
+
+These are thin, well-tested wrappers around numpy/scipy primitives that
+encode the conventions of the matrix mechanism:
+
+* query matrices are ``(m, n)`` with one query per row;
+* Gram matrices are ``(n, n)`` symmetric positive semidefinite;
+* the L2 sensitivity of a matrix is the maximum column norm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from repro.exceptions import SingularStrategyError
+
+__all__ = [
+    "symmetrize",
+    "max_column_norm",
+    "trace_product",
+    "trace_ratio",
+    "solve_psd",
+    "psd_project",
+    "kron_all",
+    "haar_matrix",
+    "hierarchical_matrix",
+    "prefix_matrix",
+]
+
+#: Relative tolerance used to decide whether an eigenvalue is zero.
+EIGENVALUE_TOLERANCE = 1e-10
+
+
+def symmetrize(matrix: np.ndarray) -> np.ndarray:
+    """Return the symmetric part ``(M + M^T) / 2`` of a square matrix.
+
+    Gram matrices computed as ``W.T @ W`` can pick up tiny asymmetries from
+    floating point; symmetrizing keeps ``scipy.linalg.eigh`` happy.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    return (matrix + matrix.T) / 2.0
+
+
+def max_column_norm(matrix: np.ndarray) -> float:
+    """Return the maximum Euclidean column norm (the L2 sensitivity)."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    return float(np.sqrt(np.max(np.sum(matrix * matrix, axis=0))))
+
+
+def trace_product(a: np.ndarray, b: np.ndarray) -> float:
+    """Return ``trace(a @ b)`` without forming the product matrix."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return float(np.sum(a * b.T))
+
+
+def _spectral_pseudo_inverse(gram: np.ndarray, relative_cutoff: float = 1e-9) -> tuple[np.ndarray, np.ndarray]:
+    """Eigendecompose a PSD matrix and return ``(pseudo_inverse, projector)``.
+
+    Eigenvalues below ``relative_cutoff`` times the largest eigenvalue are
+    treated as exact zeros; this avoids catastrophically amplifying the tiny
+    eigenvalues introduced by nearly-redundant strategy rows (for example the
+    sensitivity-completion rows of the eigen design, whose weights can be
+    arbitrarily small).
+    """
+    values, vectors = np.linalg.eigh(symmetrize(gram))
+    top = float(values.max(initial=0.0))
+    if top <= 0:
+        size = gram.shape[0]
+        return np.zeros((size, size)), np.zeros((size, size))
+    keep = values > relative_cutoff * top
+    retained_vectors = vectors[:, keep]
+    inverse = (retained_vectors / values[keep]) @ retained_vectors.T
+    projector = retained_vectors @ retained_vectors.T
+    return inverse, projector
+
+
+def solve_psd(gram: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``gram @ X = rhs`` for a symmetric PSD ``gram``.
+
+    Uses a Cholesky factorization when the matrix is positive definite and
+    falls back to a rank-truncated pseudo-inverse for (numerically) singular
+    matrices.
+    """
+    gram = symmetrize(gram)
+    try:
+        factor = scipy.linalg.cho_factor(gram, check_finite=False)
+        return scipy.linalg.cho_solve(factor, rhs, check_finite=False)
+    except scipy.linalg.LinAlgError:
+        inverse, _ = _spectral_pseudo_inverse(gram)
+        return inverse @ rhs
+
+
+def trace_ratio(workload_gram: np.ndarray, strategy_gram: np.ndarray) -> float:
+    """Return ``trace(WtW @ (AtA)^-1)``, the core term of Prop. 4.
+
+    ``WtW`` is the workload Gram matrix and ``AtA`` the strategy Gram matrix.
+    When ``AtA`` is singular the computation is still meaningful as long as
+    the row space of the workload is contained in the row space of the
+    strategy; otherwise the strategy cannot answer the workload and a
+    :class:`~repro.exceptions.SingularStrategyError` is raised.
+    """
+    workload_gram = symmetrize(workload_gram)
+    strategy_gram = symmetrize(strategy_gram)
+    try:
+        factor = scipy.linalg.cho_factor(strategy_gram, check_finite=False)
+        solved = scipy.linalg.cho_solve(factor, workload_gram, check_finite=False)
+        return float(np.trace(solved))
+    except scipy.linalg.LinAlgError:
+        pass
+    # Singular strategy: invert on its (numerical) row space and verify that
+    # the workload lies inside that row space.
+    inverse, projector = _spectral_pseudo_inverse(strategy_gram)
+    residual = workload_gram - projector @ workload_gram @ projector
+    scale = max(np.abs(workload_gram).max(), 1.0)
+    if np.abs(residual).max() > 1e-6 * scale:
+        raise SingularStrategyError(
+            "strategy does not support the workload: the workload row space "
+            "is not contained in the strategy row space"
+        )
+    return float(np.sum(inverse * workload_gram.T))
+
+
+def psd_project(matrix: np.ndarray) -> np.ndarray:
+    """Project a symmetric matrix onto the PSD cone by clipping eigenvalues."""
+    matrix = symmetrize(matrix)
+    eigenvalues, eigenvectors = np.linalg.eigh(matrix)
+    eigenvalues = np.clip(eigenvalues, 0.0, None)
+    return (eigenvectors * eigenvalues) @ eigenvectors.T
+
+
+def kron_all(matrices: list[np.ndarray] | tuple[np.ndarray, ...]) -> np.ndarray:
+    """Return the Kronecker product of a sequence of matrices (left to right)."""
+    if not matrices:
+        raise ValueError("kron_all requires at least one matrix")
+    result = np.asarray(matrices[0], dtype=float)
+    for matrix in matrices[1:]:
+        result = np.kron(result, np.asarray(matrix, dtype=float))
+    return result
+
+
+def haar_matrix(size: int, normalized: bool = False) -> np.ndarray:
+    """Return the Haar wavelet strategy matrix for a domain of ``size`` cells.
+
+    For ``size`` a power of two this is the classic Haar transform used by
+    Xiao et al. (entries in {-1, 0, +1} when ``normalized`` is False).  For
+    other sizes the construction generalises by recursively splitting each
+    range into two nearly equal halves: every internal node contributes a
+    query that is +1 on its left half and -1 on its right half, and the root
+    additionally contributes the total query.  The result always has exactly
+    ``size`` rows and full rank.
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    rows: list[np.ndarray] = []
+    total = np.ones(size)
+    rows.append(total)
+
+    def split(start: int, end: int) -> None:
+        length = end - start
+        if length <= 1:
+            return
+        mid = start + (length + 1) // 2
+        row = np.zeros(size)
+        row[start:mid] = 1.0
+        row[mid:end] = -1.0
+        rows.append(row)
+        split(start, mid)
+        split(mid, end)
+
+    split(0, size)
+    matrix = np.vstack(rows)
+    if normalized:
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        matrix = matrix / norms
+    return matrix
+
+
+def hierarchical_matrix(size: int, branching: int = 2) -> np.ndarray:
+    """Return the hierarchical strategy of Hay et al. for ``size`` cells.
+
+    The strategy contains one query per node of a ``branching``-ary tree whose
+    leaves are the individual cells: the root is the total query and every
+    node's children partition its range into (nearly) equal contiguous parts.
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    if branching < 2:
+        raise ValueError(f"branching must be >= 2, got {branching}")
+    rows: list[np.ndarray] = []
+
+    def add(start: int, end: int) -> None:
+        row = np.zeros(size)
+        row[start:end] = 1.0
+        rows.append(row)
+        length = end - start
+        if length <= 1:
+            return
+        fanout = min(branching, length)
+        base, extra = divmod(length, fanout)
+        cursor = start
+        for child in range(fanout):
+            child_length = base + (1 if child < extra else 0)
+            add(cursor, cursor + child_length)
+            cursor += child_length
+
+    add(0, size)
+    return np.vstack(rows)
+
+
+def prefix_matrix(size: int, reverse: bool = False) -> np.ndarray:
+    """Return the prefix-sum (empirical CDF) workload matrix.
+
+    Row ``i`` sums cells ``0..i`` (or ``i..size-1`` when ``reverse`` is True,
+    matching the paper's description of the CDF workload in which the first
+    query covers all ``n`` cells).
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    matrix = np.tril(np.ones((size, size)))
+    if reverse:
+        matrix = matrix[::-1, ::-1].copy()
+    return matrix

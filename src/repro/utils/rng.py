@@ -1,0 +1,25 @@
+"""Random-number-generator plumbing.
+
+Every randomised component in the library accepts either a seed, an existing
+:class:`numpy.random.Generator`, or ``None``; this module provides the single
+conversion point so behaviour is consistent and reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_generator"]
+
+RandomState = int | np.random.Generator | None
+
+
+def as_generator(random_state: RandomState = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``random_state``.
+
+    ``None`` creates a freshly-seeded generator; an integer seeds a new
+    generator deterministically; an existing generator is returned as-is.
+    """
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    return np.random.default_rng(random_state)

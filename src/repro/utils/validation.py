@@ -1,0 +1,59 @@
+"""Input-validation helpers shared across the package."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["check_matrix", "check_vector", "check_positive", "check_probability"]
+
+
+def check_matrix(value: object, name: str = "matrix") -> np.ndarray:
+    """Coerce ``value`` to a 2-D float array, raising ``ValueError`` otherwise."""
+    matrix = np.asarray(value, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got shape {matrix.shape}")
+    if matrix.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(matrix)):
+        raise ValueError(f"{name} contains non-finite entries")
+    return matrix
+
+
+def check_vector(value: object, name: str = "vector", length: int | None = None) -> np.ndarray:
+    """Coerce ``value`` to a 1-D float array, optionally checking its length."""
+    vector = np.asarray(value, dtype=float)
+    if vector.ndim != 1:
+        raise ValueError(f"{name} must be 1-dimensional, got shape {vector.shape}")
+    if length is not None and vector.shape[0] != length:
+        raise ValueError(f"{name} must have length {length}, got {vector.shape[0]}")
+    if not np.all(np.isfinite(vector)):
+        raise ValueError(f"{name} contains non-finite entries")
+    return vector
+
+
+def check_positive(value: float, name: str = "value") -> float:
+    """Return ``value`` as a float after checking it is strictly positive."""
+    value = float(value)
+    if not value > 0:
+        raise ValueError(f"{name} must be strictly positive, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str = "value") -> float:
+    """Return ``value`` after checking it lies in the open interval (0, 1)."""
+    value = float(value)
+    if not 0 < value < 1:
+        raise ValueError(f"{name} must lie in (0, 1), got {value}")
+    return value
+
+
+def check_dims(dims: Sequence[int], name: str = "dims") -> tuple[int, ...]:
+    """Validate a sequence of per-attribute domain sizes."""
+    result = tuple(int(d) for d in dims)
+    if not result:
+        raise ValueError(f"{name} must contain at least one dimension")
+    if any(d < 1 for d in result):
+        raise ValueError(f"{name} entries must be >= 1, got {result}")
+    return result

@@ -1,0 +1,70 @@
+"""Workload constructors: ranges, marginals, predicates, ad-hoc combinations."""
+
+from repro.workloads.adhoc import (
+    combine_workloads,
+    permuted_workload,
+    subsample_queries,
+    weighted_union,
+)
+from repro.workloads.builders import (
+    available_workloads,
+    build_workload,
+    example_domain,
+    example_workload,
+)
+from repro.workloads.gram import (
+    all_predicate_gram,
+    all_predicate_query_count,
+    all_range_gram,
+    all_range_query_count,
+    prefix_gram,
+)
+from repro.workloads.marginals import (
+    all_marginals,
+    kway_marginals,
+    kway_range_marginals,
+    marginal_attribute_sets,
+    marginal_workload,
+    random_marginals,
+    range_marginal_workload,
+)
+from repro.workloads.predicates import random_predicate_queries, workload_from_predicates
+from repro.workloads.ranges import (
+    all_range_queries,
+    all_range_queries_1d,
+    cdf_workload,
+    prefix_workload,
+    random_range_queries,
+    range_query_vector,
+)
+
+__all__ = [
+    "all_marginals",
+    "all_predicate_gram",
+    "all_predicate_query_count",
+    "all_range_gram",
+    "all_range_queries",
+    "all_range_queries_1d",
+    "all_range_query_count",
+    "available_workloads",
+    "build_workload",
+    "cdf_workload",
+    "combine_workloads",
+    "example_domain",
+    "example_workload",
+    "kway_marginals",
+    "kway_range_marginals",
+    "marginal_attribute_sets",
+    "marginal_workload",
+    "permuted_workload",
+    "prefix_gram",
+    "prefix_workload",
+    "random_marginals",
+    "random_predicate_queries",
+    "random_range_queries",
+    "range_marginal_workload",
+    "range_query_vector",
+    "subsample_queries",
+    "weighted_union",
+    "workload_from_predicates",
+]

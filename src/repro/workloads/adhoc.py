@@ -1,0 +1,77 @@
+"""Ad-hoc workload manipulation: permutations, subsets, combinations.
+
+The paper's Table 2 stresses the adaptivity of the eigen design on workloads
+obtained by permuting cell conditions, combining the workloads of several
+users, or specialising a structured workload to a subset of its queries.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.workload import Workload
+from repro.exceptions import WorkloadError
+from repro.utils.rng import as_generator
+
+__all__ = ["permuted_workload", "subsample_queries", "combine_workloads", "weighted_union"]
+
+
+def permuted_workload(workload: Workload, *, random_state=None, permutation: Sequence[int] | None = None) -> Workload:
+    """A semantically equivalent workload with randomly permuted cell conditions.
+
+    If ``permutation`` is given it is used verbatim; otherwise a uniform random
+    permutation is drawn from ``random_state``.
+    """
+    if permutation is None:
+        rng = as_generator(random_state)
+        permutation = rng.permutation(workload.column_count)
+    return workload.permute_columns(list(permutation))
+
+
+def subsample_queries(workload: Workload, count: int, *, random_state=None) -> Workload:
+    """A uniform random subset of ``count`` queries from an explicit workload."""
+    if count < 1:
+        raise WorkloadError(f"count must be >= 1, got {count}")
+    matrix = workload.matrix
+    if count > matrix.shape[0]:
+        raise WorkloadError(
+            f"cannot sample {count} queries from a workload of {matrix.shape[0]}"
+        )
+    rng = as_generator(random_state)
+    rows = rng.choice(matrix.shape[0], size=count, replace=False)
+    return Workload(matrix[np.sort(rows)], domain=workload.domain, name=f"{workload.name}-sub[{count}]")
+
+
+def combine_workloads(workloads: Sequence[Workload], *, name: str = "combined") -> Workload:
+    """Union of the workloads of several users (plain concatenation)."""
+    return Workload.union(list(workloads), name=name)
+
+
+def weighted_union(workloads: Sequence[Workload], weights: Sequence[float], *, name: str = "weighted-union") -> Workload:
+    """Union of workloads with per-workload importance weights.
+
+    Scaling a sub-workload by ``w`` makes its queries contribute ``w**2`` times
+    more to the expected-error objective, which is how a user expresses that
+    one task matters more than another.
+    """
+    if len(workloads) != len(weights):
+        raise WorkloadError("need exactly one weight per workload")
+    scaled = []
+    for workload, weight in zip(workloads, weights):
+        weight = float(weight)
+        if weight <= 0:
+            raise WorkloadError(f"weights must be positive, got {weight}")
+        if workload.has_matrix:
+            scaled.append(workload.scale_rows(weight))
+        else:
+            scaled.append(
+                Workload.from_gram(
+                    workload.gram * weight**2,
+                    workload.query_count,
+                    domain=workload.domain,
+                    name=f"{workload.name}-x{weight}",
+                )
+            )
+    return Workload.union(scaled, name=name)

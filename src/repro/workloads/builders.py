@@ -1,0 +1,88 @@
+"""High-level named workload builders used by the examples and benchmarks.
+
+Includes the running example of the paper (Fig. 1) and a small registry so
+experiments can construct workloads by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.workload import Workload
+from repro.domain.domain import Domain
+from repro.exceptions import WorkloadError
+from repro.workloads.marginals import kway_marginals, kway_range_marginals, random_marginals
+from repro.workloads.predicates import random_predicate_queries
+from repro.workloads.ranges import all_range_queries, cdf_workload, random_range_queries
+
+__all__ = ["example_workload", "example_domain", "build_workload", "available_workloads"]
+
+
+def example_domain() -> Domain:
+    """The 8-cell gender x gpa domain of Fig. 1 (2 genders, 4 gpa buckets)."""
+    return Domain([2, 4], ["gender", "gpa"])
+
+
+def example_workload() -> Workload:
+    """The 8-query workload of Fig. 1(b).
+
+    Cell order follows Fig. 1(a): the first four cells are the male gpa
+    buckets, the last four the female gpa buckets.
+    """
+    matrix = np.array(
+        [
+            [1, 1, 1, 1, 1, 1, 1, 1],      # all students
+            [1, 1, 1, 1, 0, 0, 0, 0],      # male students
+            [0, 0, 0, 0, 1, 1, 1, 1],      # female students
+            [1, 1, 0, 0, 1, 1, 0, 0],      # gpa < 3.0
+            [0, 0, 1, 1, 0, 0, 1, 1],      # gpa >= 3.0
+            [0, 0, 0, 0, 0, 0, 1, 1],      # female, gpa >= 3.0
+            [1, 1, 0, 0, 0, 0, 0, 0],      # male, gpa < 3.0
+            [1, 1, 1, 1, -1, -1, -1, -1],  # male minus female
+        ],
+        dtype=float,
+    )
+    return Workload(matrix, domain=example_domain(), name="fig1-example")
+
+
+_BUILDERS: dict[str, Callable[..., Workload]] = {
+    "all-range": lambda dims, **kw: all_range_queries(dims),
+    "random-range": lambda dims, count=1000, random_state=None, **kw: random_range_queries(
+        dims, count, random_state=random_state
+    ),
+    "cdf": lambda dims, **kw: cdf_workload(int(np.prod(dims))),
+    "2-way-marginal": lambda dims, **kw: kway_marginals(dims, 2),
+    "1-way-marginal": lambda dims, **kw: kway_marginals(dims, 1),
+    "random-marginal": lambda dims, count=64, random_state=None, **kw: random_marginals(
+        dims, count, random_state=random_state
+    ),
+    "1-way-range-marginal": lambda dims, **kw: kway_range_marginals(dims, 1),
+    "2-way-range-marginal": lambda dims, **kw: kway_range_marginals(dims, 2),
+    "random-predicate": lambda dims, count=512, random_state=None, **kw: random_predicate_queries(
+        int(np.prod(dims)), count, random_state=random_state
+    ),
+}
+
+
+def available_workloads() -> list[str]:
+    """Names accepted by :func:`build_workload`."""
+    return sorted(_BUILDERS)
+
+
+def build_workload(name: str, dims: Sequence[int], **options) -> Workload:
+    """Build a named workload over a domain with the given attribute sizes.
+
+    Examples
+    --------
+    >>> build_workload("all-range", [64, 32]).query_count
+    1098240
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; choose from {available_workloads()}"
+        ) from None
+    return builder(list(dims), **options)

@@ -1,0 +1,71 @@
+"""Closed-form Gram matrices for workloads that are too large to materialise.
+
+The error analysis of the matrix mechanism depends on the workload only
+through ``W^T W`` and the query count ``m``, so very large structured
+workloads (e.g. the set of *all* range queries) are represented by closed-form
+Gram matrices instead of explicit query matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "all_range_gram",
+    "all_range_query_count",
+    "prefix_gram",
+    "all_predicate_gram",
+    "all_predicate_query_count",
+]
+
+
+def all_range_gram(size: int) -> np.ndarray:
+    """Gram matrix of the workload of all ``size*(size+1)/2`` 1-D range queries.
+
+    Entry ``(i, j)`` counts the ranges ``[a, b]`` containing both cells, which
+    is ``(min(i, j) + 1) * (size - max(i, j))`` for 0-based cell indexes.
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    index = np.arange(size)
+    lower = np.minimum.outer(index, index) + 1
+    upper = size - np.maximum.outer(index, index)
+    return (lower * upper).astype(float)
+
+
+def all_range_query_count(size: int) -> int:
+    """Number of 1-D range queries over ``size`` cells."""
+    return size * (size + 1) // 2
+
+
+def prefix_gram(size: int) -> np.ndarray:
+    """Gram matrix of the prefix-sum (CDF) workload of ``size`` queries.
+
+    Cell ``i`` appears in prefixes ``i..size-1``, so entry ``(i, j)`` is
+    ``size - max(i, j)``.
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    index = np.arange(size)
+    return (size - np.maximum.outer(index, index)).astype(float)
+
+
+def all_predicate_gram(size: int) -> np.ndarray:
+    """Gram matrix of the workload of all ``2**size`` 0/1 predicate queries.
+
+    Each cell appears in ``2**(size-1)`` predicates and each pair of distinct
+    cells co-occurs in ``2**(size-2)`` predicates.  Only used for analysis at
+    small ``size`` (the query count grows exponentially).
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    if size == 1:
+        return np.array([[1.0]])
+    gram = np.full((size, size), float(2 ** (size - 2)))
+    np.fill_diagonal(gram, float(2 ** (size - 1)))
+    return gram
+
+
+def all_predicate_query_count(size: int) -> int:
+    """Number of predicate queries over ``size`` cells (including the empty one)."""
+    return 2**size

@@ -1,0 +1,135 @@
+"""Marginal and range-marginal workloads.
+
+A *k-way marginal* over an attribute subset ``S`` (|S| = k) contains one
+counting query per combination of bucket values of the attributes in ``S``,
+summing over all other attributes.  A *k-way range marginal* instead contains
+one query per combination of *ranges* on the attributes in ``S`` (Sec. 2.1 of
+the paper), which is the right workload when analysts aggregate marginal cells.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.workload import Workload
+from repro.domain.domain import Domain
+from repro.exceptions import WorkloadError
+from repro.utils.rng import as_generator
+from repro.workloads.ranges import all_range_queries_1d
+
+__all__ = [
+    "marginal_workload",
+    "kway_marginals",
+    "all_marginals",
+    "random_marginals",
+    "range_marginal_workload",
+    "kway_range_marginals",
+    "marginal_attribute_sets",
+]
+
+
+def _as_domain(domain: Domain | Sequence[int]) -> Domain:
+    return domain if isinstance(domain, Domain) else Domain(domain)
+
+
+def marginal_attribute_sets(domain: Domain | Sequence[int], order: int) -> list[tuple[int, ...]]:
+    """All attribute subsets of the given order (size), as index tuples."""
+    domain = _as_domain(domain)
+    if not 0 <= order <= domain.dimensions:
+        raise WorkloadError(
+            f"marginal order must lie in [0, {domain.dimensions}], got {order}"
+        )
+    return [tuple(c) for c in combinations(range(domain.dimensions), order)]
+
+
+def marginal_workload(domain: Domain | Sequence[int], attributes: Sequence[int | str]) -> Workload:
+    """The marginal over ``attributes``: one query per cell of the sub-domain.
+
+    The empty attribute set yields the single total query.
+    """
+    domain = _as_domain(domain)
+    matrix = domain.marginalization_matrix(attributes)
+    label = ",".join(str(a) for a in attributes) if len(attributes) else "total"
+    return Workload(matrix, domain=domain, name=f"marginal[{label}]")
+
+
+def kway_marginals(domain: Domain | Sequence[int], order: int) -> Workload:
+    """The union of all ``order``-way marginals (e.g. all 2-way marginals)."""
+    domain = _as_domain(domain)
+    parts = [marginal_workload(domain, attrs) for attrs in marginal_attribute_sets(domain, order)]
+    return Workload.union(parts, name=f"{order}-way-marginal{list(domain.shape)}")
+
+
+def all_marginals(domain: Domain | Sequence[int], max_order: int | None = None) -> Workload:
+    """The union of all marginals of order 0 up to ``max_order`` (default: all)."""
+    domain = _as_domain(domain)
+    if max_order is None:
+        max_order = domain.dimensions
+    if not 0 <= max_order <= domain.dimensions:
+        raise WorkloadError(
+            f"max_order must lie in [0, {domain.dimensions}], got {max_order}"
+        )
+    parts = []
+    for order in range(max_order + 1):
+        for attrs in marginal_attribute_sets(domain, order):
+            parts.append(marginal_workload(domain, attrs))
+    return Workload.union(parts, name=f"all-marginal<= {max_order}{list(domain.shape)}")
+
+
+def random_marginals(
+    domain: Domain | Sequence[int],
+    count: int,
+    *,
+    max_order: int | None = None,
+    random_state=None,
+) -> Workload:
+    """The union of ``count`` marginals over uniformly sampled attribute subsets.
+
+    This follows the sampling protocol used for the paper's "random marginal"
+    workloads: each marginal's attribute set is drawn by picking the order
+    uniformly from ``1..max_order`` and then a uniform subset of that size.
+    """
+    domain = _as_domain(domain)
+    if count < 1:
+        raise WorkloadError(f"count must be >= 1, got {count}")
+    if max_order is None:
+        max_order = domain.dimensions
+    rng = as_generator(random_state)
+    parts = []
+    for _ in range(count):
+        order = int(rng.integers(1, max_order + 1))
+        attrs = tuple(sorted(rng.choice(domain.dimensions, size=order, replace=False).tolist()))
+        parts.append(marginal_workload(domain, attrs))
+    return Workload.union(parts, name=f"random-marginal[{count}]")
+
+
+def range_marginal_workload(domain: Domain | Sequence[int], attributes: Sequence[int | str]) -> Workload:
+    """The range marginal over ``attributes``: every combination of ranges on them.
+
+    Attributes outside the set are aggregated completely (total).  Constructed
+    as a Kronecker product of per-attribute factors: the all-range workload on
+    the selected attributes and the total query elsewhere.
+    """
+    domain = _as_domain(domain)
+    indexes = domain.resolve(attributes)
+    factors = []
+    for position, size in enumerate(domain.shape):
+        if position in indexes:
+            factors.append(all_range_queries_1d(size))
+        else:
+            factors.append(Workload.total(size))
+    label = ",".join(str(a) for a in attributes) if len(attributes) else "total"
+    return Workload.kronecker(factors, domain=domain, name=f"range-marginal[{label}]")
+
+
+def kway_range_marginals(domain: Domain | Sequence[int], order: int) -> Workload:
+    """The union of all ``order``-way range marginals."""
+    domain = _as_domain(domain)
+    parts = [
+        range_marginal_workload(domain, attrs)
+        for attrs in marginal_attribute_sets(domain, order)
+    ]
+    return Workload.union(parts, name=f"{order}-way-range-marginal{list(domain.shape)}")

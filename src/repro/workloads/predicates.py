@@ -1,0 +1,56 @@
+"""Predicate-query workloads.
+
+A predicate query is an arbitrary 0/1 combination of cells.  The paper's
+Table 2 uses uniformly sampled predicate queries as one of its "alternative"
+workloads; this module provides that sampler plus small utilities for
+constructing predicate workloads from explicit predicates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.workload import Workload
+from repro.domain.domain import Domain
+from repro.domain.predicates import Predicate
+from repro.exceptions import WorkloadError
+from repro.utils.rng import as_generator
+
+__all__ = ["random_predicate_queries", "workload_from_predicates"]
+
+
+def random_predicate_queries(
+    cells: int | Domain,
+    count: int,
+    *,
+    density: float = 0.5,
+    random_state=None,
+) -> Workload:
+    """``count`` uniformly sampled 0/1 predicate queries over ``cells``.
+
+    Each cell is included in each query independently with probability
+    ``density`` (0.5 reproduces the paper's uniform sampling over predicates).
+    Queries that come out empty are resampled so every row is a genuine query.
+    """
+    domain = cells if isinstance(cells, Domain) else None
+    size = cells.size if isinstance(cells, Domain) else int(cells)
+    if count < 1:
+        raise WorkloadError(f"count must be >= 1, got {count}")
+    if not 0 < density < 1:
+        raise WorkloadError(f"density must lie in (0, 1), got {density}")
+    rng = as_generator(random_state)
+    rows = (rng.random((count, size)) < density).astype(float)
+    for index in range(count):
+        while not rows[index].any():
+            rows[index] = (rng.random(size) < density).astype(float)
+    return Workload(rows, domain=domain, name=f"random-predicate[{count}]")
+
+
+def workload_from_predicates(domain: Domain, predicates: Sequence[Predicate]) -> Workload:
+    """Build an explicit workload from a list of :class:`Predicate` objects."""
+    if not predicates:
+        raise WorkloadError("need at least one predicate")
+    rows = np.vstack([predicate.vector(domain) for predicate in predicates])
+    return Workload(rows, domain=domain, name=f"predicates[{len(predicates)}]")

@@ -1,0 +1,122 @@
+"""Range-query workloads (1-D and multi-dimensional).
+
+Multi-dimensional range workloads are Kronecker products of per-attribute 1-D
+range workloads, matching the paper's experimental configurations such as
+``[2048]``, ``[64 x 32]``, ``[16 x 16 x 8]`` and ``[8 x 8 x 8 x 4]``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.workload import Workload
+from repro.domain.domain import Domain
+from repro.utils.linalg import prefix_matrix
+from repro.utils.rng import as_generator
+from repro.workloads.gram import all_range_gram, all_range_query_count
+
+__all__ = [
+    "all_range_queries_1d",
+    "all_range_queries",
+    "random_range_queries",
+    "prefix_workload",
+    "cdf_workload",
+    "range_query_vector",
+]
+
+#: 1-D all-range workloads up to this size are materialised explicitly.
+EXPLICIT_RANGE_LIMIT = 64
+
+
+def range_query_vector(domain: Domain, lows: Sequence[int], highs: Sequence[int]) -> np.ndarray:
+    """Return the indicator row of the multi-dimensional range ``[lows, highs]``.
+
+    Bounds are inclusive bucket indexes, one pair per attribute.
+    """
+    if len(lows) != domain.dimensions or len(highs) != domain.dimensions:
+        raise ValueError("lows/highs must give one bound per attribute")
+    factors = []
+    for size, low, high in zip(domain.shape, lows, highs):
+        if not 0 <= low <= high < size:
+            raise ValueError(f"invalid range [{low}, {high}] for attribute of size {size}")
+        mask = np.zeros(size)
+        mask[low : high + 1] = 1.0
+        factors.append(mask)
+    row = factors[0]
+    for factor in factors[1:]:
+        row = np.kron(row, factor)
+    return row
+
+
+def all_range_queries_1d(size: int, *, materialize: bool | None = None) -> Workload:
+    """The workload of all contiguous range queries over ``size`` ordered cells.
+
+    ``materialize=None`` (the default) builds the explicit matrix only for
+    small domains and otherwise returns a Gram-implicit workload using the
+    closed-form Gram matrix.
+    """
+    if materialize is None:
+        materialize = size <= EXPLICIT_RANGE_LIMIT
+    count = all_range_query_count(size)
+    if materialize:
+        rows = np.zeros((count, size))
+        position = 0
+        for low in range(size):
+            for high in range(low, size):
+                rows[position, low : high + 1] = 1.0
+                position += 1
+        return Workload(rows, name=f"all-range[{size}]")
+    return Workload.from_gram(all_range_gram(size), count, name=f"all-range[{size}]")
+
+
+def all_range_queries(domain: Domain | Sequence[int], *, materialize: bool | None = None) -> Workload:
+    """All multi-dimensional range queries over ``domain`` (Kronecker construction)."""
+    domain = domain if isinstance(domain, Domain) else Domain(domain)
+    factors = [all_range_queries_1d(size, materialize=materialize) for size in domain.shape]
+    workload = Workload.kronecker(factors, domain=domain, name=f"all-range{list(domain.shape)}")
+    return workload
+
+
+def random_range_queries(
+    domain: Domain | Sequence[int],
+    count: int,
+    *,
+    random_state=None,
+) -> Workload:
+    """``count`` random multi-dimensional range queries (two-step sampling of Xiao et al.).
+
+    For each attribute the range length is sampled uniformly first and the
+    starting position uniformly among the valid offsets, so short and long
+    ranges are equally likely regardless of the attribute size.
+    """
+    domain = domain if isinstance(domain, Domain) else Domain(domain)
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    rng = as_generator(random_state)
+    rows = np.zeros((count, domain.size))
+    for position in range(count):
+        lows, highs = [], []
+        for size in domain.shape:
+            length = int(rng.integers(1, size + 1))
+            start = int(rng.integers(0, size - length + 1))
+            lows.append(start)
+            highs.append(start + length - 1)
+        rows[position] = range_query_vector(domain, lows, highs)
+    return Workload(rows, domain=domain, name=f"random-range[{count}]")
+
+
+def prefix_workload(size: int) -> Workload:
+    """The prefix-sum workload: query ``i`` sums cells ``0..i``."""
+    return Workload(prefix_matrix(size), name=f"prefix[{size}]")
+
+
+def cdf_workload(size: int) -> Workload:
+    """The empirical-CDF workload of the paper's Table 2.
+
+    A highly skewed set of 1-D range queries: the prefix sums, under which the
+    first cell appears in all ``n`` queries (sensitivity ``n``) and coverage
+    decreases linearly to 1 for the last cell.
+    """
+    return Workload(prefix_matrix(size), name=f"cdf[{size}]")

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PrivacyParams
+from repro.domain import Domain
+from repro.workloads import all_range_queries_1d, example_workload
+
+
+@pytest.fixture
+def privacy() -> PrivacyParams:
+    """The paper's default privacy setting."""
+    return PrivacyParams(epsilon=0.5, delta=1e-4)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def small_domain() -> Domain:
+    """A small 2-attribute domain (2 x 4 = 8 cells), as in the paper's Fig. 1."""
+    return Domain([2, 4], ["gender", "gpa"])
+
+
+@pytest.fixture
+def fig1_workload():
+    """The 8-query example workload of Fig. 1(b)."""
+    return example_workload()
+
+
+@pytest.fixture
+def range_workload_32():
+    """All 1-D range queries over 32 cells (explicit)."""
+    return all_range_queries_1d(32)

@@ -1,0 +1,150 @@
+"""Tests for repro.analysis (uncertainty quantification and budget planning)."""
+
+import numpy as np
+import pytest
+
+from repro import MatrixMechanism, PrivacyParams, Workload, eigen_design, expected_workload_error, per_query_error
+from repro.analysis import (
+    answer_covariance,
+    answer_standard_deviations,
+    confidence_intervals,
+    epsilon_for_target_bound,
+    epsilon_for_target_error,
+    error_at_epsilon,
+    error_profile,
+    expected_max_error,
+    sample_error_quantile,
+    simultaneous_confidence_radius,
+    smallest_accurate_epsilon_table,
+)
+from repro.exceptions import WorkloadError
+from repro.strategies import identity_strategy, wavelet_strategy
+from repro.workloads import all_range_queries_1d, example_workload
+
+PRIVACY = PrivacyParams(0.5, 1e-4)
+
+
+@pytest.fixture
+def workload():
+    return example_workload()
+
+
+@pytest.fixture
+def strategy(workload):
+    return eigen_design(workload).strategy
+
+
+class TestCovariance:
+    def test_covariance_is_psd_and_symmetric(self, workload, strategy):
+        covariance = answer_covariance(workload, strategy, PRIVACY)
+        np.testing.assert_allclose(covariance, covariance.T, atol=1e-10)
+        assert np.all(np.linalg.eigvalsh(covariance) >= -1e-8)
+
+    def test_diagonal_matches_per_query_error(self, workload, strategy):
+        covariance = answer_covariance(workload, strategy, PRIVACY)
+        deviations = answer_standard_deviations(workload, strategy, PRIVACY)
+        np.testing.assert_allclose(np.sqrt(np.diag(covariance)), deviations, rtol=1e-9)
+        np.testing.assert_allclose(
+            deviations, per_query_error(workload, strategy, PRIVACY), rtol=1e-9
+        )
+
+    def test_rms_of_deviations_matches_workload_error(self, workload, strategy):
+        deviations = answer_standard_deviations(workload, strategy, PRIVACY)
+        rms = float(np.sqrt(np.mean(deviations**2)))
+        assert rms == pytest.approx(expected_workload_error(workload, strategy, PRIVACY), rel=1e-9)
+
+    def test_identity_strategy_gives_independent_noise(self):
+        workload = Workload.identity(6)
+        covariance = answer_covariance(workload, identity_strategy(6), PRIVACY)
+        off_diagonal = covariance - np.diag(np.diag(covariance))
+        assert np.abs(off_diagonal).max() < 1e-9
+
+    def test_empirical_coverage_of_confidence_intervals(self, workload, strategy):
+        """~95% of released answers fall inside their 95% intervals."""
+        data = np.full(workload.column_count, 50.0)
+        truth = workload.answer(data)
+        mechanism = MatrixMechanism(strategy, PRIVACY)
+        rng = np.random.default_rng(0)
+        covered = 0
+        total = 0
+        for _ in range(60):
+            answers = mechanism.answer(workload, data, random_state=rng)
+            intervals = confidence_intervals(answers, workload, strategy, PRIVACY, confidence=0.95)
+            covered += int(np.sum((truth >= intervals[:, 0]) & (truth <= intervals[:, 1])))
+            total += workload.query_count
+        assert covered / total == pytest.approx(0.95, abs=0.04)
+
+    def test_confidence_interval_validation(self, workload, strategy):
+        answers = np.zeros(workload.query_count)
+        with pytest.raises(WorkloadError):
+            confidence_intervals(answers[:-1], workload, strategy, PRIVACY)
+        with pytest.raises(WorkloadError):
+            confidence_intervals(answers, workload, strategy, PRIVACY, confidence=1.5)
+
+    def test_simultaneous_radius_wider_than_marginal(self, workload, strategy):
+        marginal = confidence_intervals(
+            np.zeros(workload.query_count), workload, strategy, PRIVACY, confidence=0.95
+        )
+        marginal_radius = marginal[:, 1]
+        simultaneous = simultaneous_confidence_radius(workload, strategy, PRIVACY, confidence=0.95)
+        assert np.all(simultaneous >= marginal_radius - 1e-12)
+
+    def test_expected_max_error_dominates_rmse(self, workload, strategy):
+        assert expected_max_error(workload, strategy, PRIVACY) >= expected_workload_error(
+            workload, strategy, PRIVACY
+        )
+
+
+class TestBudgetPlanning:
+    def test_error_at_epsilon_matches_direct_computation(self, workload, strategy):
+        assert error_at_epsilon(workload, strategy, 0.5) == pytest.approx(
+            expected_workload_error(workload, strategy, PRIVACY)
+        )
+
+    def test_epsilon_for_target_round_trip(self, workload, strategy):
+        target = 7.5
+        epsilon = epsilon_for_target_error(workload, strategy, target)
+        achieved = error_at_epsilon(workload, strategy, epsilon)
+        assert achieved == pytest.approx(target, rel=1e-9)
+
+    def test_floor_never_exceeds_strategy_requirement(self, workload, strategy):
+        target = 3.0
+        assert epsilon_for_target_bound(workload, target) <= epsilon_for_target_error(
+            workload, strategy, target
+        )
+
+    def test_rejects_nonpositive_targets(self, workload, strategy):
+        with pytest.raises(WorkloadError):
+            epsilon_for_target_error(workload, strategy, 0.0)
+        with pytest.raises(WorkloadError):
+            epsilon_for_target_bound(workload, -1.0)
+
+    def test_error_profile_is_decreasing_in_epsilon(self, workload, strategy):
+        rows = error_profile(workload, strategy, [0.1, 0.5, 1.0, 2.5])
+        errors = [row["error"] for row in rows]
+        assert errors == sorted(errors, reverse=True)
+        for row in rows:
+            assert row["error"] >= row["lower_bound"] * 0.999
+
+    def test_error_profile_requires_epsilons(self, workload, strategy):
+        with pytest.raises(WorkloadError):
+            error_profile(workload, strategy, [])
+
+    def test_epsilon_table(self, workload, strategy):
+        rows = smallest_accurate_epsilon_table(
+            workload, strategy, [5.0, 50.0], population=10_000
+        )
+        assert rows[0]["epsilon_needed"] > rows[1]["epsilon_needed"]
+        assert rows[0]["target_fraction"] == pytest.approx(5.0 / 10_000)
+
+    def test_quantile_exceeds_mean_error(self):
+        workload = all_range_queries_1d(16)
+        strategy = wavelet_strategy(16)
+        q95 = sample_error_quantile(workload, strategy, PRIVACY, trials=150, random_state=0)
+        assert q95 > expected_workload_error(workload, strategy, PRIVACY) * 0.8
+
+    def test_quantile_validation(self, workload, strategy):
+        with pytest.raises(WorkloadError):
+            sample_error_quantile(workload, strategy, PRIVACY, quantile=1.5)
+        with pytest.raises(WorkloadError):
+            sample_error_quantile(workload, strategy, PRIVACY, trials=5)

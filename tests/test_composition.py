@@ -1,0 +1,142 @@
+"""Tests for repro.mechanisms.composition (basic / advanced / zCDP accounting)."""
+
+import math
+
+import pytest
+
+from repro import PrivacyParams
+from repro.exceptions import PrivacyError
+from repro.mechanisms import (
+    CompositionAccountant,
+    advanced_composition,
+    approx_dp_to_zcdp,
+    basic_composition,
+    gaussian_zcdp,
+    zcdp_noise_scale,
+    zcdp_to_approx_dp,
+)
+
+
+class TestBasicComposition:
+    def test_epsilons_and_deltas_add(self):
+        combined = basic_composition([PrivacyParams(0.3, 1e-5), PrivacyParams(0.2, 2e-5)])
+        assert combined.epsilon == pytest.approx(0.5)
+        assert combined.delta == pytest.approx(3e-5)
+
+    def test_single_guarantee_unchanged(self):
+        combined = basic_composition([PrivacyParams(0.7, 1e-6)])
+        assert combined.epsilon == pytest.approx(0.7)
+
+    def test_requires_at_least_one(self):
+        with pytest.raises(PrivacyError):
+            basic_composition([])
+
+    def test_delta_capped_below_one(self):
+        combined = basic_composition([PrivacyParams(1.0, 0.6), PrivacyParams(1.0, 0.6)])
+        assert combined.delta < 1.0
+
+
+class TestAdvancedComposition:
+    def test_beats_basic_for_many_small_uses(self):
+        per_query = PrivacyParams(0.01, 1e-7)
+        uses = 500
+        advanced = advanced_composition(per_query, uses, delta_slack=1e-6)
+        basic = basic_composition([per_query] * uses)
+        assert advanced.epsilon < basic.epsilon
+
+    def test_single_use_close_to_original(self):
+        per_query = PrivacyParams(0.1, 1e-6)
+        composed = advanced_composition(per_query, 1, delta_slack=1e-9)
+        # One use still pays the sqrt(2 ln(1/delta')) overhead but stays finite.
+        assert composed.epsilon > per_query.epsilon
+        assert composed.delta == pytest.approx(per_query.delta + 1e-9)
+
+    def test_epsilon_grows_sublinearly(self):
+        per_query = PrivacyParams(0.01, 0.0)
+        few = advanced_composition(per_query, 100).epsilon
+        many = advanced_composition(per_query, 400).epsilon
+        assert many < 4 * few
+
+    def test_rejects_zero_uses(self):
+        with pytest.raises(PrivacyError):
+            advanced_composition(PrivacyParams(0.1, 1e-6), 0)
+
+    def test_rejects_bad_slack(self):
+        with pytest.raises(PrivacyError):
+            advanced_composition(PrivacyParams(0.1, 1e-6), 5, delta_slack=0.0)
+
+
+class TestZcdp:
+    def test_gaussian_rho_formula(self):
+        assert gaussian_zcdp(2.0, 1.0) == pytest.approx(1.0 / 8.0)
+        assert gaussian_zcdp(1.0, 3.0) == pytest.approx(4.5)
+
+    def test_noise_scale_inverts_rho(self):
+        rho = 0.37
+        sigma = zcdp_noise_scale(rho, 2.0)
+        assert gaussian_zcdp(sigma, 2.0) == pytest.approx(rho)
+
+    def test_conversion_round_trip_is_conservative(self):
+        """(eps, delta) -> rho -> (eps', delta) never reports a smaller epsilon than rho alone implies."""
+        privacy = PrivacyParams(0.5, 1e-4)
+        rho = approx_dp_to_zcdp(privacy)
+        converted = zcdp_to_approx_dp(rho, privacy.delta)
+        assert converted.epsilon > 0
+        assert converted.delta == privacy.delta
+
+    def test_zcdp_to_dp_formula(self):
+        rho, delta = 0.1, 1e-6
+        expected = rho + 2 * math.sqrt(rho * math.log(1 / delta))
+        assert zcdp_to_approx_dp(rho, delta).epsilon == pytest.approx(expected)
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(PrivacyError):
+            gaussian_zcdp(0.0)
+        with pytest.raises(PrivacyError):
+            zcdp_noise_scale(0.0)
+        with pytest.raises(PrivacyError):
+            zcdp_to_approx_dp(0.1, 0.0)
+        with pytest.raises(PrivacyError):
+            approx_dp_to_zcdp(PrivacyParams(0.5, 0.0))
+
+
+class TestCompositionAccountant:
+    def test_zcdp_adds_across_releases(self):
+        accountant = CompositionAccountant(target_delta=1e-6)
+        accountant.record_gaussian(noise_scale=2.0, l2_sensitivity=1.0)
+        accountant.record_gaussian(noise_scale=2.0, l2_sensitivity=1.0)
+        assert accountant.zcdp() == pytest.approx(2 * gaussian_zcdp(2.0, 1.0))
+        assert accountant.release_count == 2
+
+    def test_zcdp_accounting_beats_basic_for_repeated_releases(self):
+        accountant = CompositionAccountant(target_delta=1e-6)
+        for _ in range(20):
+            accountant.record(PrivacyParams(0.1, 1e-6))
+        assert accountant.as_approx_dp().epsilon < accountant.basic().epsilon
+
+    def test_tightest_never_exceeds_basic(self):
+        accountant = CompositionAccountant(target_delta=1e-6)
+        for _ in range(5):
+            accountant.record(PrivacyParams(0.2, 1e-5))
+        assert accountant.tightest().epsilon <= accountant.basic().epsilon + 1e-12
+
+    def test_empty_accountant_raises(self):
+        accountant = CompositionAccountant()
+        with pytest.raises(PrivacyError):
+            accountant.basic()
+        with pytest.raises(PrivacyError):
+            accountant.as_approx_dp()
+
+    def test_rejects_bad_target_delta(self):
+        with pytest.raises(PrivacyError):
+            CompositionAccountant(target_delta=0.0)
+
+    def test_matches_mechanism_noise_scale(self):
+        """Recording via (eps, delta) or via the implied sigma gives the same rho."""
+        privacy = PrivacyParams(0.5, 1e-4)
+        sigma = privacy.gaussian_scale(1.0)
+        by_params = CompositionAccountant(target_delta=1e-6)
+        by_params.record(privacy)
+        by_sigma = CompositionAccountant(target_delta=1e-6)
+        by_sigma.record_gaussian(noise_scale=sigma, l2_sensitivity=1.0)
+        assert by_params.zcdp() == pytest.approx(by_sigma.zcdp())

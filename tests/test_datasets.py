@@ -1,0 +1,102 @@
+"""Tests for the synthetic dataset generators (the paper's Table 1 substitutes)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Dataset,
+    adult_like,
+    available_datasets,
+    census_like,
+    load_dataset,
+    mixture_histogram,
+    uniform_dataset,
+    zipf_dataset,
+)
+from repro.domain import Domain
+from repro.exceptions import DatasetError
+
+
+class TestDatasetContainer:
+    def test_validates_shape(self):
+        with pytest.raises(DatasetError):
+            Dataset("bad", Domain([4]), np.zeros(5))
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(DatasetError):
+            Dataset("bad", Domain([2]), np.array([-1.0, 1.0]))
+
+    def test_total_and_histogram(self):
+        dataset = Dataset("ok", Domain([2, 2]), np.array([1.0, 2.0, 3.0, 4.0]))
+        assert dataset.total == 10
+        assert dataset.histogram().shape == (2, 2)
+
+    def test_describe_fields(self):
+        summary = uniform_dataset(shape=(8,), total=100, random_state=0).describe()
+        assert summary["cells"] == 8
+        assert summary["tuples"] == 100
+
+
+class TestPaperDatasets:
+    def test_census_matches_table1_dimensions(self):
+        dataset = census_like(total=50_000, random_state=0)
+        assert dataset.shape == (8, 16, 16)
+        assert dataset.domain.size == 2048
+        assert dataset.total == 50_000
+
+    def test_adult_matches_table1_dimensions(self):
+        dataset = adult_like(random_state=0)
+        assert dataset.shape == (8, 8, 16, 2)
+        assert dataset.total == 33_000
+
+    def test_census_default_total_is_paper_scale(self):
+        from repro.datasets.synthetic import CENSUS_TOTAL
+
+        assert CENSUS_TOTAL == 15_000_000
+
+    def test_census_is_skewed(self):
+        dataset = census_like(total=200_000, random_state=1)
+        counts = np.sort(dataset.data)[::-1]
+        # The top 10% of cells should hold well over half the mass.
+        top = counts[: max(1, len(counts) // 10)].sum()
+        assert top > 0.5 * dataset.total
+
+    def test_reproducible_by_default(self):
+        first = census_like(total=10_000)
+        second = census_like(total=10_000)
+        np.testing.assert_array_equal(first.data, second.data)
+
+
+class TestGenerators:
+    def test_mixture_histogram_total(self):
+        counts = mixture_histogram((4, 4), 1000, random_state=0)
+        assert counts.sum() == 1000
+        assert counts.shape == (16,)
+
+    def test_mixture_histogram_validation(self):
+        with pytest.raises(DatasetError):
+            mixture_histogram((4,), 0)
+        with pytest.raises(DatasetError):
+            mixture_histogram((4,), 10, components=0)
+
+    def test_zipf_is_more_skewed_than_uniform(self):
+        zipf = zipf_dataset(shape=(256,), total=100_000, random_state=0)
+        uniform = uniform_dataset(shape=(256,), total=100_000, random_state=0)
+        assert zipf.data.max() > uniform.data.max()
+
+    def test_zipf_validation(self):
+        with pytest.raises(DatasetError):
+            zipf_dataset(exponent=0.0)
+
+    def test_loader_registry(self):
+        assert set(available_datasets()) == {"census", "adult", "uniform", "zipf"}
+        dataset = load_dataset("uniform", shape=(16,), total=500, random_state=0)
+        assert dataset.total == 500
+
+    def test_loader_unknown_name(self):
+        with pytest.raises(DatasetError):
+            load_dataset("nope")
+
+    def test_loader_forwards_options(self):
+        dataset = load_dataset("census", total=5_000, random_state=3)
+        assert dataset.total == 5_000

@@ -1,0 +1,122 @@
+"""Tests for repro.domain.domain."""
+
+import numpy as np
+import pytest
+
+from repro.domain import Domain
+from repro.exceptions import DomainError
+
+
+class TestDomainConstruction:
+    def test_size_is_product_of_shape(self):
+        assert Domain([8, 16, 16]).size == 2048
+
+    def test_single_attribute(self):
+        domain = Domain([10])
+        assert domain.size == 10
+        assert domain.dimensions == 1
+
+    def test_default_names(self):
+        assert Domain([2, 3]).names == ("attr0", "attr1")
+
+    def test_custom_names(self):
+        domain = Domain([2, 3], ["gender", "age"])
+        assert domain.names == ("gender", "age")
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(DomainError):
+            Domain([])
+
+    def test_rejects_zero_sized_attribute(self):
+        with pytest.raises(DomainError):
+            Domain([4, 0])
+
+    def test_rejects_mismatched_names(self):
+        with pytest.raises(DomainError):
+            Domain([2, 3], ["only-one"])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(DomainError):
+            Domain([2, 3], ["a", "a"])
+
+    def test_len_and_iter(self):
+        domain = Domain([2, 3, 4])
+        assert len(domain) == 3
+        assert list(domain) == [2, 3, 4]
+
+
+class TestDomainIndexing:
+    def test_ravel_unravel_roundtrip(self):
+        domain = Domain([3, 4, 5])
+        for cell in range(domain.size):
+            assert domain.ravel(domain.unravel(cell)) == cell
+
+    def test_ravel_is_row_major(self):
+        domain = Domain([2, 4])
+        assert domain.ravel([0, 0]) == 0
+        assert domain.ravel([0, 3]) == 3
+        assert domain.ravel([1, 0]) == 4
+
+    def test_ravel_rejects_out_of_range(self):
+        with pytest.raises(DomainError):
+            Domain([2, 4]).ravel([2, 0])
+
+    def test_unravel_rejects_out_of_range(self):
+        with pytest.raises(DomainError):
+            Domain([2, 4]).unravel(8)
+
+    def test_attribute_index(self):
+        domain = Domain([2, 4], ["gender", "gpa"])
+        assert domain.attribute_index("gpa") == 1
+
+    def test_attribute_index_unknown(self):
+        with pytest.raises(DomainError):
+            Domain([2, 4], ["gender", "gpa"]).attribute_index("age")
+
+    def test_resolve_mixed_names_and_indexes(self):
+        domain = Domain([2, 4, 8], ["a", "b", "c"])
+        assert domain.resolve(["c", 0]) == (0, 2)
+
+    def test_resolve_rejects_duplicates(self):
+        with pytest.raises(DomainError):
+            Domain([2, 4], ["a", "b"]).resolve(["a", 0])
+
+    def test_size_of_subset(self):
+        domain = Domain([2, 4, 8])
+        assert domain.size_of([0, 2]) == 16
+        assert domain.size_of([]) == 1
+
+
+class TestDomainProjection:
+    def test_project_keeps_names(self):
+        domain = Domain([2, 4, 8], ["a", "b", "c"])
+        projected = domain.project(["a", "c"])
+        assert projected.shape == (2, 8)
+        assert projected.names == ("a", "c")
+
+    def test_project_empty_rejected(self):
+        with pytest.raises(DomainError):
+            Domain([2, 4]).project([])
+
+    def test_marginalization_matrix_shape(self):
+        domain = Domain([2, 4, 3])
+        matrix = domain.marginalization_matrix([0, 2])
+        assert matrix.shape == (6, 24)
+
+    def test_marginalization_matrix_total(self):
+        domain = Domain([2, 4])
+        matrix = domain.marginalization_matrix([])
+        np.testing.assert_array_equal(matrix, np.ones((1, 8)))
+
+    def test_marginalization_matrix_partitions_cells(self):
+        domain = Domain([3, 4])
+        matrix = domain.marginalization_matrix([0])
+        # Every cell contributes to exactly one marginal cell.
+        np.testing.assert_array_equal(matrix.sum(axis=0), np.ones(12))
+
+    def test_marginalization_matrix_counts_match_manual(self):
+        domain = Domain([2, 3])
+        data = np.arange(6, dtype=float)
+        marginal = domain.marginalization_matrix([1]) @ data
+        expected = data.reshape(2, 3).sum(axis=0)
+        np.testing.assert_allclose(marginal, expected)

@@ -1,0 +1,96 @@
+"""End-to-end integration: schema -> data -> workload -> eigen design -> private answers."""
+
+import numpy as np
+import pytest
+
+from repro import MatrixMechanism, PrivacyParams, eigen_design, expected_workload_error
+from repro.datasets import census_like
+from repro.domain import CategoricalAttribute, NumericAttribute, Schema
+from repro.evaluation import relative_error
+from repro.mechanisms import PrivacyAccountant
+from repro.strategies import wavelet_strategy
+from repro.workloads import (
+    combine_workloads,
+    kway_marginals,
+    random_range_queries,
+    workload_from_predicates,
+)
+from repro.domain import AttributeRange
+
+
+class TestSchemaToPrivateAnswers:
+    def test_full_pipeline_from_records(self, rng):
+        schema = Schema(
+            [
+                CategoricalAttribute("gender", ["M", "F"]),
+                NumericAttribute("gpa", [1.0, 2.0, 3.0, 3.5, 4.0]),
+            ]
+        )
+        records = [
+            {"gender": rng.choice(["M", "F"]), "gpa": float(rng.uniform(1.0, 3.99))}
+            for _ in range(500)
+        ]
+        data = schema.data_vector(records)
+        assert data.sum() == 500
+
+        domain = schema.domain
+        workload = workload_from_predicates(
+            domain,
+            [
+                AttributeRange("gender", 0, 0),
+                AttributeRange("gender", 1, 1),
+                AttributeRange("gpa", 2, 3),
+                AttributeRange("gender", 0, 0) & AttributeRange("gpa", 0, 1),
+            ],
+        )
+        privacy = PrivacyParams(1.0, 1e-5)
+        design = eigen_design(workload)
+        mechanism = MatrixMechanism(design.strategy, privacy)
+        result = mechanism.run(workload, data, random_state=rng)
+
+        true = workload.answer(data)
+        expected_rmse = mechanism.expected_error(workload)
+        # A single run should land within a few expected standard deviations.
+        assert np.max(np.abs(result.answers - true)) < 8 * expected_rmse
+        assert result.estimate.shape == (domain.size,)
+
+    def test_multi_user_workload_combination(self, privacy, rng):
+        # Two analysts submit different workloads; the combined workload gets
+        # one adapted strategy and one privacy spend.
+        dataset = census_like(total=20_000, random_state=0)
+        user_a = kway_marginals(dataset.domain, 1)
+        user_b = random_range_queries(dataset.domain, 50, random_state=3)
+        combined = combine_workloads([user_a, user_b], name="two-users")
+
+        accountant = PrivacyAccountant(PrivacyParams(1.0, 1e-4))
+        spend = accountant.spend(PrivacyParams(0.5, 1e-4), label="batch release")
+
+        design = eigen_design(combined)
+        mechanism = MatrixMechanism(design.strategy, spend)
+        answers = mechanism.answer(combined, dataset.data, random_state=rng)
+        assert answers.shape == (combined.query_count,)
+        assert accountant.remaining.epsilon == pytest.approx(0.5)
+
+    def test_adaptive_strategy_improves_relative_error(self, rng):
+        # The eigen strategy on the normalised workload should not lose to the
+        # generic wavelet strategy on a skewed real-ish dataset.
+        dataset = census_like(total=100_000, random_state=1)
+        workload = random_range_queries(dataset.domain, 80, random_state=7)
+        privacy = PrivacyParams(0.5, 1e-4)
+
+        eigen_strategy = eigen_design(workload.normalize_rows()).strategy
+        wavelet = wavelet_strategy(dataset.domain)
+        eigen_result = relative_error(
+            workload, eigen_strategy, dataset, privacy, trials=6, random_state=11
+        )
+        wavelet_result = relative_error(
+            workload, wavelet, dataset, privacy, trials=6, random_state=11
+        )
+        assert eigen_result.mean_relative_error < wavelet_result.mean_relative_error * 1.05
+
+    def test_expected_error_is_data_independent(self, privacy):
+        workload = kway_marginals([4, 4, 2], 2)
+        strategy = eigen_design(workload).strategy
+        error = expected_workload_error(workload, strategy, privacy)
+        # Recomputing with any dataset attached changes nothing (Prop. 4).
+        assert error == expected_workload_error(workload, strategy, privacy)

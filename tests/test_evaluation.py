@@ -1,0 +1,139 @@
+"""Tests for the evaluation harness: comparisons, relative error, tables, timing."""
+
+import numpy as np
+import pytest
+
+from repro import PrivacyParams, Strategy, Workload, eigen_design
+from repro.datasets import uniform_dataset, zipf_dataset
+from repro.evaluation import (
+    StrategyComparison,
+    Timer,
+    compare_strategies,
+    default_sanity_bound,
+    format_comparison,
+    format_table,
+    relative_error,
+    timed,
+)
+from repro.exceptions import WorkloadError
+from repro.strategies import hierarchical_strategy, identity_strategy, wavelet_strategy
+from repro.workloads import all_range_queries_1d
+
+
+@pytest.fixture(scope="module")
+def comparison() -> StrategyComparison:
+    workload = all_range_queries_1d(32)
+    strategies = {
+        "identity": identity_strategy(32),
+        "wavelet": wavelet_strategy(32),
+        "hierarchical": hierarchical_strategy(32),
+        "eigen": eigen_design(workload).strategy,
+    }
+    return compare_strategies(workload, strategies)
+
+
+class TestCompareStrategies:
+    def test_contains_all_strategies(self, comparison):
+        assert set(comparison.errors) == {"identity", "wavelet", "hierarchical", "eigen"}
+
+    def test_lower_bound_below_all(self, comparison):
+        assert all(error >= comparison.lower_bound - 1e-9 for error in comparison.errors.values())
+
+    def test_eigen_wins(self, comparison):
+        best, _ = comparison.best_competitor("eigen")
+        assert comparison.errors["eigen"] <= comparison.errors[best]
+
+    def test_improvement_factor(self, comparison):
+        factor = comparison.improvement_over("identity", "eigen")
+        assert factor > 1.0
+
+    def test_ratio_to_bound(self, comparison):
+        assert comparison.ratio_to_bound("eigen") >= 1.0 - 1e-9
+        assert comparison.ratio_to_bound("eigen") < comparison.ratio_to_bound("identity")
+
+    def test_worst_competitor(self, comparison):
+        label, error = comparison.worst_competitor("eigen")
+        assert error == max(v for k, v in comparison.errors.items() if k != "eigen")
+
+    def test_summary_rows_sorted(self, comparison):
+        rows = comparison.summary_rows()
+        errors = [row["error"] for row in rows if row["strategy"] != "lower-bound"]
+        assert errors == sorted(errors)
+
+    def test_unsupporting_strategy_reported_as_inf(self):
+        workload = Workload.identity(4)
+        partial = Strategy(np.eye(4)[:2])
+        result = compare_strategies(workload, {"partial": partial, "full": identity_strategy(4)})
+        assert result.errors["partial"] == float("inf")
+        assert np.isfinite(result.errors["full"])
+
+
+class TestRelativeError:
+    def test_basic_run(self, privacy, rng):
+        dataset = zipf_dataset(shape=(64,), total=50_000, random_state=1)
+        workload = all_range_queries_1d(64)
+        result = relative_error(
+            workload, wavelet_strategy(64), dataset, privacy, trials=3, random_state=rng
+        )
+        assert result.trials == 3
+        assert result.per_trial.shape == (3,)
+        assert result.mean_relative_error > 0
+
+    def test_relative_error_decreases_with_epsilon(self, rng):
+        dataset = zipf_dataset(shape=(32,), total=100_000, random_state=2)
+        workload = all_range_queries_1d(32)
+        strategy = wavelet_strategy(32)
+        loose = relative_error(workload, strategy, dataset, PrivacyParams(0.1, 1e-4), trials=5, random_state=1)
+        tight = relative_error(workload, strategy, dataset, PrivacyParams(2.5, 1e-4), trials=5, random_state=1)
+        assert tight.mean_relative_error < loose.mean_relative_error
+
+    def test_sanity_bound_default(self):
+        dataset = uniform_dataset(shape=(16,), total=1_000_000, random_state=0)
+        assert default_sanity_bound(dataset) == pytest.approx(1000.0)
+        tiny = uniform_dataset(shape=(16,), total=10, random_state=0)
+        assert default_sanity_bound(tiny) == 1.0
+
+    def test_validates_inputs(self, privacy):
+        dataset = uniform_dataset(shape=(16,), total=100, random_state=0)
+        workload = all_range_queries_1d(32)
+        with pytest.raises(WorkloadError):
+            relative_error(workload, wavelet_strategy(32), dataset, privacy)
+        with pytest.raises(WorkloadError):
+            relative_error(all_range_queries_1d(16), wavelet_strategy(16), dataset, privacy, trials=0)
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1.23456, "b": "x"}, {"a": 10.0, "b": "longer"}]
+        text = format_table(rows, precision=2)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "1.23" in text and "longer" in text
+
+    def test_format_table_handles_inf_and_nan(self):
+        text = format_table([{"v": float("inf")}, {"v": float("nan")}])
+        assert "inf" in text and "nan" in text
+
+    def test_format_table_empty(self):
+        assert format_table([], title="empty") == "empty"
+
+    def test_format_comparison(self, comparison):
+        text = format_comparison(comparison)
+        assert "lower-bound" in text
+        assert "eigen" in text
+
+
+class TestTiming:
+    def test_timer_accumulates(self):
+        timer = Timer()
+        with timer.measure("step"):
+            sum(range(1000))
+        with timer.measure("step"):
+            sum(range(1000))
+        assert timer.seconds("step") > 0
+        assert timer.seconds("missing") == 0.0
+
+    def test_timed_contextmanager(self):
+        with timed() as elapsed:
+            sum(range(1000))
+        assert elapsed() > 0

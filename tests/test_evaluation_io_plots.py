@@ -1,0 +1,165 @@
+"""Tests for repro.evaluation.io and repro.evaluation.ascii_plots."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    ExperimentRecord,
+    bar_chart,
+    line_chart,
+    load_records,
+    rows_from_csv,
+    rows_to_csv,
+    save_records,
+)
+from repro.exceptions import ReproError
+
+
+class TestExperimentRecord:
+    def test_copies_inputs(self):
+        rows = [{"a": 1}]
+        record = ExperimentRecord("exp", parameters={"x": 1}, rows=rows)
+        rows[0]["a"] = 2
+        assert record.rows[0]["a"] == 1
+
+    def test_requires_experiment_id(self):
+        with pytest.raises(ReproError):
+            ExperimentRecord("")
+
+
+class TestJsonRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        records = [
+            ExperimentRecord(
+                "fig3a",
+                parameters={"cells": 128, "epsilon": 0.5},
+                rows=[{"strategy": "eigen", "error": 1.25}, {"strategy": "wavelet", "error": 2.0}],
+                notes="unit test",
+            ),
+            ExperimentRecord("table2", rows=[{"workload": "cdf", "ratio": 1.01}]),
+        ]
+        path = save_records(records, tmp_path / "results.json")
+        loaded = load_records(path)
+        assert [r.experiment for r in loaded] == ["fig3a", "table2"]
+        assert loaded[0].parameters["cells"] == 128
+        assert loaded[0].rows[1]["error"] == 2.0
+        assert loaded[0].notes == "unit test"
+
+    def test_numpy_values_are_serialised(self, tmp_path):
+        record = ExperimentRecord(
+            "numpy",
+            rows=[{"value": np.float64(1.5), "count": np.int64(3)}],
+            parameters={"vector": np.arange(3)},
+        )
+        path = save_records([record], tmp_path / "numpy.json")
+        loaded = load_records(path)[0]
+        assert loaded.rows[0]["value"] == 1.5
+        assert loaded.rows[0]["count"] == 3
+        assert loaded.parameters["vector"] == [0, 1, 2]
+
+    def test_non_finite_values_survive(self, tmp_path):
+        record = ExperimentRecord("inf", rows=[{"error": float("inf")}])
+        path = save_records([record], tmp_path / "inf.json")
+        assert load_records(path)[0].rows[0]["error"] == "inf"
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = save_records([ExperimentRecord("x", rows=[])], tmp_path / "deep" / "dir" / "r.json")
+        assert path.exists()
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json at all {")
+        with pytest.raises(ReproError):
+            load_records(path)
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"something": 1}')
+        with pytest.raises(ReproError):
+            load_records(path)
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "version.json"
+        path.write_text('{"format_version": 999, "records": []}')
+        with pytest.raises(ReproError):
+            load_records(path)
+
+
+class TestCsv:
+    def test_round_trip(self):
+        rows = [
+            {"strategy": "eigen", "error": 1.5, "cells": 64},
+            {"strategy": "wavelet", "error": 2.25, "cells": 64},
+        ]
+        text = rows_to_csv(rows)
+        parsed = rows_from_csv(text)
+        assert parsed[0]["strategy"] == "eigen"
+        assert parsed[0]["error"] == 1.5
+        assert parsed[1]["cells"] == 64
+
+    def test_column_selection(self):
+        text = rows_to_csv([{"a": 1, "b": 2}], columns=["b"])
+        assert text.splitlines()[0] == "b"
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ReproError):
+            rows_to_csv([])
+        with pytest.raises(ReproError):
+            rows_from_csv("a,b\n")
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        chart = bar_chart(["eigen", "wavelet"], [1.0, 2.0], title="errors")
+        assert "errors" in chart
+        assert "eigen" in chart and "wavelet" in chart
+        assert chart.count("#") > 0
+
+    def test_largest_bar_is_longest(self):
+        chart = bar_chart(["small", "large"], [1.0, 10.0])
+        lines = chart.splitlines()
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_non_finite_values_annotated(self):
+        chart = bar_chart(["ok", "bad"], [1.0, float("inf")])
+        assert "inf" in chart
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+
+
+class TestLineChart:
+    def test_contains_legend_and_markers(self):
+        chart = line_chart(
+            [1, 2, 4, 8],
+            {"eigen": [1.0, 1.5, 2.0, 3.0], "wavelet": [2.0, 2.5, 3.5, 5.0]},
+            title="error vs cells",
+        )
+        assert "legend:" in chart
+        assert "o=eigen" in chart and "x=wavelet" in chart
+        assert "error vs cells" in chart
+
+    def test_log_scale(self):
+        chart = line_chart([1, 2, 3], {"series": [1.0, 10.0, 100.0]}, log_y=True)
+        assert "1e" in chart
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {})
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"s": [1.0]})
+
+    def test_rejects_all_non_finite(self):
+        with pytest.raises(ValueError):
+            line_chart([1], {"s": [float("nan")]})
+
+    def test_constant_series_renders(self):
+        chart = line_chart([1, 2, 3], {"flat": [2.0, 2.0, 2.0]})
+        assert "flat" in chart

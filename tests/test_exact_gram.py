@@ -1,0 +1,116 @@
+"""Tests for the direct Gram-matrix reference solver (repro.optimize.exact_gram)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    PrivacyParams,
+    Workload,
+    eigen_design,
+    expected_workload_error,
+    minimum_error_bound,
+)
+from repro.exceptions import OptimizationError
+from repro.optimize import optimal_gram_strategy, strategy_from_gram
+from repro.workloads import all_range_queries_1d, cdf_workload, example_workload, kway_marginals
+
+PRIVACY = PrivacyParams(0.5, 1e-4)
+
+
+class TestStrategyFromGram:
+    def test_gram_round_trip(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(6, 4))
+        gram = matrix.T @ matrix
+        strategy = strategy_from_gram(gram)
+        np.testing.assert_allclose(strategy.gram, gram, atol=1e-9)
+
+    def test_rank_deficient_gram(self):
+        gram = np.outer([1.0, 2.0, 0.0], [1.0, 2.0, 0.0])
+        strategy = strategy_from_gram(gram)
+        np.testing.assert_allclose(strategy.gram, gram, atol=1e-9)
+        assert strategy.query_count == 1
+
+    def test_zero_gram_rejected(self):
+        with pytest.raises(OptimizationError):
+            strategy_from_gram(np.zeros((3, 3)))
+
+
+class TestOptimalGramStrategy:
+    def test_respects_sensitivity_constraint(self):
+        result = optimal_gram_strategy(example_workload())
+        assert result.strategy.sensitivity_l2 <= 1.0 + 1e-9
+
+    def test_objective_trace_is_monotone(self):
+        result = optimal_gram_strategy(example_workload())
+        trace = result.objective_trace
+        assert all(b <= a + 1e-12 for a, b in zip(trace, trace[1:]))
+
+    def test_error_between_bound_and_eigen_design(self):
+        """The reference solver sits between the lower bound and the eigen design."""
+        for workload in (example_workload(), all_range_queries_1d(32)):
+            eigen_error = expected_workload_error(
+                workload, eigen_design(workload).strategy, PRIVACY
+            )
+            exact_error = expected_workload_error(
+                workload, optimal_gram_strategy(workload).strategy, PRIVACY
+            )
+            bound = minimum_error_bound(workload, PRIVACY)
+            assert exact_error <= eigen_error * 1.01
+            assert exact_error >= bound * 0.99
+
+    def test_warm_start_from_eigen_design_never_regresses(self):
+        workload = all_range_queries_1d(16)
+        design = eigen_design(workload)
+        eigen_error = expected_workload_error(workload, design.strategy, PRIVACY)
+        result = optimal_gram_strategy(workload, warm_start=design.strategy)
+        warm_error = expected_workload_error(workload, result.strategy, PRIVACY)
+        assert warm_error <= eigen_error * (1 + 1e-9)
+
+    def test_improves_on_eigen_design_for_cdf(self):
+        """The CDF workload is the paper's hard case for the eigen basis (Sec. 5.4)."""
+        workload = cdf_workload(32)
+        eigen_error = expected_workload_error(workload, eigen_design(workload).strategy, PRIVACY)
+        exact_error = expected_workload_error(
+            workload, optimal_gram_strategy(workload).strategy, PRIVACY
+        )
+        assert exact_error < eigen_error
+
+    def test_example4_certifies_near_optimality(self):
+        """Reproduces the Example 4 claim: the eigen design is within ~2% of optimal."""
+        workload = example_workload()
+        eigen_error = expected_workload_error(workload, eigen_design(workload).strategy, PRIVACY)
+        exact_error = expected_workload_error(
+            workload, optimal_gram_strategy(workload).strategy, PRIVACY
+        )
+        assert eigen_error / exact_error <= 1.02
+
+    def test_marginal_workload_matches_bound(self):
+        workload = kway_marginals([4, 4, 4], 2)
+        exact_error = expected_workload_error(
+            workload, optimal_gram_strategy(workload).strategy, PRIVACY
+        )
+        bound = minimum_error_bound(workload, PRIVACY)
+        assert exact_error == pytest.approx(bound, rel=0.02)
+
+    def test_identity_workload_optimum_is_identity(self):
+        workload = Workload.identity(8)
+        result = optimal_gram_strategy(workload)
+        error = expected_workload_error(workload, result.strategy, PRIVACY)
+        identity_error = expected_workload_error(
+            workload, strategy_from_gram(np.eye(8)), PRIVACY
+        )
+        assert error == pytest.approx(identity_error, rel=1e-3)
+
+    def test_rejects_oversized_domains(self):
+        workload = Workload.from_gram(np.eye(600), query_count=600)
+        with pytest.raises(OptimizationError):
+            optimal_gram_strategy(workload)
+
+    def test_result_fields_populated(self):
+        result = optimal_gram_strategy(example_workload())
+        assert result.gram.shape == (8, 8)
+        assert result.objective > 0
+        assert result.iterations >= 0
+        assert isinstance(result.converged, bool)
+        assert len(result.objective_trace) >= 1

@@ -1,0 +1,155 @@
+"""Integration test: a full private-release workflow across subpackages.
+
+Simulates what a data custodian would actually do with this library:
+
+tuples (relational) -> schema + data vector -> workload built from SQL and
+marginals -> eigen-design strategy -> matrix mechanism release -> published
+error bars (analysis) -> budget accounting for a second release (composition).
+
+The goal is to make sure the public APIs of the subpackages compose without
+glue code and that the released numbers satisfy the documented guarantees.
+"""
+
+import numpy as np
+import pytest
+
+from repro import MatrixMechanism, PrivacyParams, eigen_design, expected_workload_error
+from repro.analysis import (
+    answer_standard_deviations,
+    confidence_intervals,
+    epsilon_for_target_error,
+)
+from repro.domain.schema import CategoricalAttribute, NumericAttribute, Schema
+from repro.mechanisms import CompositionAccountant, PrivacyAccountant
+from repro.relational import Relation, WorkloadBuilder, data_vector
+from repro.strategies import wavelet_strategy
+
+
+@pytest.fixture(scope="module")
+def schema() -> Schema:
+    return Schema(
+        [
+            CategoricalAttribute("work", ["private", "public", "self"]),
+            NumericAttribute("age", [18.0, 30.0, 45.0, 60.0, 90.0]),
+            CategoricalAttribute("income", ["low", "high"]),
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def people(schema) -> Relation:
+    rng = np.random.default_rng(123)
+    count = 20_000
+    return Relation(
+        {
+            "work": rng.choice(["private", "public", "self"], size=count, p=[0.7, 0.2, 0.1]).tolist(),
+            "age": rng.uniform(18.0, 89.9, size=count),
+            "income": rng.choice(["low", "high"], size=count, p=[0.75, 0.25]).tolist(),
+        },
+        name="people",
+    )
+
+
+@pytest.fixture(scope="module")
+def release(schema, people):
+    privacy = PrivacyParams(epsilon=1.0, delta=1e-5)
+    workload, labels = (
+        WorkloadBuilder(schema, name="release-2026")
+        .add_total()
+        .add_marginal(["work"])
+        .add_marginal(["income"])
+        .add_marginal(["work", "income"])
+        .add_cdf("age")
+        .add_sql("SELECT COUNT(*) FROM people WHERE income = 'high' AND age >= 45")
+        .build()
+    )
+    x = data_vector(people, schema)
+    design = eigen_design(workload)
+    mechanism = MatrixMechanism(design.strategy, privacy)
+    result = mechanism.run(workload, x, random_state=7)
+    return {
+        "privacy": privacy,
+        "workload": workload,
+        "labels": labels,
+        "x": x,
+        "design": design,
+        "result": result,
+    }
+
+
+class TestPrivateRelease:
+    def test_workload_dimensions(self, release, schema):
+        workload = release["workload"]
+        assert workload.column_count == schema.domain.size == 3 * 4 * 2
+        assert workload.query_count == len(release["labels"])
+
+    def test_eigen_design_beats_fixed_baseline(self, release, schema):
+        workload = release["workload"]
+        privacy = release["privacy"]
+        eigen_error = expected_workload_error(workload, release["design"].strategy, privacy)
+        wavelet_error = expected_workload_error(workload, wavelet_strategy(schema.domain.shape), privacy)
+        assert eigen_error <= wavelet_error * 1.0001
+
+    def test_answers_are_mutually_consistent(self, release):
+        """Marginal cells sum to the total because answers derive from one estimate."""
+        labels = release["labels"]
+        answers = release["result"].answers
+        total = answers[labels.index("total")]
+        work_cells = [answers[i] for i, label in enumerate(labels) if label.startswith("marginal(work)[")]
+        assert sum(work_cells) == pytest.approx(total, abs=1e-6)
+        joint_cells = [
+            answers[i] for i, label in enumerate(labels) if label.startswith("marginal(work, income)[")
+        ]
+        assert sum(joint_cells) == pytest.approx(total, abs=1e-6)
+
+    def test_release_accuracy_is_within_published_error_bars(self, release):
+        workload = release["workload"]
+        privacy = release["privacy"]
+        strategy = release["design"].strategy
+        truth = workload.answer(release["x"])
+        answers = release["result"].answers
+        intervals = confidence_intervals(answers, workload, strategy, privacy, confidence=0.999)
+        coverage = np.mean((truth >= intervals[:, 0]) & (truth <= intervals[:, 1]))
+        # One run of 29 queries at 99.9% marginal confidence: expect full coverage.
+        assert coverage >= 0.9
+
+    def test_observed_noise_is_plausible_under_reported_deviations(self, release):
+        workload = release["workload"]
+        truth = workload.answer(release["x"])
+        deviations = answer_standard_deviations(
+            workload, release["design"].strategy, release["privacy"]
+        )
+        residuals = np.abs(release["result"].answers - truth)
+        # No query misses by more than six reported standard deviations.
+        assert np.all(residuals <= 6 * deviations + 1e-9)
+
+    def test_budget_planning_matches_release_setting(self, release):
+        workload = release["workload"]
+        strategy = release["design"].strategy
+        privacy = release["privacy"]
+        achieved = expected_workload_error(workload, strategy, privacy)
+        required = epsilon_for_target_error(workload, strategy, achieved, delta=privacy.delta)
+        assert required == pytest.approx(privacy.epsilon, rel=1e-9)
+
+    def test_second_release_respects_budget(self, release):
+        privacy = release["privacy"]
+        accountant = PrivacyAccountant(budget=PrivacyParams(2.0, 1e-4))
+        accountant.spend(privacy, label="release-2026")
+        accountant.spend(privacy, label="release-2027")
+        assert accountant.remaining is None or accountant.remaining.epsilon <= 2.0
+        composition = CompositionAccountant(target_delta=1e-4)
+        composition.record(privacy)
+        composition.record(privacy)
+        assert composition.tightest().epsilon <= composition.basic().epsilon + 1e-12
+
+    def test_synthetic_estimate_can_answer_new_queries(self, release, schema):
+        """The released estimate acts as a synthetic table for follow-up queries."""
+        estimate = release["result"].estimate
+        x = release["x"]
+        follow_up = np.zeros(schema.domain.size)
+        # All people with income 'high' (second bucket of the last attribute).
+        follow_up[1::2] = 1.0
+        true_answer = float(follow_up @ x)
+        synthetic_answer = float(follow_up @ estimate)
+        deviation = abs(synthetic_answer - true_answer)
+        assert deviation <= 0.05 * max(true_answer, 1.0) + 200.0

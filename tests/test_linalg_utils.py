@@ -1,0 +1,164 @@
+"""Tests for repro.utils.linalg and validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SingularStrategyError
+from repro.utils.linalg import (
+    haar_matrix,
+    hierarchical_matrix,
+    kron_all,
+    max_column_norm,
+    prefix_matrix,
+    psd_project,
+    solve_psd,
+    symmetrize,
+    trace_product,
+    trace_ratio,
+)
+from repro.utils.validation import check_matrix, check_positive, check_probability, check_vector
+
+
+class TestBasicHelpers:
+    def test_symmetrize(self):
+        matrix = np.array([[1.0, 2.0], [0.0, 1.0]])
+        result = symmetrize(matrix)
+        np.testing.assert_allclose(result, result.T)
+
+    def test_max_column_norm(self):
+        matrix = np.array([[3.0, 0.0], [4.0, 1.0]])
+        assert max_column_norm(matrix) == pytest.approx(5.0)
+
+    def test_max_column_norm_rejects_vector(self):
+        with pytest.raises(ValueError):
+            max_column_norm(np.ones(3))
+
+    def test_trace_product(self):
+        a = np.random.default_rng(0).normal(size=(4, 4))
+        b = np.random.default_rng(1).normal(size=(4, 4))
+        assert trace_product(a, b) == pytest.approx(np.trace(a @ b))
+
+    def test_solve_psd_positive_definite(self):
+        gram = np.array([[2.0, 0.0], [0.0, 3.0]])
+        rhs = np.array([4.0, 9.0])
+        np.testing.assert_allclose(solve_psd(gram, rhs), [2.0, 3.0])
+
+    def test_solve_psd_singular_uses_pinv(self):
+        gram = np.array([[1.0, 1.0], [1.0, 1.0]])
+        rhs = np.array([2.0, 2.0])
+        solution = solve_psd(gram, rhs)
+        np.testing.assert_allclose(gram @ solution, rhs)
+
+    def test_psd_project_clips_negative_eigenvalues(self):
+        matrix = np.array([[1.0, 0.0], [0.0, -2.0]])
+        projected = psd_project(matrix)
+        assert np.all(np.linalg.eigvalsh(projected) >= -1e-12)
+
+    def test_kron_all(self):
+        a, b, c = np.eye(2), np.ones((1, 2)), np.array([[2.0]])
+        np.testing.assert_allclose(kron_all([a, b, c]), np.kron(np.kron(a, b), c))
+
+    def test_kron_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            kron_all([])
+
+
+class TestTraceRatio:
+    def test_identity_strategy(self):
+        gram = np.diag([1.0, 2.0, 3.0])
+        assert trace_ratio(gram, np.eye(3)) == pytest.approx(6.0)
+
+    def test_matches_explicit_inverse(self):
+        rng = np.random.default_rng(3)
+        w = rng.normal(size=(5, 4))
+        a = rng.normal(size=(6, 4))
+        expected = np.trace(w.T @ w @ np.linalg.inv(a.T @ a))
+        assert trace_ratio(w.T @ w, a.T @ a) == pytest.approx(expected)
+
+    def test_singular_but_supporting(self):
+        w = np.array([[1.0, 1.0]])
+        a = np.array([[2.0, 2.0]])
+        assert trace_ratio(w.T @ w, a.T @ a) == pytest.approx(0.25)
+
+    def test_singular_not_supporting_raises(self):
+        w = np.array([[0.0, 1.0]])
+        a = np.array([[1.0, 0.0]])
+        with pytest.raises(SingularStrategyError):
+            trace_ratio(w.T @ w, a.T @ a)
+
+
+class TestStructuredMatrices:
+    @pytest.mark.parametrize("size", [1, 2, 3, 8, 13, 16])
+    def test_haar_matrix_square_full_rank(self, size):
+        matrix = haar_matrix(size)
+        assert matrix.shape == (size, size)
+        assert np.linalg.matrix_rank(matrix) == size
+
+    def test_haar_power_of_two_rows_orthogonal(self):
+        matrix = haar_matrix(8)
+        gram = matrix @ matrix.T
+        off_diagonal = gram - np.diag(np.diag(gram))
+        np.testing.assert_allclose(off_diagonal, 0.0, atol=1e-12)
+
+    def test_haar_first_row_is_total(self):
+        np.testing.assert_array_equal(haar_matrix(8)[0], np.ones(8))
+
+    def test_haar_normalized_rows(self):
+        matrix = haar_matrix(8, normalized=True)
+        np.testing.assert_allclose(np.linalg.norm(matrix, axis=1), 1.0)
+
+    def test_haar_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            haar_matrix(0)
+
+    @pytest.mark.parametrize("size,branching", [(1, 2), (7, 2), (8, 2), (9, 3), (16, 4)])
+    def test_hierarchical_matrix_full_rank_and_binary(self, size, branching):
+        matrix = hierarchical_matrix(size, branching=branching)
+        assert matrix.shape[1] == size
+        assert np.linalg.matrix_rank(matrix) == size
+        assert set(np.unique(matrix)).issubset({0.0, 1.0})
+
+    def test_hierarchical_contains_total_and_leaves(self):
+        matrix = hierarchical_matrix(8)
+        assert any(np.array_equal(row, np.ones(8)) for row in matrix)
+        for leaf in np.eye(8):
+            assert any(np.array_equal(row, leaf) for row in matrix)
+
+    def test_hierarchical_rejects_bad_branching(self):
+        with pytest.raises(ValueError):
+            hierarchical_matrix(4, branching=1)
+
+    def test_prefix_matrix(self):
+        matrix = prefix_matrix(3)
+        np.testing.assert_array_equal(matrix, [[1, 0, 0], [1, 1, 0], [1, 1, 1]])
+
+    def test_prefix_matrix_reverse(self):
+        matrix = prefix_matrix(3, reverse=True)
+        np.testing.assert_array_equal(matrix, [[1, 1, 1], [0, 1, 1], [0, 0, 1]])
+
+
+class TestValidation:
+    def test_check_matrix_accepts_lists(self):
+        assert check_matrix([[1, 2], [3, 4]]).shape == (2, 2)
+
+    def test_check_matrix_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_matrix(np.array([[np.nan, 1.0]]))
+
+    def test_check_matrix_rejects_vector(self):
+        with pytest.raises(ValueError):
+            check_matrix(np.ones(3))
+
+    def test_check_vector_length(self):
+        with pytest.raises(ValueError):
+            check_vector([1.0, 2.0], length=3)
+
+    def test_check_positive(self):
+        assert check_positive(2.5) == 2.5
+        with pytest.raises(ValueError):
+            check_positive(0.0)
+
+    def test_check_probability(self):
+        assert check_probability(0.3) == 0.3
+        with pytest.raises(ValueError):
+            check_probability(1.0)

@@ -1,0 +1,196 @@
+"""Tests for the Gaussian, Laplace and matrix mechanisms and the accountant."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GaussianMechanism,
+    LaplaceMechanism,
+    MatrixMechanism,
+    PrivacyParams,
+    Strategy,
+    Workload,
+)
+from repro.exceptions import SingularStrategyError
+from repro.mechanisms import (
+    BudgetExceededError,
+    PrivacyAccountant,
+    least_squares_estimate,
+    nonnegative_least_squares_estimate,
+)
+from repro.strategies import identity_strategy, wavelet_strategy
+from repro.workloads import all_range_queries_1d
+
+
+class TestGaussianMechanism:
+    def test_noise_scale_matches_prop2(self, privacy, fig1_workload):
+        mechanism = GaussianMechanism(privacy)
+        expected = privacy.gaussian_scale(np.sqrt(5.0))
+        assert mechanism.noise_scale(fig1_workload) == pytest.approx(expected)
+
+    def test_requires_delta(self):
+        with pytest.raises(ValueError):
+            GaussianMechanism(PrivacyParams(0.5, 0.0))
+
+    def test_answers_are_unbiased(self, privacy, rng):
+        workload = Workload.identity(4)
+        data = np.array([10.0, 20.0, 30.0, 40.0])
+        mechanism = GaussianMechanism(privacy)
+        answers = np.mean(
+            [mechanism.answer(workload, data, random_state=rng) for _ in range(2000)], axis=0
+        )
+        np.testing.assert_allclose(answers, data, atol=1.5)
+
+    def test_empirical_noise_scale(self, privacy, rng):
+        workload = Workload.total(8)
+        data = np.zeros(8)
+        mechanism = GaussianMechanism(privacy)
+        samples = np.array(
+            [mechanism.answer(workload, data, random_state=rng)[0] for _ in range(4000)]
+        )
+        assert samples.std() == pytest.approx(mechanism.noise_scale(workload), rel=0.1)
+
+    def test_raw_matrix_input(self, privacy, rng):
+        answers = GaussianMechanism(privacy).answer(np.eye(3), np.ones(3), random_state=rng)
+        assert answers.shape == (3,)
+
+    def test_data_length_validated(self, privacy):
+        with pytest.raises(ValueError):
+            GaussianMechanism(privacy).answer(np.eye(3), np.ones(4))
+
+
+class TestLaplaceMechanism:
+    def test_noise_scale_is_l1_sensitivity_over_epsilon(self, fig1_workload):
+        mechanism = LaplaceMechanism(0.5)
+        expected = fig1_workload.sensitivity_l1 / 0.5
+        assert mechanism.noise_scale(fig1_workload) == pytest.approx(expected)
+
+    def test_accepts_privacy_params(self, privacy):
+        assert LaplaceMechanism(privacy).epsilon == privacy.epsilon
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            LaplaceMechanism(0.0)
+
+    def test_empirical_scale(self, rng):
+        mechanism = LaplaceMechanism(1.0)
+        samples = np.array(
+            [mechanism.answer(np.eye(1), np.zeros(1), random_state=rng)[0] for _ in range(4000)]
+        )
+        # Variance of Laplace(b) is 2 b^2 with b = 1 here.
+        assert samples.var() == pytest.approx(2.0, rel=0.15)
+
+
+class TestInference:
+    def test_least_squares_exact_without_noise(self, rng):
+        strategy = wavelet_strategy(8).matrix
+        data = rng.integers(0, 50, 8).astype(float)
+        estimate = least_squares_estimate(strategy, strategy @ data)
+        np.testing.assert_allclose(estimate, data, atol=1e-8)
+
+    def test_least_squares_rank_deficient(self):
+        matrix = np.array([[1.0, 1.0]])
+        estimate = least_squares_estimate(matrix, np.array([4.0]))
+        # Minimum-norm solution splits the total evenly.
+        np.testing.assert_allclose(estimate, [2.0, 2.0])
+
+    def test_least_squares_zero_strategy_rejected(self):
+        from repro.exceptions import StrategyError
+
+        with pytest.raises(StrategyError):
+            least_squares_estimate(np.zeros((2, 2)), np.zeros(2))
+
+    def test_nonnegative_estimate(self):
+        matrix = np.eye(3)
+        estimate = nonnegative_least_squares_estimate(matrix, np.array([5.0, -3.0, 2.0]))
+        assert np.all(estimate >= 0)
+        np.testing.assert_allclose(estimate, [5.0, 0.0, 2.0])
+
+
+class TestMatrixMechanism:
+    def test_unbiased_answers(self, privacy, rng, fig1_workload):
+        data = np.array([30.0, 40.0, 10.0, 5.0, 25.0, 35.0, 15.0, 10.0])
+        mechanism = MatrixMechanism(wavelet_strategy(8), privacy)
+        answers = np.mean(
+            [mechanism.answer(fig1_workload, data, random_state=rng) for _ in range(1500)], axis=0
+        )
+        np.testing.assert_allclose(answers, fig1_workload.answer(data), atol=4.0)
+
+    def test_answers_are_consistent(self, privacy, rng, fig1_workload):
+        # q1 = q2 + q3 and q4 = q1 - q5 must hold exactly in every run because
+        # all answers derive from a single estimate.
+        mechanism = MatrixMechanism(identity_strategy(8), privacy)
+        result = mechanism.run(fig1_workload, np.ones(8), random_state=rng)
+        q = result.answers
+        assert q[0] == pytest.approx(q[1] + q[2])
+        assert q[3] == pytest.approx(q[0] - q[4])
+
+    def test_estimate_has_domain_size(self, privacy, rng, fig1_workload):
+        mechanism = MatrixMechanism(wavelet_strategy(8), privacy)
+        result = mechanism.run(fig1_workload, np.ones(8), random_state=rng)
+        assert result.estimate.shape == (8,)
+        assert result.strategy_answers.shape == (8,)
+        assert result.noise_scale > 0
+
+    def test_rejects_unsupporting_strategy(self, privacy):
+        strategy = Strategy(np.array([[1.0, 0.0]]))
+        workload = Workload(np.array([[0.0, 1.0]]))
+        with pytest.raises(SingularStrategyError):
+            MatrixMechanism(strategy, privacy).run(workload, np.zeros(2))
+
+    def test_rejects_cell_count_mismatch(self, privacy, fig1_workload):
+        with pytest.raises(SingularStrategyError):
+            MatrixMechanism(identity_strategy(4), privacy).run(fig1_workload, np.zeros(4))
+
+    def test_expected_error_accessor(self, privacy, fig1_workload):
+        from repro import expected_workload_error
+
+        mechanism = MatrixMechanism(wavelet_strategy(8), privacy)
+        assert mechanism.expected_error(fig1_workload) == pytest.approx(
+            expected_workload_error(fig1_workload, wavelet_strategy(8), privacy)
+        )
+
+    def test_empirical_error_matches_prop4(self, privacy, rng):
+        workload = all_range_queries_1d(16)
+        strategy = wavelet_strategy(16)
+        mechanism = MatrixMechanism(strategy, privacy)
+        data = rng.integers(0, 100, 16).astype(float)
+        true = workload.answer(data)
+        squared = [
+            np.mean((mechanism.answer(workload, data, random_state=rng) - true) ** 2)
+            for _ in range(400)
+        ]
+        empirical = np.sqrt(np.mean(squared))
+        assert empirical == pytest.approx(mechanism.expected_error(workload), rel=0.1)
+
+    def test_nonnegative_option(self, privacy, rng):
+        workload = Workload.identity(6)
+        mechanism = MatrixMechanism(identity_strategy(6), privacy, nonnegative=True)
+        result = mechanism.run(workload, np.zeros(6), random_state=rng)
+        assert np.all(result.estimate >= 0)
+
+
+class TestAccountant:
+    def test_spend_within_budget(self):
+        accountant = PrivacyAccountant(PrivacyParams(1.0, 1e-4))
+        accountant.spend(PrivacyParams(0.4, 5e-5), label="first")
+        accountant.spend(PrivacyParams(0.6, 5e-5), label="second")
+        assert accountant.remaining is None
+        assert len(accountant.history) == 2
+
+    def test_overspend_rejected(self):
+        accountant = PrivacyAccountant(PrivacyParams(0.5, 1e-4))
+        with pytest.raises(BudgetExceededError):
+            accountant.spend(PrivacyParams(0.6, 1e-5))
+
+    def test_remaining_budget(self):
+        accountant = PrivacyAccountant(PrivacyParams(1.0, 1e-4))
+        accountant.spend(PrivacyParams(0.25, 2e-5))
+        remaining = accountant.remaining
+        assert remaining.epsilon == pytest.approx(0.75)
+        assert remaining.delta == pytest.approx(8e-5)
+
+    def test_can_spend_is_side_effect_free(self):
+        accountant = PrivacyAccountant(PrivacyParams(1.0, 1e-4))
+        assert accountant.can_spend(PrivacyParams(0.9, 1e-5))
+        assert accountant.spent_epsilon == 0.0

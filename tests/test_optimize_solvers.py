@@ -1,0 +1,129 @@
+"""Tests for the weighting solvers (dual ascent, dual Newton, scipy, dispatcher)."""
+
+import numpy as np
+import pytest
+
+from repro.core.eigen_design import eigen_queries
+from repro.exceptions import OptimizationError
+from repro.optimize import (
+    WeightingProblem,
+    l1_weighting_problem,
+    solve_dual_ascent,
+    solve_dual_newton,
+    solve_l1_weights,
+    solve_scipy,
+    solve_weighting,
+)
+from repro.workloads import all_range_queries_1d, cdf_workload, kway_marginals
+
+
+def _eigen_problem(workload) -> WeightingProblem:
+    values, queries = eigen_queries(workload)
+    return WeightingProblem(costs=values, constraints=(queries**2).T)
+
+
+@pytest.fixture(scope="module")
+def range_problem() -> WeightingProblem:
+    return _eigen_problem(all_range_queries_1d(32))
+
+
+ALL_SOLVERS = [solve_dual_ascent, solve_dual_newton, solve_scipy]
+
+
+class TestSolverAgreement:
+    @pytest.mark.parametrize("solver", ALL_SOLVERS)
+    def test_feasible_solution(self, range_problem, solver):
+        solution = solver(range_problem)
+        assert range_problem.max_violation(solution.weights) <= 1e-8
+        assert np.all(solution.weights >= 0)
+
+    def test_all_backends_agree_on_optimum(self, range_problem):
+        values = [solver(range_problem).objective_value for solver in ALL_SOLVERS]
+        assert max(values) == pytest.approx(min(values), rel=1e-3)
+
+    @pytest.mark.parametrize("solver", [solve_dual_ascent, solve_dual_newton])
+    def test_duality_gap_certificate(self, range_problem, solver):
+        solution = solver(range_problem)
+        assert solution.converged
+        assert solution.relative_gap <= 1e-5
+        assert solution.dual_value <= solution.objective_value + 1e-9
+
+    def test_agreement_on_marginal_workload(self):
+        problem = _eigen_problem(kway_marginals([4, 4, 4], 2))
+        newton = solve_dual_newton(problem)
+        ascent = solve_dual_ascent(problem)
+        assert newton.objective_value == pytest.approx(ascent.objective_value, rel=1e-4)
+
+    def test_agreement_on_skewed_cdf_workload(self):
+        problem = _eigen_problem(cdf_workload(48))
+        newton = solve_dual_newton(problem)
+        reference = solve_scipy(problem)
+        assert newton.objective_value == pytest.approx(reference.objective_value, rel=1e-3)
+
+    def test_known_closed_form_diagonal_case(self):
+        # With an identity design, min sum c_i/u_i s.t. u_i <= 1 has solution
+        # u_i = 1 and objective sum(c_i).
+        costs = np.array([3.0, 5.0, 2.0])
+        problem = WeightingProblem(costs=costs, constraints=np.eye(3))
+        for solver in ALL_SOLVERS:
+            solution = solver(problem)
+            assert solution.objective_value == pytest.approx(costs.sum(), rel=1e-6)
+            np.testing.assert_allclose(solution.weights, 1.0, rtol=1e-4)
+
+    def test_shared_constraint_closed_form(self):
+        # One constraint u1 + u2 <= 1 with costs (4, 1): optimal u = (2/3, 1/3),
+        # objective = 4/(2/3) + 1/(1/3) = 9 (Cauchy-Schwarz: (sum sqrt(c_i))^2).
+        problem = WeightingProblem(
+            costs=np.array([4.0, 1.0]), constraints=np.array([[1.0, 1.0]])
+        )
+        for solver in ALL_SOLVERS:
+            solution = solver(problem)
+            assert solution.objective_value == pytest.approx(9.0, rel=1e-6)
+
+
+class TestDispatcher:
+    def test_auto_solver_converges(self, range_problem):
+        solution = solve_weighting(range_problem)
+        assert solution.converged
+
+    def test_named_solver(self, range_problem):
+        solution = solve_weighting(range_problem, solver="dual-newton")
+        assert solution.solver == "dual-newton"
+
+    def test_unknown_solver(self, range_problem):
+        with pytest.raises(OptimizationError):
+            solve_weighting(range_problem, solver="simplex")
+
+    def test_convergence_warning_emitted(self, range_problem):
+        from repro.exceptions import ConvergenceWarning
+
+        with pytest.warns(ConvergenceWarning):
+            solve_weighting(range_problem, solver="dual-ascent", max_iterations=2)
+
+    def test_options_forwarded(self, range_problem):
+        solution = solve_weighting(range_problem, solver="dual-ascent", max_iterations=3,
+                                   warn_on_no_convergence=False)
+        assert solution.iterations <= 3
+
+
+class TestL1Weighting:
+    def test_problem_uses_absolute_values(self):
+        design = np.array([[1.0, -1.0], [0.0, 2.0]])
+        problem = l1_weighting_problem(design, np.array([1.0, 1.0]))
+        np.testing.assert_allclose(problem.constraints, np.abs(design).T)
+        assert problem.power == 2.0
+
+    def test_l1_weights_feasible(self):
+        workload = all_range_queries_1d(16)
+        values, queries = eigen_queries(workload)
+        solution = solve_l1_weights(queries, values)
+        # L1 column norms of the weighted strategy stay within 1.
+        weighted = solution.weights[:, None] * queries
+        assert np.abs(weighted).sum(axis=0).max() <= 1 + 1e-6
+
+    def test_l1_closed_form_single_query(self):
+        # One design query (1, 1), cost 1: constraint lambda * 1 <= 1 so
+        # lambda = 1 and objective = 1.
+        solution = solve_l1_weights(np.array([[1.0, 1.0]]), np.array([1.0]))
+        assert solution.objective_value == pytest.approx(1.0, rel=1e-5)
+        assert solution.weights[0] == pytest.approx(1.0, rel=1e-5)

@@ -1,0 +1,167 @@
+"""Integration tests tying the library to the paper's headline claims.
+
+These tests check the *shape* of the paper's results (who wins, by roughly
+what factor, ratios to the lower bound) at reduced domain sizes so the suite
+stays fast; the full-size experiments live under ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    PrivacyParams,
+    eigen_design,
+    expected_workload_error,
+    minimum_error_bound,
+)
+from repro.domain import Domain
+from repro.strategies import (
+    datacube_strategy,
+    fourier_strategy,
+    hierarchical_strategy,
+    identity_strategy,
+    wavelet_strategy,
+    workload_strategy,
+)
+from repro.workloads import (
+    all_range_queries,
+    all_range_queries_1d,
+    cdf_workload,
+    example_workload,
+    kway_marginals,
+    kway_range_marginals,
+    marginal_attribute_sets,
+    permuted_workload,
+    random_predicate_queries,
+    random_range_queries,
+)
+
+PRIVACY = PrivacyParams(epsilon=0.5, delta=1e-4)
+
+
+class TestExample4:
+    """Fig. 2 / Example 4: identity vs wavelet vs adaptive strategy on the Fig. 1 workload.
+
+    The paper reports errors 45.36 (identity), 34.62 (wavelet), 29.79
+    (adaptive) and a lower bound of 29.18.  Our noise constant differs by a
+    fixed factor (see DESIGN.md), so we check the ratios, which are
+    constant-free.
+    """
+
+    @pytest.fixture(scope="class")
+    def errors(self):
+        workload = example_workload()
+        eigen = eigen_design(workload).strategy
+        return {
+            "identity": expected_workload_error(workload, identity_strategy(8), PRIVACY),
+            "wavelet": expected_workload_error(workload, wavelet_strategy(8), PRIVACY),
+            "eigen": expected_workload_error(workload, eigen, PRIVACY),
+            "bound": minimum_error_bound(workload, PRIVACY),
+        }
+
+    def test_ordering_matches_paper(self, errors):
+        assert errors["eigen"] < errors["wavelet"] < errors["identity"]
+
+    def test_identity_to_wavelet_ratio(self, errors):
+        # Paper: 45.36 / 34.62 = 1.31
+        assert errors["identity"] / errors["wavelet"] == pytest.approx(1.31, abs=0.03)
+
+    def test_wavelet_to_eigen_ratio(self, errors):
+        # Paper: 34.62 / 29.79 = 1.16
+        assert errors["wavelet"] / errors["eigen"] == pytest.approx(1.16, abs=0.03)
+
+    def test_eigen_close_to_bound(self, errors):
+        # Paper: 29.79 / 29.18 = 1.02
+        assert errors["eigen"] / errors["bound"] == pytest.approx(1.02, abs=0.02)
+
+
+class TestFig3aRangeWorkloads:
+    """Fig. 3(a): eigen design beats wavelet and hierarchical on range workloads."""
+
+    @pytest.mark.parametrize("dims", [[64], [8, 8], [4, 4, 4]])
+    def test_all_range_ordering(self, dims):
+        workload = all_range_queries(dims)
+        eigen_error = expected_workload_error(workload, eigen_design(workload).strategy, PRIVACY)
+        wavelet_error = expected_workload_error(workload, wavelet_strategy(dims), PRIVACY)
+        hierarchical_error = expected_workload_error(workload, hierarchical_strategy(dims), PRIVACY)
+        bound = minimum_error_bound(workload, PRIVACY)
+        assert eigen_error < min(wavelet_error, hierarchical_error)
+        # Paper: improvement factor 1.2 - 2.1 over the best competitor and
+        # within 1.3x of the lower bound.
+        assert min(wavelet_error, hierarchical_error) / eigen_error > 1.1
+        assert eigen_error / bound < 1.3
+
+    def test_random_range_ordering(self):
+        workload = random_range_queries([8, 8], 200, random_state=0)
+        eigen_error = expected_workload_error(workload, eigen_design(workload).strategy, PRIVACY)
+        wavelet_error = expected_workload_error(workload, wavelet_strategy([8, 8]), PRIVACY)
+        hierarchical_error = expected_workload_error(workload, hierarchical_strategy([8, 8]), PRIVACY)
+        assert eigen_error < min(wavelet_error, hierarchical_error)
+
+
+class TestFig3cMarginalWorkloads:
+    """Fig. 3(c): eigen design beats Fourier and DataCube on marginal workloads."""
+
+    @pytest.mark.parametrize("dims", [[4, 4, 4], [8, 8, 4]])
+    def test_two_way_marginals(self, dims):
+        domain = Domain(dims)
+        workload = kway_marginals(domain, 2)
+        eigen_error = expected_workload_error(workload, eigen_design(workload).strategy, PRIVACY)
+        fourier_error = expected_workload_error(workload, fourier_strategy(domain, 2), PRIVACY)
+        datacube_error = expected_workload_error(
+            workload, datacube_strategy(domain, marginal_attribute_sets(domain, 2)), PRIVACY
+        )
+        bound = minimum_error_bound(workload, PRIVACY)
+        assert eigen_error <= min(fourier_error, datacube_error) + 1e-9
+        # Paper: the eigen design essentially achieves the lower bound here.
+        assert eigen_error / bound < 1.05
+
+
+class TestTable2AlternativeWorkloads:
+    """Table 2: the eigen design adapts where fixed-basis competitors degrade."""
+
+    def test_permuted_range_workload(self):
+        workload = permuted_workload(all_range_queries_1d(64), random_state=5)
+        eigen_error = expected_workload_error(workload, eigen_design(workload).strategy, PRIVACY)
+        wavelet_error = expected_workload_error(workload, wavelet_strategy(64), PRIVACY)
+        hierarchical_error = expected_workload_error(workload, hierarchical_strategy(64), PRIVACY)
+        bound = minimum_error_bound(workload, PRIVACY)
+        # Paper: large improvement (9.6x - 13.2x at n=2048) and ratio ~1 to bound.
+        assert min(wavelet_error, hierarchical_error) / eigen_error > 2.0
+        assert eigen_error / bound < 1.1
+
+    def test_one_way_range_marginals(self):
+        domain = Domain([8, 8, 4])
+        workload = kway_range_marginals(domain, 1)
+        eigen_error = expected_workload_error(workload, eigen_design(workload).strategy, PRIVACY)
+        fourier_error = expected_workload_error(workload, fourier_strategy(domain, 1), PRIVACY)
+        datacube_error = expected_workload_error(
+            workload, datacube_strategy(domain, marginal_attribute_sets(domain, 1)), PRIVACY
+        )
+        assert eigen_error < min(fourier_error, datacube_error)
+
+    def test_cdf_workload_close_to_competitors(self):
+        # Table 2 reports only a marginal win on the CDF workload.
+        workload = cdf_workload(64)
+        eigen_error = expected_workload_error(workload, eigen_design(workload).strategy, PRIVACY)
+        wavelet_error = expected_workload_error(workload, wavelet_strategy(64), PRIVACY)
+        hierarchical_error = expected_workload_error(workload, hierarchical_strategy(64), PRIVACY)
+        assert eigen_error <= min(wavelet_error, hierarchical_error) * 1.05
+
+    def test_predicate_workload(self):
+        workload = random_predicate_queries(64, 256, random_state=0)
+        eigen_error = expected_workload_error(workload, eigen_design(workload).strategy, PRIVACY)
+        wavelet_error = expected_workload_error(workload, wavelet_strategy(64), PRIVACY)
+        bound = minimum_error_bound(workload, PRIVACY)
+        assert eigen_error < wavelet_error
+        assert eigen_error / bound < 1.1
+
+
+class TestWorkloadAsStrategyIsSuboptimal:
+    """The motivating observation: asking exactly what you want is not optimal."""
+
+    def test_eigen_design_beats_workload_strategy(self):
+        workload = all_range_queries_1d(32)
+        direct = expected_workload_error(workload, workload_strategy(workload), PRIVACY)
+        adaptive = expected_workload_error(workload, eigen_design(workload).strategy, PRIVACY)
+        assert adaptive < direct

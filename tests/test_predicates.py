@@ -1,0 +1,61 @@
+"""Tests for repro.domain.predicates."""
+
+import numpy as np
+import pytest
+
+from repro.domain import AttributeRange, Conjunction, Domain, predicate_vector
+from repro.exceptions import DomainError
+
+
+@pytest.fixture
+def domain() -> Domain:
+    return Domain([2, 4], ["gender", "gpa"])
+
+
+class TestAttributeRange:
+    def test_full_range_is_all_ones(self, domain):
+        vector = AttributeRange("gender", 0, 1).vector(domain)
+        np.testing.assert_array_equal(vector, np.ones(8))
+
+    def test_single_bucket_selects_block(self, domain):
+        vector = AttributeRange("gender", 1, 1).vector(domain)
+        np.testing.assert_array_equal(vector, [0, 0, 0, 0, 1, 1, 1, 1])
+
+    def test_inner_attribute_range(self, domain):
+        vector = AttributeRange("gpa", 2, 3).vector(domain)
+        np.testing.assert_array_equal(vector, [0, 0, 1, 1, 0, 0, 1, 1])
+
+    def test_numeric_attribute_index(self, domain):
+        by_name = AttributeRange("gpa", 0, 1).vector(domain)
+        by_index = AttributeRange(1, 0, 1).vector(domain)
+        np.testing.assert_array_equal(by_name, by_index)
+
+    def test_invalid_range_raises(self, domain):
+        with pytest.raises(DomainError):
+            AttributeRange("gpa", 2, 5).vector(domain)
+
+
+class TestConjunction:
+    def test_and_combines_conditions(self, domain):
+        predicate = AttributeRange("gender", 1, 1) & AttributeRange("gpa", 2, 3)
+        vector = predicate.vector(domain)
+        np.testing.assert_array_equal(vector, [0, 0, 0, 0, 0, 0, 1, 1])
+
+    def test_empty_conjunction_is_total(self, domain):
+        np.testing.assert_array_equal(Conjunction([]).vector(domain), np.ones(8))
+
+    def test_matches_fig1_query(self, domain):
+        # "female students with gpa >= 3.0" is q6 in Fig. 1(c).
+        vector = predicate_vector(domain, {"gender": (1, 1), "gpa": (2, 3)})
+        np.testing.assert_array_equal(vector, [0, 0, 0, 0, 0, 0, 1, 1])
+
+
+class TestPredicateVector:
+    def test_unconstrained_attribute(self, domain):
+        vector = predicate_vector(domain, {"gpa": (0, 1)})
+        np.testing.assert_array_equal(vector, [1, 1, 0, 0, 1, 1, 0, 0])
+
+    def test_counts_on_data(self, domain):
+        data = np.arange(8, dtype=float)
+        vector = predicate_vector(domain, {"gender": (0, 0)})
+        assert vector @ data == 0 + 1 + 2 + 3

@@ -1,0 +1,89 @@
+"""Tests for privacy parameters and noise calibration."""
+
+import math
+
+import pytest
+
+from repro import PrivacyParams
+from repro.core.privacy import gaussian_scale, laplace_scale, noise_variance_factor
+from repro.exceptions import PrivacyError
+
+
+class TestPrivacyParams:
+    def test_defaults_match_paper(self):
+        params = PrivacyParams()
+        assert params.epsilon == 0.5
+        assert params.delta == 1e-4
+
+    def test_variance_factor_formula(self):
+        params = PrivacyParams(0.5, 1e-4)
+        expected = 2 * math.log(2 / 1e-4) / 0.25
+        assert params.variance_factor == pytest.approx(expected)
+
+    def test_variance_factor_requires_delta(self):
+        with pytest.raises(PrivacyError):
+            _ = PrivacyParams(0.5, 0.0).variance_factor
+
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(PrivacyError):
+            PrivacyParams(0.0, 1e-4)
+
+    def test_rejects_delta_out_of_range(self):
+        with pytest.raises(PrivacyError):
+            PrivacyParams(0.5, 1.5)
+
+    def test_is_approximate(self):
+        assert PrivacyParams(1.0, 1e-5).is_approximate
+        assert not PrivacyParams(1.0, 0.0).is_approximate
+
+    def test_compose_adds_budgets(self):
+        combined = PrivacyParams(0.3, 1e-5).compose(PrivacyParams(0.2, 1e-5))
+        assert combined.epsilon == pytest.approx(0.5)
+        assert combined.delta == pytest.approx(2e-5)
+
+    def test_split_divides_budget(self):
+        part = PrivacyParams(1.0, 1e-4).split(4)
+        assert part.epsilon == pytest.approx(0.25)
+        assert part.delta == pytest.approx(2.5e-5)
+
+    def test_split_rejects_bad_parts(self):
+        with pytest.raises(PrivacyError):
+            PrivacyParams(1.0, 1e-4).split(0)
+
+
+class TestNoiseScales:
+    def test_gaussian_scale_matches_prop2(self):
+        # sigma = ||W||_2 sqrt(2 ln(2/delta)) / epsilon
+        scale = gaussian_scale(2.0, 0.5, 1e-4)
+        expected = 2.0 * math.sqrt(2 * math.log(2 / 1e-4)) / 0.5
+        assert scale == pytest.approx(expected)
+
+    def test_gaussian_scale_squares_to_variance_factor(self):
+        params = PrivacyParams(0.7, 1e-5)
+        assert params.gaussian_scale(1.0) ** 2 == pytest.approx(params.variance_factor)
+
+    def test_gaussian_scale_requires_delta(self):
+        with pytest.raises(PrivacyError):
+            gaussian_scale(1.0, 0.5, 0.0)
+
+    def test_gaussian_scale_rejects_negative_sensitivity(self):
+        with pytest.raises(PrivacyError):
+            gaussian_scale(-1.0, 0.5, 1e-4)
+
+    def test_laplace_scale(self):
+        assert laplace_scale(3.0, 0.5) == pytest.approx(6.0)
+
+    def test_laplace_scale_rejects_bad_epsilon(self):
+        with pytest.raises(PrivacyError):
+            laplace_scale(1.0, 0.0)
+
+    def test_noise_variance_factor_helper(self):
+        assert noise_variance_factor(0.5, 1e-4) == pytest.approx(
+            PrivacyParams(0.5, 1e-4).variance_factor
+        )
+
+    def test_scaling_with_epsilon(self):
+        # Quadrupling epsilon cuts the noise scale by 4.
+        assert gaussian_scale(1.0, 2.0, 1e-4) == pytest.approx(
+            gaussian_scale(1.0, 0.5, 1e-4) / 4
+        )

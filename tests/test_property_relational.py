@@ -1,0 +1,125 @@
+"""Property-based tests for the relational substrate (hypothesis).
+
+The central invariant is that the two routes to a counting-query answer agree:
+
+* evaluate the predicate on the tuples and count the matching rows, or
+* compile the predicate into a linear query row and multiply it with the data
+  vector aggregated from the same tuples.
+
+These must coincide exactly for every bucket-aligned predicate and every
+relation, which is what makes the tuple-level front end trustworthy.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.domain.schema import CategoricalAttribute, NumericAttribute, Schema
+from repro.exceptions import MisalignedPredicateError
+from repro.relational import (
+    And,
+    Between,
+    Comparison,
+    IsIn,
+    Not,
+    Or,
+    Relation,
+    data_vector,
+    relation_from_histogram,
+)
+
+SCHEMA = Schema(
+    [
+        CategoricalAttribute("color", ["red", "green", "blue"]),
+        NumericAttribute("size", [0.0, 1.0, 2.0, 4.0, 8.0]),
+    ]
+)
+
+COLORS = ["red", "green", "blue"]
+EDGES = [0.0, 1.0, 2.0, 4.0, 8.0]
+
+
+@st.composite
+def relations(draw):
+    count = draw(st.integers(min_value=1, max_value=60))
+    colors = draw(st.lists(st.sampled_from(COLORS), min_size=count, max_size=count))
+    sizes = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=7.999, allow_nan=False, allow_infinity=False),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    return Relation({"color": colors, "size": sizes})
+
+
+@st.composite
+def aligned_predicates(draw, depth=2):
+    """Random predicates built only from bucket-aligned atoms."""
+    if depth == 0 or draw(st.booleans()):
+        kind = draw(st.sampled_from(["color-eq", "color-in", "size-range", "size-threshold"]))
+        if kind == "color-eq":
+            return Comparison("color", draw(st.sampled_from(["==", "!="])), draw(st.sampled_from(COLORS)))
+        if kind == "color-in":
+            values = draw(st.lists(st.sampled_from(COLORS), min_size=1, max_size=3, unique=True))
+            return IsIn("color", values)
+        if kind == "size-range":
+            low, high = sorted(draw(st.lists(st.sampled_from(EDGES), min_size=2, max_size=2, unique=True)))
+            return Between("size", low, high)
+        edge = draw(st.sampled_from(EDGES))
+        operator = draw(st.sampled_from(["<", ">="]))
+        return Comparison("size", operator, edge)
+    combinator = draw(st.sampled_from(["and", "or", "not"]))
+    if combinator == "not":
+        return Not(draw(aligned_predicates(depth=depth - 1)))
+    left = draw(aligned_predicates(depth=depth - 1))
+    right = draw(aligned_predicates(depth=depth - 1))
+    return And([left, right]) if combinator == "and" else Or([left, right])
+
+
+class TestCompilationAgreesWithEvaluation:
+    @given(relations(), aligned_predicates())
+    @settings(max_examples=120, deadline=None)
+    def test_compiled_count_equals_evaluated_count(self, relation, predicate):
+        x = data_vector(relation, SCHEMA)
+        compiled = float(predicate.query_vector(SCHEMA) @ x)
+        evaluated = float(predicate.evaluate(relation).sum())
+        assert compiled == pytest.approx(evaluated)
+
+    @given(relations(), aligned_predicates())
+    @settings(max_examples=60, deadline=None)
+    def test_negation_complements_count(self, relation, predicate):
+        total = relation.row_count
+        positive = float(predicate.evaluate(relation).sum())
+        negative = float(Not(predicate).evaluate(relation).sum())
+        assert positive + negative == total
+
+    @given(aligned_predicates())
+    @settings(max_examples=80, deadline=None)
+    def test_compiled_rows_are_binary(self, predicate):
+        row = predicate.query_vector(SCHEMA)
+        assert set(np.unique(row)) <= {0.0, 1.0}
+
+    @given(relations())
+    @settings(max_examples=60, deadline=None)
+    def test_data_vector_total_and_round_trip(self, relation):
+        x = data_vector(relation, SCHEMA)
+        assert x.sum() == relation.row_count
+        rebuilt = relation_from_histogram(SCHEMA, x, random_state=0)
+        np.testing.assert_array_equal(data_vector(rebuilt, SCHEMA), x)
+
+
+class TestMisalignment:
+    @given(st.floats(min_value=0.05, max_value=7.95, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_non_edge_thresholds_are_rejected(self, threshold):
+        if any(abs(threshold - edge) < 1e-9 for edge in EDGES):
+            return
+        with pytest.raises(MisalignedPredicateError):
+            Comparison("size", "<", threshold).query_vector(SCHEMA)
+
+    @given(st.sampled_from(EDGES[1:-1]))
+    @settings(max_examples=10, deadline=None)
+    def test_edge_thresholds_are_accepted(self, edge):
+        row = Comparison("size", "<", edge).query_vector(SCHEMA)
+        assert row.sum() > 0

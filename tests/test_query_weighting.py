@@ -1,0 +1,104 @@
+"""Tests for the general design-set weighting machinery (Thm. 1, Fig. 5 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro import Workload, expected_workload_error, weighted_design_strategy
+from repro.core.query_weighting import build_weighted_strategy, design_costs
+from repro.exceptions import OptimizationError
+from repro.strategies import wavelet_strategy
+from repro.strategies.fourier import full_fourier_matrix
+from repro.workloads import all_range_queries_1d, kway_marginals, permuted_workload
+
+
+class TestDesignCosts:
+    def test_orthonormal_design_costs_are_eigenvalues(self, range_workload_32):
+        values, vectors = range_workload_32.eigen_decomposition()
+        costs = design_costs(range_workload_32, vectors)
+        np.testing.assert_allclose(np.sort(costs), np.sort(values), rtol=1e-8)
+
+    def test_identity_design_costs_are_column_norms(self, fig1_workload):
+        costs = design_costs(fig1_workload, np.eye(8))
+        np.testing.assert_allclose(costs, np.diag(fig1_workload.gram))
+
+    def test_dimension_mismatch(self, fig1_workload):
+        with pytest.raises(OptimizationError):
+            design_costs(fig1_workload, np.eye(4))
+
+
+class TestBuildWeightedStrategy:
+    def test_drops_zero_weight_queries(self):
+        design = np.eye(3)
+        strategy, lambdas, _ = build_weighted_strategy(design, np.array([1.0, 0.0, 4.0]), complete=False)
+        assert strategy.query_count == 2
+        np.testing.assert_allclose(lambdas, [1.0, 0.0, 2.0])
+
+    def test_completion_equalises_column_norms(self):
+        design = np.array([[1.0, 0.0], [0.0, 0.5]])
+        strategy, _, completion_rows = build_weighted_strategy(design, np.array([1.0, 1.0]))
+        assert completion_rows == 1
+        column_norms = np.sqrt(np.diag(strategy.gram))
+        np.testing.assert_allclose(column_norms, column_norms[0])
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(OptimizationError):
+            build_weighted_strategy(np.eye(2), np.zeros(2))
+
+    def test_weight_shape_mismatch(self):
+        with pytest.raises(OptimizationError):
+            build_weighted_strategy(np.eye(2), np.ones(3))
+
+
+class TestWeightedDesignStrategy:
+    def test_improves_on_unweighted_wavelet(self, privacy):
+        # Using the wavelet matrix as the design set can only improve on the
+        # plain wavelet strategy (weights of 1 are in the feasible set).
+        workload = all_range_queries_1d(32)
+        design = wavelet_strategy(32).matrix
+        result = weighted_design_strategy(workload, design)
+        weighted_error = expected_workload_error(workload, result.strategy, privacy)
+        plain_error = expected_workload_error(workload, wavelet_strategy(32), privacy)
+        assert weighted_error <= plain_error + 1e-9
+
+    def test_eigen_design_matches_weighted_eigen_design(self, privacy):
+        from repro import eigen_design
+
+        workload = all_range_queries_1d(32)
+        _, vectors = workload.eigen_decomposition()
+        via_general = weighted_design_strategy(workload, vectors)
+        via_program2 = eigen_design(workload)
+        error_general = expected_workload_error(workload, via_general.strategy, privacy)
+        error_program2 = expected_workload_error(workload, via_program2.strategy, privacy)
+        assert error_general == pytest.approx(error_program2, rel=1e-3)
+
+    def test_fourier_design_on_marginals(self, privacy):
+        # Fig. 5: on 2-way marginals the Fourier design performs about as well
+        # as the eigen design.
+        workload = kway_marginals([8, 4], 2)
+        fourier_design = full_fourier_matrix([8, 4])
+        result = weighted_design_strategy(workload, fourier_design)
+        from repro import eigen_design
+
+        eigen_error = expected_workload_error(workload, eigen_design(workload).strategy, privacy)
+        fourier_error = expected_workload_error(workload, result.strategy, privacy)
+        assert fourier_error <= eigen_error * 1.2
+
+    def test_eigen_design_robust_to_permutation_unlike_wavelet_design(self, privacy):
+        # Fig. 5: fixed design sets degrade under permutation of cell
+        # conditions, the eigen design does not.
+        workload = all_range_queries_1d(32)
+        permuted = permuted_workload(workload, random_state=9)
+        wavelet_design = wavelet_strategy(32).matrix
+        wavelet_result = weighted_design_strategy(permuted, wavelet_design)
+        from repro import eigen_design
+
+        eigen_result = eigen_design(permuted)
+        wavelet_error = expected_workload_error(permuted, wavelet_result.strategy, privacy)
+        eigen_error = expected_workload_error(permuted, eigen_result.strategy, privacy)
+        assert eigen_error < wavelet_error
+
+    def test_result_metadata(self, fig1_workload):
+        result = weighted_design_strategy(fig1_workload, np.eye(8), name="identity-design")
+        assert result.strategy.name == "identity-design"
+        assert result.costs.shape == (8,)
+        assert result.weights.shape == (8,)

@@ -1,0 +1,147 @@
+"""Tests for the experiment registry and the command-line harness."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.evaluation import available_experiments, get_experiment, load_records, run_experiment
+from repro.exceptions import ReproError
+
+
+class TestRegistry:
+    def test_all_experiments_have_metadata(self):
+        specs = available_experiments()
+        assert len(specs) >= 8
+        for spec in specs:
+            assert spec.name
+            assert spec.description
+            assert spec.paper_artifact
+            assert isinstance(spec.defaults, dict) or hasattr(spec.defaults, "keys")
+
+    def test_get_experiment_unknown_name(self):
+        with pytest.raises(ReproError):
+            get_experiment("does-not-exist")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ReproError):
+            run_experiment("example", bananas=3)
+
+    def test_example_experiment(self):
+        record = run_experiment("example")
+        strategies = {row["strategy"] for row in record.rows}
+        assert {"eigen-design", "wavelet", "identity", "lower-bound"} <= strategies
+        errors = {row["strategy"]: row["error"] for row in record.rows}
+        assert errors["eigen-design"] < errors["identity"]
+        assert errors["eigen-design"] < errors["wavelet"]
+
+    def test_range_absolute_small(self):
+        record = run_experiment("range-absolute", cells=32, queries=16)
+        eigen_rows = [row for row in record.rows if row["strategy"] == "eigen-design"]
+        assert len(eigen_rows) == 2  # all-range and random-range
+        for row in record.rows:
+            if row["strategy"] == "eigen-design":
+                assert row["ratio_to_bound"] < 1.35
+
+    def test_marginal_absolute_small(self):
+        record = run_experiment("marginal-absolute", dims=(4, 4, 4))
+        errors = {row["strategy"]: row["error"] for row in record.rows}
+        assert errors["eigen-design"] <= min(errors["fourier"], errors["datacube"]) * 1.0001
+
+    def test_relative_range_on_synthetic_uniform(self):
+        record = run_experiment(
+            "relative-range", dataset="uniform", shape=(32,), trials=2, epsilon=1.0
+        )
+        assert len(record.rows) == 3
+        for row in record.rows:
+            assert row["mean_relative_error"] >= 0
+
+    def test_alternative_workloads_small(self):
+        record = run_experiment("alternative-workloads", cells=36)
+        workloads = {row["workload"] for row in record.rows}
+        assert "1d-cdf" in workloads and "permuted-1d-range" in workloads
+        for row in record.rows:
+            if row["workload"] == "permuted-1d-range":
+                # Representation independence: the eigen design beats the
+                # locality-dependent competitors on permuted inputs.
+                assert row["best_ratio"] >= 1.0
+
+    def test_optimizations_small(self):
+        record = run_experiment("optimizations", cells=64)
+        methods = {row["method"] for row in record.rows}
+        assert "full eigen design" in methods
+        assert "eigen separation" in methods
+        assert "principal vectors" in methods
+        full = next(r["error"] for r in record.rows if r["method"] == "full eigen design")
+        bound = next(r["error"] for r in record.rows if r["method"] == "lower bound")
+        assert bound <= full
+
+    def test_design_queries_small(self):
+        record = run_experiment("design-queries", cells=32)
+        rows = {(row["workload"], row["design_set"]): row["error"] for row in record.rows}
+        # The eigen design set is unaffected by permutation; the wavelet design set degrades.
+        assert rows[("1d-range-permuted", "eigen-design")] == pytest.approx(
+            rows[("1d-range", "eigen-design")], rel=1e-6
+        )
+        assert rows[("1d-range-permuted", "wavelet-design")] > rows[("1d-range", "wavelet-design")]
+
+    def test_scalability_small(self):
+        record = run_experiment("scalability", max_cells=32)
+        cells = [row["cells"] for row in record.rows]
+        assert cells == [16, 32]
+        for row in record.rows:
+            assert row["error"] >= row["bound"] * 0.99
+
+
+class TestCli:
+    def test_list(self):
+        out = io.StringIO()
+        assert main(["list"], out=out) == 0
+        assert "range-absolute" in out.getvalue()
+
+    def test_info(self):
+        out = io.StringIO()
+        assert main(["info", "example"], out=out) == 0
+        assert "Fig. 2" in out.getvalue()
+
+    def test_info_unknown_experiment(self):
+        out = io.StringIO()
+        assert main(["info", "nope"], out=out) == 1
+
+    def test_no_command_prints_help(self):
+        out = io.StringIO()
+        assert main([], out=out) == 2
+        assert "usage" in out.getvalue().lower()
+
+    def test_run_table_output(self):
+        out = io.StringIO()
+        assert main(["run", "example"], out=out) == 0
+        assert "eigen-design" in out.getvalue()
+
+    def test_run_with_overrides_and_json(self):
+        out = io.StringIO()
+        assert main(["run", "design-queries", "--set", "cells=16", "--format", "json"], out=out) == 0
+        payload = json.loads(out.getvalue())
+        assert payload["experiment"] == "design-queries"
+        assert payload["parameters"]["cells"] == 16
+
+    def test_run_csv_output(self):
+        out = io.StringIO()
+        assert main(["run", "example", "--format", "csv"], out=out) == 0
+        assert out.getvalue().splitlines()[0].startswith("workload,strategy")
+
+    def test_run_saves_results_file(self, tmp_path):
+        out = io.StringIO()
+        target = tmp_path / "example.json"
+        assert main(["run", "example", "--output", str(target)], out=out) == 0
+        records = load_records(target)
+        assert records[0].experiment == "example"
+
+    def test_bad_override_reports_error(self):
+        out = io.StringIO()
+        assert main(["run", "example", "--set", "nonsense"], out=out) == 1
+
+    def test_unknown_override_key_reports_error(self):
+        out = io.StringIO()
+        assert main(["run", "example", "--set", "bananas=1"], out=out) == 1

@@ -1,0 +1,299 @@
+"""Tests for repro.relational.expressions and the SQL front end."""
+
+import numpy as np
+import pytest
+
+from repro.domain.schema import CategoricalAttribute, NumericAttribute, Schema
+from repro.exceptions import MisalignedPredicateError, QueryParseError, RelationalError
+from repro.relational import (
+    And,
+    Between,
+    Comparison,
+    IsIn,
+    Not,
+    Or,
+    Relation,
+    TrueExpression,
+    answer_sql,
+    data_vector,
+    parse_counting_query,
+    workload_from_sql,
+)
+
+
+@pytest.fixture
+def schema() -> Schema:
+    """The paper's Fig. 1 schema: gender x gpa with 2 x 4 = 8 cells."""
+    return Schema(
+        [
+            CategoricalAttribute("gender", ["M", "F"]),
+            NumericAttribute("gpa", [1.0, 2.0, 3.0, 3.5, 4.0]),
+        ]
+    )
+
+
+@pytest.fixture
+def students() -> Relation:
+    rng = np.random.default_rng(7)
+    return Relation(
+        {
+            "gender": rng.choice(["M", "F"], size=300).tolist(),
+            "gpa": rng.uniform(1.0, 3.999, size=300),
+        },
+        name="students",
+    )
+
+
+class TestEvaluation:
+    def test_true_expression(self, students):
+        assert TrueExpression().evaluate(students).sum() == 300
+
+    def test_equality_on_categorical(self, students):
+        mask = Comparison("gender", "==", "F").evaluate(students)
+        assert mask.sum() == int(np.sum(students.column("gender") == "F"))
+
+    def test_inequality(self, students):
+        equal = Comparison("gender", "==", "M").evaluate(students)
+        unequal = Comparison("gender", "!=", "M").evaluate(students)
+        assert np.array_equal(unequal, ~equal)
+
+    def test_numeric_threshold(self, students):
+        mask = Comparison("gpa", ">=", 3.0).evaluate(students)
+        assert mask.sum() == int(np.sum(students.column("gpa") >= 3.0))
+
+    def test_between_is_half_open(self, students):
+        mask = Between("gpa", 2.0, 3.0).evaluate(students)
+        gpa = students.column("gpa")
+        assert mask.sum() == int(np.sum((gpa >= 2.0) & (gpa < 3.0)))
+
+    def test_isin(self, students):
+        mask = IsIn("gender", ["M", "F"]).evaluate(students)
+        assert mask.all()
+
+    def test_isin_requires_values(self):
+        with pytest.raises(RelationalError):
+            IsIn("gender", [])
+
+    def test_and_or_not_compose(self, students):
+        female = Comparison("gender", "==", "F")
+        high = Comparison("gpa", ">=", 3.0)
+        both = (female & high).evaluate(students)
+        either = (female | high).evaluate(students)
+        negated = (~female).evaluate(students)
+        assert both.sum() <= min(female.evaluate(students).sum(), high.evaluate(students).sum())
+        assert either.sum() >= max(female.evaluate(students).sum(), high.evaluate(students).sum())
+        assert negated.sum() == 300 - female.evaluate(students).sum()
+
+    def test_unknown_column_raises(self, students):
+        with pytest.raises(RelationalError):
+            Comparison("missing", "==", 1).evaluate(students)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(RelationalError):
+            Comparison("gpa", "~", 1)
+
+
+class TestCompilation:
+    def test_true_expression_is_total_query(self, schema):
+        row = TrueExpression().query_vector(schema)
+        np.testing.assert_array_equal(row, np.ones(8))
+
+    def test_categorical_equality_row(self, schema):
+        row = Comparison("gender", "==", "M").query_vector(schema)
+        # Row-major layout: gender is the first attribute, so the first 4 cells are male.
+        np.testing.assert_array_equal(row, [1, 1, 1, 1, 0, 0, 0, 0])
+
+    def test_numeric_threshold_row(self, schema):
+        row = Comparison("gpa", ">=", 3.0).query_vector(schema)
+        np.testing.assert_array_equal(row, [0, 0, 1, 1, 0, 0, 1, 1])
+
+    def test_between_row(self, schema):
+        row = Between("gpa", 2.0, 3.5).query_vector(schema)
+        np.testing.assert_array_equal(row, [0, 1, 1, 0, 0, 1, 1, 0])
+
+    def test_conjunction_row(self, schema):
+        expression = And([Comparison("gender", "==", "F"), Comparison("gpa", "<", 3.0)])
+        np.testing.assert_array_equal(expression.query_vector(schema), [0, 0, 0, 0, 1, 1, 0, 0])
+
+    def test_disjunction_row(self, schema):
+        expression = Or([Comparison("gpa", "<", 2.0), Comparison("gpa", ">=", 3.5)])
+        np.testing.assert_array_equal(expression.query_vector(schema), [1, 0, 0, 1, 1, 0, 0, 1])
+
+    def test_negation_row(self, schema):
+        expression = Not(Comparison("gender", "==", "M"))
+        np.testing.assert_array_equal(expression.query_vector(schema), [0, 0, 0, 0, 1, 1, 1, 1])
+
+    def test_isin_row(self, schema):
+        expression = IsIn("gender", ["F"])
+        np.testing.assert_array_equal(expression.query_vector(schema), [0, 0, 0, 0, 1, 1, 1, 1])
+
+    def test_misaligned_threshold_raises(self, schema):
+        with pytest.raises(MisalignedPredicateError):
+            Comparison("gpa", ">=", 3.25).query_vector(schema)
+
+    def test_misaligned_error_names_cells(self, schema):
+        with pytest.raises(MisalignedPredicateError, match="gpa"):
+            Comparison("gpa", "<", 2.5).query_vector(schema)
+
+    def test_negation_of_misaligned_is_still_misaligned(self, schema):
+        with pytest.raises(MisalignedPredicateError):
+            Not(Comparison("gpa", ">=", 3.25)).query_vector(schema)
+
+    def test_equality_on_numeric_bucket_is_misaligned(self, schema):
+        with pytest.raises(MisalignedPredicateError):
+            Comparison("gpa", "==", 2.5).query_vector(schema)
+
+    def test_unknown_attribute_raises(self, schema):
+        with pytest.raises(RelationalError):
+            Comparison("age", ">=", 3).query_vector(schema)
+
+    def test_cover_consistency_with_evaluation(self, schema, students):
+        """Compiled rows answer exactly what tuple-level evaluation counts."""
+        x = data_vector(students, schema)
+        expressions = [
+            Comparison("gender", "==", "F"),
+            Comparison("gpa", ">=", 2.0),
+            Between("gpa", 1.0, 3.5),
+            And([Comparison("gender", "==", "M"), Comparison("gpa", "<", 3.5)]),
+            Or([Comparison("gpa", "<", 2.0), Comparison("gender", "==", "F")]),
+        ]
+        for expression in expressions:
+            compiled = float(expression.query_vector(schema) @ x)
+            evaluated = float(expression.evaluate(students).sum())
+            assert compiled == pytest.approx(evaluated)
+
+
+class TestSqlParsing:
+    def test_plain_count(self):
+        query = parse_counting_query("SELECT COUNT(*) FROM students")
+        assert query.table == "students"
+        assert isinstance(query.condition, TrueExpression)
+        assert query.group_by == ()
+
+    def test_where_clause(self):
+        query = parse_counting_query(
+            "SELECT COUNT(*) FROM t WHERE gender = 'F' AND gpa >= 3.0"
+        )
+        assert isinstance(query.condition, And)
+
+    def test_or_and_precedence(self):
+        query = parse_counting_query(
+            "SELECT COUNT(*) FROM t WHERE a = 1 OR b = 2 AND c = 3"
+        )
+        # AND binds tighter than OR.
+        assert isinstance(query.condition, Or)
+        assert isinstance(query.condition.terms[1], And)
+
+    def test_parentheses_override_precedence(self):
+        query = parse_counting_query(
+            "SELECT COUNT(*) FROM t WHERE (a = 1 OR b = 2) AND c = 3"
+        )
+        assert isinstance(query.condition, And)
+
+    def test_not(self):
+        query = parse_counting_query("SELECT COUNT(*) FROM t WHERE NOT gender = 'M'")
+        assert isinstance(query.condition, Not)
+
+    def test_between(self):
+        query = parse_counting_query("SELECT COUNT(*) FROM t WHERE gpa BETWEEN 2.0 AND 3.5")
+        assert isinstance(query.condition, Between)
+        assert query.condition.low == 2.0
+        assert query.condition.high == 3.5
+
+    def test_in_list(self):
+        query = parse_counting_query("SELECT COUNT(*) FROM t WHERE gender IN ('M', 'F')")
+        assert isinstance(query.condition, IsIn)
+        assert query.condition.values == ("M", "F")
+
+    def test_group_by(self):
+        query = parse_counting_query("SELECT COUNT(*) FROM t GROUP BY gender, gpa")
+        assert query.group_by == ("gender", "gpa")
+
+    def test_not_equal_variants(self):
+        for operator in ("!=", "<>"):
+            query = parse_counting_query(f"SELECT COUNT(*) FROM t WHERE a {operator} 1")
+            assert isinstance(query.condition, Comparison)
+            assert query.condition.operator == "!="
+
+    def test_rejects_missing_from(self):
+        with pytest.raises(QueryParseError):
+            parse_counting_query("SELECT COUNT(*) WHERE a = 1")
+
+    def test_rejects_non_count_select(self):
+        with pytest.raises(QueryParseError):
+            parse_counting_query("SELECT SUM(x) FROM t")
+
+    def test_rejects_trailing_tokens(self):
+        with pytest.raises(QueryParseError):
+            parse_counting_query("SELECT COUNT(*) FROM t WHERE a = 1 LIMIT 5")
+
+    def test_rejects_empty(self):
+        with pytest.raises(QueryParseError):
+            parse_counting_query("")
+
+    def test_rejects_dangling_operator(self):
+        with pytest.raises(QueryParseError):
+            parse_counting_query("SELECT COUNT(*) FROM t WHERE a >=")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(QueryParseError):
+            parse_counting_query("SELECT COUNT(*) FROM t WHERE ???")
+
+
+class TestSqlWorkloads:
+    def test_fig1_style_workload(self, schema, students):
+        statements = [
+            "SELECT COUNT(*) FROM students",
+            "SELECT COUNT(*) FROM students WHERE gender = 'F'",
+            "SELECT COUNT(*) FROM students WHERE gender = 'M'",
+            "SELECT COUNT(*) FROM students WHERE gpa < 3.0",
+            "SELECT COUNT(*) FROM students WHERE gpa >= 3.0",
+            "SELECT COUNT(*) FROM students WHERE gender = 'F' AND gpa >= 3.0",
+            "SELECT COUNT(*) FROM students WHERE gender = 'M' AND gpa < 3.0",
+        ]
+        workload, labels = workload_from_sql(schema, statements)
+        assert workload.shape == (7, 8)
+        assert len(labels) == 7
+        # Compiled answers must match exact tuple-level evaluation.
+        x = data_vector(students, schema)
+        answers = workload.matrix @ x
+        for statement, answer in zip(statements, answers):
+            (truth,) = answer_sql(students, statement).values()
+            assert answer == pytest.approx(truth)
+
+    def test_group_by_expansion(self, schema):
+        workload, labels = workload_from_sql(
+            schema, ["SELECT COUNT(*) FROM t GROUP BY gender"]
+        )
+        assert workload.shape == (2, 8)
+        np.testing.assert_array_equal(workload.matrix.sum(axis=0), np.ones(8))
+        assert any("M" in label for label in labels)
+
+    def test_group_by_two_attributes_covers_all_cells(self, schema):
+        workload, _ = workload_from_sql(
+            schema, ["SELECT COUNT(*) FROM t GROUP BY gender, gpa"]
+        )
+        assert workload.shape == (8, 8)
+        np.testing.assert_array_equal(np.sort(workload.matrix, axis=0), np.sort(np.eye(8), axis=0))
+
+    def test_group_by_with_where(self, schema, students):
+        workload, _ = workload_from_sql(
+            schema, ["SELECT COUNT(*) FROM t WHERE gpa >= 3.0 GROUP BY gender"]
+        )
+        x = data_vector(students, schema)
+        total = workload.matrix @ x
+        expected = np.sum(students.column("gpa") >= 3.0)
+        assert total.sum() == pytest.approx(expected)
+
+    def test_group_by_unknown_attribute_raises(self, schema):
+        with pytest.raises(QueryParseError):
+            workload_from_sql(schema, ["SELECT COUNT(*) FROM t GROUP BY missing"])
+
+    def test_requires_statements(self, schema):
+        with pytest.raises(QueryParseError):
+            workload_from_sql(schema, [])
+
+    def test_answer_sql_group_by(self, students):
+        answers = answer_sql(students, "SELECT COUNT(*) FROM t GROUP BY gender")
+        assert sum(answers.values()) == 300
+        assert len(answers) == 2

@@ -1,0 +1,211 @@
+"""Tests for repro.relational.relation and repro.relational.csvio."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RelationalError
+from repro.relational import Relation, read_csv, read_csv_text, write_csv, write_csv_text
+
+
+@pytest.fixture
+def students() -> Relation:
+    return Relation(
+        {
+            "gender": ["M", "F", "F", "M", "F", "M"],
+            "gpa": [1.5, 2.5, 3.2, 3.8, 1.1, 3.6],
+            "year": [2020, 2021, 2020, 2022, 2021, 2020],
+        },
+        name="students",
+    )
+
+
+class TestConstruction:
+    def test_column_names_preserve_order(self, students):
+        assert students.column_names == ("gender", "gpa", "year")
+
+    def test_row_count(self, students):
+        assert students.row_count == 6
+        assert len(students) == 6
+
+    def test_numeric_columns_become_float(self, students):
+        assert students.column("gpa").dtype == float
+        assert students.column("year").dtype == float
+
+    def test_string_columns_stay_object(self, students):
+        assert students.column("gender").dtype == object
+
+    def test_boolean_columns_become_float(self):
+        relation = Relation({"flag": [True, False, True]})
+        np.testing.assert_array_equal(relation.column("flag"), [1.0, 0.0, 1.0])
+
+    def test_rejects_empty_columns(self):
+        with pytest.raises(RelationalError):
+            Relation({})
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(RelationalError):
+            Relation({"a": [1, 2], "b": [1, 2, 3]})
+
+    def test_rejects_two_dimensional_column(self):
+        with pytest.raises(RelationalError):
+            Relation({"a": np.zeros((2, 2))})
+
+    def test_from_rows(self):
+        relation = Relation.from_rows([(1, "x"), (2, "y")], ["id", "label"])
+        assert relation.row_count == 2
+        np.testing.assert_array_equal(relation.column("id"), [1.0, 2.0])
+        assert list(relation.column("label")) == ["x", "y"]
+
+    def test_from_rows_rejects_ragged_rows(self):
+        with pytest.raises(RelationalError):
+            Relation.from_rows([(1, 2), (3,)], ["a", "b"])
+
+    def test_from_records(self):
+        relation = Relation.from_records([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert relation.column_names == ("a", "b")
+        assert relation.row_count == 2
+
+    def test_from_records_rejects_inconsistent_keys(self):
+        with pytest.raises(RelationalError):
+            Relation.from_records([{"a": 1}, {"b": 2}])
+
+    def test_from_records_rejects_empty(self):
+        with pytest.raises(RelationalError):
+            Relation.from_records([])
+
+
+class TestAccess:
+    def test_unknown_column_raises(self, students):
+        with pytest.raises(RelationalError):
+            students.column("missing")
+
+    def test_contains(self, students):
+        assert "gpa" in students
+        assert "missing" not in students
+
+    def test_distinct_preserves_first_appearance_order(self, students):
+        assert students.distinct("gender") == ["M", "F"]
+
+    def test_to_records_round_trip(self, students):
+        records = students.to_records()
+        rebuilt = Relation.from_records(records)
+        assert rebuilt.row_count == students.row_count
+        np.testing.assert_allclose(rebuilt.column("gpa"), students.column("gpa"))
+
+    def test_iter_rows(self, students):
+        rows = list(students.iter_rows())
+        assert len(rows) == 6
+        assert rows[0][0] == "M"
+
+
+class TestAlgebra:
+    def test_select_by_mask(self, students):
+        mask = students.column("gpa") >= 3.0
+        selected = students.select(mask)
+        assert selected.row_count == 3
+        assert np.all(selected.column("gpa") >= 3.0)
+
+    def test_select_rejects_wrong_length_mask(self, students):
+        with pytest.raises(RelationalError):
+            students.select(np.ones(3, dtype=bool))
+
+    def test_project(self, students):
+        projected = students.project(["gpa", "gender"])
+        assert projected.column_names == ("gpa", "gender")
+        assert projected.row_count == students.row_count
+
+    def test_project_rejects_empty(self, students):
+        with pytest.raises(RelationalError):
+            students.project([])
+
+    def test_head(self, students):
+        assert students.head(2).row_count == 2
+        assert students.head(100).row_count == 6
+
+    def test_concat(self, students):
+        doubled = students.concat(students)
+        assert doubled.row_count == 12
+
+    def test_concat_rejects_different_columns(self, students):
+        other = Relation({"x": [1.0]})
+        with pytest.raises(RelationalError):
+            students.concat(other)
+
+    def test_sample_without_replacement(self, students):
+        sample = students.sample(4, random_state=0)
+        assert sample.row_count == 4
+
+    def test_sample_with_replacement_can_exceed_size(self, students):
+        sample = students.sample(20, random_state=0, replace=True)
+        assert sample.row_count == 20
+
+    def test_sample_too_large_without_replacement_raises(self, students):
+        with pytest.raises(RelationalError):
+            students.sample(7, random_state=0)
+
+    def test_sample_negative_raises(self, students):
+        with pytest.raises(RelationalError):
+            students.sample(-1)
+
+
+class TestAggregation:
+    def test_count(self, students):
+        assert students.count() == 6
+
+    def test_group_by_counts_single_column(self, students):
+        counts = students.group_by_counts(["gender"])
+        assert counts == {("M",): 3, ("F",): 3}
+
+    def test_group_by_counts_two_columns(self, students):
+        counts = students.group_by_counts(["gender", "year"])
+        assert counts[("M", 2020.0)] == 2
+        assert sum(counts.values()) == 6
+
+
+class TestCsv:
+    def test_round_trip_text(self, students):
+        text = write_csv_text(students)
+        rebuilt = read_csv_text(text)
+        assert rebuilt.column_names == students.column_names
+        np.testing.assert_allclose(rebuilt.column("gpa"), students.column("gpa"))
+        assert list(rebuilt.column("gender")) == list(students.column("gender"))
+
+    def test_round_trip_file(self, students, tmp_path):
+        path = write_csv(students, tmp_path / "students.csv")
+        rebuilt = read_csv(path)
+        assert rebuilt.name == "students"
+        assert rebuilt.row_count == students.row_count
+
+    def test_read_without_header(self):
+        relation = read_csv_text("1,a\n2,b\n", has_header=False, column_names=["id", "label"])
+        assert relation.column_names == ("id", "label")
+        np.testing.assert_array_equal(relation.column("id"), [1.0, 2.0])
+
+    def test_read_without_header_requires_names(self):
+        with pytest.raises(RelationalError):
+            read_csv_text("1,2\n", has_header=False)
+
+    def test_mixed_column_stays_string(self):
+        relation = read_csv_text("value\n1\nx\n")
+        assert relation.column("value").dtype == object
+
+    def test_numeric_detection(self):
+        relation = read_csv_text("value\n1\n2.5\n-3\n")
+        assert relation.column("value").dtype == float
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(RelationalError):
+            read_csv_text("")
+
+    def test_rejects_header_only(self):
+        with pytest.raises(RelationalError):
+            read_csv_text("a,b\n")
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(RelationalError):
+            read_csv_text("a,b\n1,2\n3\n")
+
+    def test_custom_delimiter(self, students):
+        text = write_csv_text(students, delimiter=";")
+        rebuilt = read_csv_text(text, delimiter=";")
+        assert rebuilt.row_count == students.row_count

@@ -1,0 +1,262 @@
+"""Tests for repro.relational.vectorize and repro.relational.builder."""
+
+import numpy as np
+import pytest
+
+from repro import MatrixMechanism, PrivacyParams, eigen_design
+from repro.domain.schema import CategoricalAttribute, NumericAttribute, Schema
+from repro.exceptions import RelationalError, WorkloadError
+from repro.relational import (
+    Comparison,
+    Relation,
+    WorkloadBuilder,
+    bucket_indexes,
+    data_vector,
+    infer_schema,
+    relation_from_histogram,
+    sample_relation,
+)
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema(
+        [
+            CategoricalAttribute("gender", ["M", "F"]),
+            NumericAttribute("gpa", [1.0, 2.0, 3.0, 3.5, 4.0]),
+        ]
+    )
+
+
+@pytest.fixture
+def students() -> Relation:
+    rng = np.random.default_rng(11)
+    return Relation(
+        {
+            "gender": rng.choice(["M", "F"], size=400).tolist(),
+            "gpa": rng.uniform(1.0, 3.999, size=400),
+        }
+    )
+
+
+class TestBucketIndexes:
+    def test_categorical(self, schema, students):
+        indexes = bucket_indexes(students, schema.attributes[0])
+        genders = students.column("gender")
+        assert np.all((indexes == 0) == (genders == "M"))
+
+    def test_numeric(self, schema, students):
+        indexes = bucket_indexes(students, schema.attributes[1])
+        gpa = students.column("gpa")
+        assert np.all(indexes[(gpa >= 3.0) & (gpa < 3.5)] == 2)
+
+    def test_out_of_domain_categorical_raises(self, schema):
+        relation = Relation({"gender": ["X"], "gpa": [2.0]})
+        with pytest.raises(RelationalError):
+            bucket_indexes(relation, schema.attributes[0])
+
+    def test_out_of_domain_numeric_raises(self, schema):
+        relation = Relation({"gender": ["M"], "gpa": [5.0]})
+        with pytest.raises(RelationalError):
+            bucket_indexes(relation, schema.attributes[1])
+
+
+class TestDataVector:
+    def test_total_preserved(self, schema, students):
+        x = data_vector(students, schema)
+        assert x.shape == (8,)
+        assert x.sum() == 400
+
+    def test_matches_schema_loop_implementation(self, schema, students):
+        fast = data_vector(students, schema)
+        slow = schema.data_vector(students.to_records())
+        np.testing.assert_array_equal(fast, slow)
+
+    def test_empty_relation_gives_zero_vector(self, schema):
+        relation = Relation({"gender": ["M"], "gpa": [2.0]}).select(np.zeros(1, dtype=bool))
+        np.testing.assert_array_equal(data_vector(relation, schema), np.zeros(8))
+
+    def test_cell_ordering_is_row_major(self, schema):
+        relation = Relation({"gender": ["F"], "gpa": [1.5]})
+        x = data_vector(relation, schema)
+        # Female is bucket 1 of the first attribute, gpa 1.5 is bucket 0.
+        assert x[4] == 1.0
+        assert x.sum() == 1.0
+
+
+class TestInferSchema:
+    def test_categorical_and_equi_width(self, students):
+        schema = infer_schema(students, {"gender": "categorical", "gpa": 5})
+        assert schema.domain.shape == (2, 5)
+        x = data_vector(students, schema)
+        assert x.sum() == 400
+
+    def test_explicit_edges(self, students):
+        schema = infer_schema(students, {"gpa": [1.0, 2.0, 4.0]})
+        assert schema.domain.shape == (2,)
+
+    def test_explicit_categorical_values(self, students):
+        schema = infer_schema(students, {"gender": ["M", "F"]})
+        assert schema.attributes[0].size == 2
+
+    def test_attribute_order_follows_spec(self, students):
+        schema = infer_schema(students, {"gpa": 4, "gender": "categorical"})
+        assert schema.domain.names == ("gpa", "gender")
+
+    def test_rejects_empty_spec(self, students):
+        with pytest.raises(RelationalError):
+            infer_schema(students, {})
+
+    def test_rejects_unknown_mode(self, students):
+        with pytest.raises(RelationalError):
+            infer_schema(students, {"gender": "one-hot"})
+
+    def test_rejects_equi_width_on_strings(self, students):
+        with pytest.raises(RelationalError):
+            infer_schema(students, {"gender": 4})
+
+    def test_rejects_empty_bucket_list(self, students):
+        with pytest.raises(RelationalError):
+            infer_schema(students, {"gpa": []})
+
+    def test_constant_column_still_buckets(self):
+        relation = Relation({"value": [3.0, 3.0, 3.0]})
+        schema = infer_schema(relation, {"value": 2})
+        x = data_vector(relation, schema)
+        assert x.sum() == 3
+
+
+class TestRelationFromHistogram:
+    def test_round_trip(self, schema, students):
+        x = data_vector(students, schema)
+        rebuilt = relation_from_histogram(schema, x, random_state=3)
+        np.testing.assert_array_equal(data_vector(rebuilt, schema), x)
+
+    def test_counts_are_rounded(self, schema):
+        counts = np.zeros(8)
+        counts[0] = 2.4
+        counts[7] = 1.6
+        relation = relation_from_histogram(schema, counts, random_state=0)
+        assert relation.row_count == 4
+
+    def test_rejects_negative_counts(self, schema):
+        counts = np.zeros(8)
+        counts[0] = -1
+        with pytest.raises(RelationalError):
+            relation_from_histogram(schema, counts)
+
+    def test_rejects_wrong_length(self, schema):
+        with pytest.raises(RelationalError):
+            relation_from_histogram(schema, np.ones(5))
+
+    def test_rejects_all_zero(self, schema):
+        with pytest.raises(RelationalError):
+            relation_from_histogram(schema, np.zeros(8))
+
+    def test_sample_relation_total(self, schema):
+        relation = sample_relation(schema, 250, random_state=5)
+        assert relation.row_count == 250
+
+    def test_sample_relation_respects_distribution(self, schema):
+        probabilities = np.zeros(8)
+        probabilities[3] = 1.0
+        relation = sample_relation(schema, 50, probabilities, random_state=5)
+        x = data_vector(relation, schema)
+        assert x[3] == 50
+
+    def test_sample_relation_rejects_bad_probabilities(self, schema):
+        with pytest.raises(RelationalError):
+            sample_relation(schema, 10, np.zeros(8))
+        with pytest.raises(RelationalError):
+            sample_relation(schema, 10, -np.ones(8))
+        with pytest.raises(RelationalError):
+            sample_relation(schema, 0)
+
+
+class TestWorkloadBuilder:
+    def test_fig1_workload_reconstruction(self, schema):
+        """The Fig. 1(b) example workload can be assembled through the builder."""
+        male = Comparison("gender", "==", "M")
+        female = Comparison("gender", "==", "F")
+        builder = (
+            WorkloadBuilder(schema, name="fig1")
+            .add_total()
+            .add_predicate(male, label="male students")
+            .add_predicate(female, label="female students")
+            .add_sql("SELECT COUNT(*) FROM s WHERE gpa < 3.0")
+            .add_sql("SELECT COUNT(*) FROM s WHERE gpa >= 3.0")
+            .add_sql("SELECT COUNT(*) FROM s WHERE gender = 'F' AND gpa >= 3.0")
+            .add_sql("SELECT COUNT(*) FROM s WHERE gender = 'M' AND gpa < 3.0")
+            .add_difference(male, female, label="male - female")
+        )
+        workload, labels = builder.build()
+        assert workload.shape == (8, 8)
+        assert labels[0] == "total"
+        assert workload.sensitivity_l2 == pytest.approx(np.sqrt(5.0))
+
+    def test_add_marginal(self, schema):
+        workload, labels = WorkloadBuilder(schema).add_marginal(["gpa"]).build()
+        assert workload.shape == (4, 8)
+        assert all("marginal" in label for label in labels)
+
+    def test_add_identity(self, schema):
+        workload, _ = WorkloadBuilder(schema).add_identity().build()
+        np.testing.assert_array_equal(workload.matrix, np.eye(8))
+
+    def test_add_range_marginal_count(self, schema):
+        workload, _ = WorkloadBuilder(schema).add_range_marginal("gpa").build()
+        assert workload.query_count == 4 * 5 // 2
+
+    def test_add_cdf(self, schema):
+        workload, _ = WorkloadBuilder(schema).add_cdf("gpa").build()
+        assert workload.query_count == 4
+        np.testing.assert_array_equal(workload.matrix[-1], np.ones(8))
+
+    def test_add_condition(self, schema):
+        workload, labels = (
+            WorkloadBuilder(schema).add_condition({"gpa": (2, 3)}, label="high gpa").build()
+        )
+        np.testing.assert_array_equal(workload.matrix[0], [0, 0, 1, 1, 0, 0, 1, 1])
+        assert labels == ["high gpa"]
+
+    def test_add_vector_validates_shape(self, schema):
+        with pytest.raises(WorkloadError):
+            WorkloadBuilder(schema).add_vector(np.ones(5))
+
+    def test_add_vector_rejects_nan(self, schema):
+        row = np.ones(8)
+        row[0] = np.nan
+        with pytest.raises(WorkloadError):
+            WorkloadBuilder(schema).add_vector(row)
+
+    def test_build_empty_raises(self, schema):
+        with pytest.raises(RelationalError):
+            WorkloadBuilder(schema).build()
+
+    def test_normalized_build(self, schema):
+        workload, _ = WorkloadBuilder(schema).add_total().add_identity().build(normalize=True)
+        norms = np.linalg.norm(workload.matrix, axis=1)
+        np.testing.assert_allclose(norms, np.ones(9))
+
+    def test_labels_align_with_rows(self, schema):
+        builder = WorkloadBuilder(schema).add_total().add_marginal(["gender"])
+        workload, labels = builder.build()
+        assert len(labels) == workload.query_count
+        assert builder.query_count == workload.query_count
+
+    def test_end_to_end_private_answers(self, schema, students):
+        """Builder workload + eigen design + matrix mechanism gives consistent answers."""
+        workload, _ = (
+            WorkloadBuilder(schema)
+            .add_total()
+            .add_marginal(["gender"])
+            .add_cdf("gpa")
+            .build()
+        )
+        x = data_vector(students, schema)
+        design = eigen_design(workload)
+        mechanism = MatrixMechanism(design.strategy, PrivacyParams(5.0, 1e-4))
+        result = mechanism.run(workload, x, random_state=0)
+        assert result.answers.shape == (workload.query_count,)
+        # With a generous epsilon the noisy total stays near the truth.
+        assert result.answers[0] == pytest.approx(x.sum(), rel=0.25)

@@ -1,0 +1,94 @@
+"""Tests for repro.core.scaling (relative-error and importance scalings)."""
+
+import numpy as np
+import pytest
+
+from repro import PrivacyParams, Workload, eigen_design, per_query_error
+from repro.core import (
+    normalize_for_relative_error,
+    scale_by_expected_answers,
+    scale_by_importance,
+)
+from repro.exceptions import WorkloadError
+from repro.workloads import example_workload
+
+PRIVACY = PrivacyParams(0.5, 1e-4)
+
+
+class TestNormalizeForRelativeError:
+    def test_rows_have_unit_norm(self):
+        scaled = normalize_for_relative_error(example_workload())
+        norms = np.linalg.norm(scaled.matrix, axis=1)
+        np.testing.assert_allclose(norms, np.ones(scaled.query_count))
+
+    def test_zero_rows_left_unchanged(self):
+        workload = Workload(np.vstack([np.zeros(4), np.ones(4)]))
+        scaled = normalize_for_relative_error(workload)
+        np.testing.assert_array_equal(scaled.matrix[0], np.zeros(4))
+
+    def test_original_not_modified(self):
+        workload = example_workload()
+        before = workload.matrix.copy()
+        normalize_for_relative_error(workload)
+        np.testing.assert_array_equal(workload.matrix, before)
+
+
+class TestScaleByExpectedAnswers:
+    def test_uniform_distribution_equalises_row_sums(self):
+        workload = example_workload()
+        scaled = scale_by_expected_answers(workload, np.ones(8))
+        expected = np.abs(scaled.matrix) @ np.full(8, 1.0 / 8.0)
+        np.testing.assert_allclose(expected, expected[0] * np.ones(len(expected)), rtol=1e-9)
+
+    def test_skewed_distribution_downweights_popular_queries(self):
+        # Two queries: one over a heavy cell, one over a light cell.
+        workload = Workload(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        distribution = np.array([0.9, 0.1])
+        scaled = scale_by_expected_answers(workload, distribution, floor_fraction=1e-9)
+        # The query on the heavy cell is scaled down relative to the light one.
+        assert np.linalg.norm(scaled.matrix[0]) < np.linalg.norm(scaled.matrix[1])
+
+    def test_floor_prevents_infinite_scaling(self):
+        workload = Workload(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        distribution = np.array([1.0, 0.0])
+        scaled = scale_by_expected_answers(workload, distribution)
+        assert np.all(np.isfinite(scaled.matrix))
+
+    def test_rejects_negative_distribution(self):
+        with pytest.raises(WorkloadError):
+            scale_by_expected_answers(example_workload(), -np.ones(8))
+
+    def test_rejects_zero_distribution(self):
+        with pytest.raises(WorkloadError):
+            scale_by_expected_answers(example_workload(), np.zeros(8))
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            scale_by_expected_answers(example_workload(), np.ones(5))
+
+
+class TestScaleByImportance:
+    def test_importance_changes_design_focus(self):
+        """Heavily weighting one query reduces its expected error after redesign."""
+        workload = example_workload()
+        importance = np.ones(workload.query_count)
+        importance[7] = 100.0
+        scaled = scale_by_importance(workload, importance)
+        plain_design = eigen_design(workload).strategy
+        weighted_design = eigen_design(scaled).strategy
+        plain_error = per_query_error(workload, plain_design, PRIVACY)[7]
+        weighted_error = per_query_error(workload, weighted_design, PRIVACY)[7]
+        assert weighted_error <= plain_error * 1.001
+
+    def test_uniform_importance_is_identity_transform(self):
+        workload = example_workload()
+        scaled = scale_by_importance(workload, np.full(workload.query_count, 4.0))
+        np.testing.assert_allclose(scaled.matrix, 2.0 * workload.matrix)
+
+    def test_rejects_nonpositive_importance(self):
+        with pytest.raises(WorkloadError):
+            scale_by_importance(example_workload(), np.zeros(8))
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            scale_by_importance(example_workload(), np.ones(3))

@@ -1,0 +1,138 @@
+"""Tests for repro.domain.schema and datavector construction."""
+
+import numpy as np
+import pytest
+
+from repro.domain import (
+    CategoricalAttribute,
+    NumericAttribute,
+    Schema,
+    data_vector_from_cells,
+    data_vector_from_histogram,
+    marginal_counts,
+    Domain,
+)
+from repro.exceptions import DomainError
+
+
+@pytest.fixture
+def student_schema() -> Schema:
+    """The paper's Fig. 1 schema: gender x gpa buckets."""
+    return Schema(
+        [
+            CategoricalAttribute("gender", ["M", "F"]),
+            NumericAttribute("gpa", [1.0, 2.0, 3.0, 3.5, 4.0]),
+        ]
+    )
+
+
+class TestAttributes:
+    def test_categorical_size_and_lookup(self):
+        attribute = CategoricalAttribute("color", ["r", "g", "b"])
+        assert attribute.size == 3
+        assert attribute.bucket_of("g") == 1
+
+    def test_categorical_unknown_value(self):
+        with pytest.raises(DomainError):
+            CategoricalAttribute("color", ["r"]).bucket_of("g")
+
+    def test_categorical_rejects_duplicates(self):
+        with pytest.raises(DomainError):
+            CategoricalAttribute("color", ["r", "r"])
+
+    def test_numeric_bucketing(self):
+        attribute = NumericAttribute("gpa", [1.0, 2.0, 3.0, 4.0])
+        assert attribute.size == 3
+        assert attribute.bucket_of(1.0) == 0
+        assert attribute.bucket_of(2.5) == 1
+        assert attribute.bucket_of(3.999) == 2
+
+    def test_numeric_out_of_range(self):
+        attribute = NumericAttribute("gpa", [1.0, 4.0])
+        with pytest.raises(DomainError):
+            attribute.bucket_of(4.0)
+        with pytest.raises(DomainError):
+            attribute.bucket_of(0.5)
+
+    def test_numeric_rejects_nonincreasing_edges(self):
+        with pytest.raises(DomainError):
+            NumericAttribute("x", [1.0, 1.0, 2.0])
+
+    def test_labels_are_readable(self, student_schema):
+        assert "gpa" in student_schema.attributes[1].bucket_label(0)
+
+
+class TestSchema:
+    def test_domain_shape_matches_fig1(self, student_schema):
+        assert student_schema.domain.shape == (2, 4)
+        assert student_schema.domain.size == 8
+
+    def test_cell_of_mapping(self, student_schema):
+        cell = student_schema.cell_of({"gender": "F", "gpa": 3.7})
+        assert cell == student_schema.domain.ravel([1, 3])
+
+    def test_cell_of_sequence(self, student_schema):
+        assert student_schema.cell_of(["M", 1.5]) == 0
+
+    def test_cell_of_wrong_length(self, student_schema):
+        with pytest.raises(DomainError):
+            student_schema.cell_of(["M"])
+
+    def test_cell_condition_description(self, student_schema):
+        condition = student_schema.cell_condition(0)
+        assert "gender" in condition and "gpa" in condition
+
+    def test_data_vector_counts_records(self, student_schema):
+        records = [
+            {"gender": "M", "gpa": 1.5},
+            {"gender": "M", "gpa": 1.2},
+            {"gender": "F", "gpa": 3.9},
+        ]
+        vector = student_schema.data_vector(records)
+        assert vector.sum() == 3
+        assert vector[0] == 2
+
+    def test_rejects_duplicate_attribute_names(self):
+        with pytest.raises(DomainError):
+            Schema([CategoricalAttribute("a", [1]), CategoricalAttribute("a", [2])])
+
+    def test_rejects_empty_schema(self):
+        with pytest.raises(DomainError):
+            Schema([])
+
+
+class TestDataVectors:
+    def test_from_cells(self):
+        domain = Domain([4])
+        vector = data_vector_from_cells(domain, [0, 0, 3])
+        np.testing.assert_array_equal(vector, [2, 0, 0, 1])
+
+    def test_from_cells_rejects_out_of_range(self):
+        with pytest.raises(DomainError):
+            data_vector_from_cells(Domain([4]), [4])
+
+    def test_from_histogram_roundtrip(self):
+        domain = Domain([2, 3])
+        histogram = np.arange(6).reshape(2, 3).astype(float)
+        vector = data_vector_from_histogram(domain, histogram)
+        np.testing.assert_array_equal(vector, np.arange(6))
+
+    def test_from_histogram_shape_mismatch(self):
+        with pytest.raises(DomainError):
+            data_vector_from_histogram(Domain([2, 3]), np.zeros((3, 2)))
+
+    def test_from_histogram_rejects_negative(self):
+        with pytest.raises(DomainError):
+            data_vector_from_histogram(Domain([2]), np.array([-1.0, 1.0]))
+
+    def test_marginal_counts_match_matrix(self):
+        domain = Domain([2, 3, 2])
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 10, domain.size).astype(float)
+        counts = marginal_counts(domain, data, [1])
+        matrix = domain.marginalization_matrix([1])
+        np.testing.assert_allclose(counts, matrix @ data)
+
+    def test_marginal_counts_wrong_length(self):
+        with pytest.raises(DomainError):
+            marginal_counts(Domain([2, 3]), np.zeros(5), [0])

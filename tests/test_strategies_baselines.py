@@ -1,0 +1,87 @@
+"""Tests for the baseline strategies: identity, wavelet, hierarchical."""
+
+import numpy as np
+import pytest
+
+from repro import Workload, expected_workload_error
+from repro.domain import Domain
+from repro.strategies import (
+    hierarchical_strategy,
+    identity_strategy,
+    wavelet_strategy,
+    workload_strategy,
+)
+from repro.workloads import all_range_queries, all_range_queries_1d
+
+
+class TestIdentity:
+    def test_accepts_domain_int_or_dims(self):
+        assert identity_strategy(8).column_count == 8
+        assert identity_strategy([2, 4]).column_count == 8
+        assert identity_strategy(Domain([2, 4])).column_count == 8
+
+    def test_workload_strategy_explicit(self, fig1_workload):
+        strategy = workload_strategy(fig1_workload)
+        np.testing.assert_array_equal(strategy.matrix, fig1_workload.matrix)
+
+    def test_workload_strategy_implicit(self):
+        workload = Workload.from_gram(np.eye(4) * 2, query_count=9)
+        strategy = workload_strategy(workload)
+        assert not strategy.has_matrix
+        np.testing.assert_allclose(strategy.gram, workload.gram)
+
+
+class TestWavelet:
+    def test_square_and_full_rank(self):
+        for size in (4, 8, 12, 16):
+            strategy = wavelet_strategy(size)
+            assert strategy.matrix.shape == (size, size)
+            assert strategy.is_full_rank
+
+    def test_power_of_two_sensitivity_is_log_based(self):
+        # For n = 2^k the unnormalised Haar strategy has every column norm
+        # equal to sqrt(k + 1).
+        strategy = wavelet_strategy(16)
+        column_norms = np.sqrt(np.diag(strategy.gram))
+        np.testing.assert_allclose(column_norms, np.sqrt(5.0))
+
+    def test_multidimensional_is_kron(self):
+        from repro.strategies.wavelet import wavelet_matrix
+
+        strategy = wavelet_strategy([4, 2])
+        expected = np.kron(wavelet_matrix(4), wavelet_matrix(2))
+        np.testing.assert_allclose(strategy.matrix, expected)
+
+    def test_beats_identity_on_large_ranges(self, privacy):
+        workload = all_range_queries_1d(64)
+        wavelet_error = expected_workload_error(workload, wavelet_strategy(64), privacy)
+        identity_error = expected_workload_error(workload, identity_strategy(64), privacy)
+        assert wavelet_error < identity_error
+
+
+class TestHierarchical:
+    def test_full_rank_and_supports_ranges(self):
+        strategy = hierarchical_strategy(13)
+        assert strategy.is_full_rank
+        workload = all_range_queries_1d(13)
+        assert strategy.supports(workload.gram)
+
+    def test_row_count_binary_tree(self):
+        # A binary tree over 8 leaves has 15 nodes.
+        assert hierarchical_strategy(8).query_count == 15
+
+    def test_branching_factor(self):
+        strategy = hierarchical_strategy(9, branching=3)
+        # 9 leaves + 3 internal + root = 13 nodes.
+        assert strategy.query_count == 13
+
+    def test_multidimensional_sensitivity_is_product(self):
+        one_d = hierarchical_strategy(8)
+        two_d = hierarchical_strategy([8, 8])
+        assert two_d.sensitivity_l2 == pytest.approx(one_d.sensitivity_l2**2)
+
+    def test_competitive_on_multidimensional_ranges(self, privacy):
+        workload = all_range_queries([8, 8])
+        error_hier = expected_workload_error(workload, hierarchical_strategy([8, 8]), privacy)
+        error_identity = expected_workload_error(workload, identity_strategy([8, 8]), privacy)
+        assert error_hier < error_identity

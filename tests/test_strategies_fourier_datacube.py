@@ -1,0 +1,112 @@
+"""Tests for the Fourier and DataCube (BMAX) strategies."""
+
+import numpy as np
+import pytest
+
+from repro import expected_workload_error
+from repro.domain import Domain
+from repro.exceptions import StrategyError
+from repro.strategies import (
+    datacube_strategy,
+    fourier_basis,
+    fourier_strategy,
+    full_fourier_matrix,
+    identity_strategy,
+    select_cuboids,
+)
+from repro.workloads import kway_marginals, marginal_attribute_sets
+
+
+@pytest.fixture
+def domain() -> Domain:
+    return Domain([4, 4, 2])
+
+
+class TestFourierBasis:
+    def test_orthonormal(self):
+        basis = fourier_basis(6)
+        np.testing.assert_allclose(basis @ basis.T, np.eye(6), atol=1e-10)
+
+    def test_first_vector_constant(self):
+        basis = fourier_basis(5)
+        np.testing.assert_allclose(basis[0], np.full(5, 1 / np.sqrt(5)))
+
+    def test_full_matrix_orthonormal(self, domain):
+        full = full_fourier_matrix(domain)
+        np.testing.assert_allclose(full @ full.T, np.eye(domain.size), atol=1e-9)
+
+    def test_bad_size(self):
+        with pytest.raises(StrategyError):
+            fourier_basis(0)
+
+
+class TestFourierStrategy:
+    def test_supports_marginal_workload(self, domain):
+        workload = kway_marginals(domain, 2)
+        strategy = fourier_strategy(domain, 2)
+        assert strategy.supports(workload.gram)
+
+    def test_smaller_than_full_basis(self, domain):
+        restricted = fourier_strategy(domain, 1)
+        assert restricted.query_count < domain.size
+
+    def test_row_count_for_one_way(self, domain):
+        # 1-way marginals need coefficients with support of size <= 1:
+        # 1 constant + sum (d_i - 1) others.
+        strategy = fourier_strategy(domain, 1)
+        assert strategy.query_count == 1 + sum(d - 1 for d in domain.shape)
+
+    def test_sensitivity_no_larger_than_full_basis(self, domain):
+        full = fourier_strategy(domain, None)
+        restricted = fourier_strategy(domain, 1)
+        assert restricted.sensitivity_l2 <= full.sensitivity_l2 + 1e-12
+
+    def test_explicit_marginal_sets(self, domain):
+        strategy = fourier_strategy(domain, [(0, 1)])
+        workload = kway_marginals(Domain([4, 4, 2]), 2)
+        # Supports the (0,1) marginal but not necessarily the others.
+        marginal = domain.marginalization_matrix([0, 1])
+        from repro.core.workload import Workload
+
+        assert strategy.supports(Workload(marginal).gram)
+
+    def test_better_than_identity_for_low_order_marginals(self, privacy):
+        domain = Domain([8, 8, 8])
+        workload = kway_marginals(domain, 1)
+        fourier_error = expected_workload_error(workload, fourier_strategy(domain, 1), privacy)
+        identity_error = expected_workload_error(workload, identity_strategy(domain), privacy)
+        assert fourier_error < identity_error
+
+
+class TestDataCube:
+    def test_select_cuboids_covers_workload(self, domain):
+        targets = marginal_attribute_sets(domain, 2)
+        chosen = select_cuboids(domain, targets)
+        for target in targets:
+            assert any(set(target) <= set(cuboid) for cuboid in chosen)
+
+    def test_single_marginal_materialises_itself(self, domain):
+        chosen = select_cuboids(domain, [(0, 1)])
+        assert chosen == [(0, 1)]
+
+    def test_strategy_supports_marginal_workload(self, domain):
+        workload = kway_marginals(domain, 2)
+        strategy = datacube_strategy(domain, marginal_attribute_sets(domain, 2))
+        assert strategy.supports(workload.gram)
+
+    def test_strategy_rows_are_marginal_queries(self, domain):
+        strategy = datacube_strategy(domain, [(0,)])
+        assert set(np.unique(strategy.matrix)).issubset({0.0, 1.0})
+
+    def test_empty_marginal_sets_rejected(self, domain):
+        with pytest.raises(StrategyError):
+            datacube_strategy(domain, [])
+
+    def test_competitive_for_marginals(self, privacy):
+        domain = Domain([8, 8, 4])
+        workload = kway_marginals(domain, 2)
+        datacube_error = expected_workload_error(
+            workload, datacube_strategy(domain, marginal_attribute_sets(domain, 2)), privacy
+        )
+        identity_error = expected_workload_error(workload, identity_strategy(domain), privacy)
+        assert datacube_error < identity_error

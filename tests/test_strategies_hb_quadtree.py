@@ -1,0 +1,154 @@
+"""Tests for the HB, weighted-hierarchical, quadtree and k-d strategies."""
+
+import numpy as np
+import pytest
+
+from repro import PrivacyParams, Workload, expected_workload_error
+from repro.exceptions import StrategyError
+from repro.strategies import (
+    box_query_vector,
+    hb_strategy,
+    hierarchical_strategy,
+    kd_tree_strategy,
+    optimal_branching_factor,
+    quadtree_strategy,
+    weighted_hierarchical_strategy,
+)
+from repro.workloads import all_range_queries_1d, all_range_queries, cdf_workload
+
+PRIVACY = PrivacyParams(0.5, 1e-4)
+
+
+class TestOptimalBranching:
+    def test_returns_candidate(self):
+        branching = optimal_branching_factor(64)
+        assert branching in (2, 3, 4, 8, 16)
+
+    def test_respects_custom_candidates(self):
+        assert optimal_branching_factor(64, candidates=[4]) == 4
+
+    def test_rejects_empty_candidates(self):
+        with pytest.raises(StrategyError):
+            optimal_branching_factor(64, candidates=[1])
+
+    def test_accepts_domain_like_inputs(self):
+        from repro.domain import Domain
+
+        assert isinstance(optimal_branching_factor(Domain([16, 16])), int)
+        assert isinstance(optimal_branching_factor([16, 16]), int)
+
+    def test_winner_really_is_best(self):
+        workload = all_range_queries_1d(32)
+        best = optimal_branching_factor(32, workload, candidates=[2, 4, 8])
+        errors = {
+            branching: expected_workload_error(
+                workload, hierarchical_strategy(32, branching=branching), PRIVACY
+            )
+            for branching in (2, 4, 8)
+        }
+        assert errors[best] == min(errors.values())
+
+
+class TestHbStrategy:
+    def test_never_worse_than_binary_hierarchy(self):
+        workload = all_range_queries_1d(64)
+        hb_error = expected_workload_error(workload, hb_strategy(64, workload), PRIVACY)
+        binary_error = expected_workload_error(workload, hierarchical_strategy(64), PRIVACY)
+        assert hb_error <= binary_error + 1e-9
+
+    def test_full_rank(self):
+        assert hb_strategy(32).is_full_rank
+
+    def test_multidimensional(self):
+        strategy = hb_strategy([8, 8])
+        assert strategy.column_count == 64
+
+
+class TestWeightedHierarchy:
+    def test_improves_on_uniform_hierarchy(self):
+        workload = all_range_queries_1d(64)
+        weighted = weighted_hierarchical_strategy(workload)
+        uniform_error = expected_workload_error(workload, hierarchical_strategy(64), PRIVACY)
+        weighted_error = expected_workload_error(workload, weighted, PRIVACY)
+        assert weighted_error <= uniform_error * 1.001
+
+    def test_adapts_to_cdf_workload(self):
+        workload = cdf_workload(32)
+        weighted = weighted_hierarchical_strategy(workload)
+        uniform_error = expected_workload_error(workload, hierarchical_strategy(32), PRIVACY)
+        weighted_error = expected_workload_error(workload, weighted, PRIVACY)
+        assert weighted_error <= uniform_error * 1.001
+
+    def test_supports_branching_argument(self):
+        workload = all_range_queries_1d(27)
+        strategy = weighted_hierarchical_strategy(workload, branching=3)
+        assert np.isfinite(expected_workload_error(workload, strategy, PRIVACY))
+
+
+class TestBoxQueries:
+    def test_single_cell_box(self):
+        row = box_query_vector([2, 3], [1, 2], [1, 2])
+        assert row.sum() == 1.0
+        assert row[5] == 1.0
+
+    def test_full_box_is_total(self):
+        row = box_query_vector([2, 3], [0, 0], [1, 2])
+        np.testing.assert_array_equal(row, np.ones(6))
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(StrategyError):
+            box_query_vector([4], [3], [2])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(StrategyError):
+            box_query_vector([4], [0], [4])
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(StrategyError):
+            box_query_vector([4, 4], [0], [1])
+
+
+class TestSpatialStrategies:
+    @pytest.mark.parametrize("factory", [quadtree_strategy, kd_tree_strategy])
+    def test_full_rank_and_binary_entries(self, factory):
+        strategy = factory([4, 4])
+        assert strategy.is_full_rank
+        assert set(np.unique(strategy.matrix)) <= {0.0, 1.0}
+
+    @pytest.mark.parametrize("factory", [quadtree_strategy, kd_tree_strategy])
+    def test_root_is_total_and_leaves_are_cells(self, factory):
+        strategy = factory([4, 4])
+        matrix = strategy.matrix
+        np.testing.assert_array_equal(matrix[0], np.ones(16))
+        singletons = matrix[matrix.sum(axis=1) == 1]
+        # Every cell appears as a leaf query.
+        assert np.array_equal(np.sort(np.argmax(singletons, axis=1)), np.arange(16))
+
+    def test_one_dimensional_quadtree_matches_binary_hierarchy_error(self):
+        workload = all_range_queries_1d(16)
+        quad_error = expected_workload_error(workload, quadtree_strategy(16), PRIVACY)
+        hier_error = expected_workload_error(workload, hierarchical_strategy(16), PRIVACY)
+        assert quad_error == pytest.approx(hier_error, rel=1e-9)
+
+    def test_can_answer_2d_range_workload(self):
+        workload = all_range_queries([4, 4])
+        for strategy in (quadtree_strategy([4, 4]), kd_tree_strategy([4, 4])):
+            error = expected_workload_error(workload, strategy, PRIVACY)
+            assert np.isfinite(error)
+            assert error > 0
+
+    def test_kd_tree_has_fanout_two(self):
+        strategy = kd_tree_strategy([4, 4])
+        # The k-d tree has 2*size-1 nodes for a power-of-two domain.
+        assert strategy.query_count == 2 * 16 - 1
+
+    def test_non_power_of_two_domains(self):
+        for factory in (quadtree_strategy, kd_tree_strategy):
+            strategy = factory([3, 5])
+            assert strategy.is_full_rank
+
+    def test_workload_round_trip(self):
+        """A quadtree strategy answers a box workload exactly in expectation."""
+        workload = Workload(box_query_vector([4, 4], [1, 1], [2, 2]).reshape(1, -1))
+        error = expected_workload_error(workload, quadtree_strategy([4, 4]), PRIVACY)
+        assert np.isfinite(error)

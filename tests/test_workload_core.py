@@ -1,0 +1,168 @@
+"""Tests for the core Workload abstraction."""
+
+import numpy as np
+import pytest
+
+from repro import Workload
+from repro.domain import Domain
+from repro.exceptions import MaterializationError, WorkloadError
+
+
+class TestConstruction:
+    def test_from_matrix_shape(self):
+        workload = Workload(np.ones((3, 5)))
+        assert workload.shape == (3, 5)
+        assert workload.has_matrix
+
+    def test_from_gram_requires_query_count(self):
+        with pytest.raises(WorkloadError):
+            Workload(None, gram=np.eye(4))
+
+    def test_from_gram(self):
+        workload = Workload.from_gram(np.eye(4), query_count=10)
+        assert workload.query_count == 10
+        assert not workload.has_matrix
+
+    def test_needs_matrix_or_gram(self):
+        with pytest.raises(WorkloadError):
+            Workload(None)
+
+    def test_rejects_nonsquare_gram(self):
+        with pytest.raises(WorkloadError):
+            Workload.from_gram(np.ones((2, 3)), query_count=1)
+
+    def test_rejects_inconsistent_query_count(self):
+        with pytest.raises(WorkloadError):
+            Workload(np.ones((3, 5)), query_count=4)
+
+    def test_rejects_mismatched_domain(self):
+        with pytest.raises(WorkloadError):
+            Workload(np.ones((3, 5)), domain=Domain([2, 2]))
+
+    def test_identity_and_total(self):
+        assert Workload.identity(4).query_count == 4
+        assert Workload.total(4).query_count == 1
+        np.testing.assert_array_equal(Workload.total(4).matrix, np.ones((1, 4)))
+
+
+class TestGramAndSensitivity:
+    def test_gram_matches_matrix(self):
+        matrix = np.array([[1.0, 2.0], [0.0, 1.0]])
+        workload = Workload(matrix)
+        np.testing.assert_allclose(workload.gram, matrix.T @ matrix)
+
+    def test_l2_sensitivity_is_max_column_norm(self, fig1_workload):
+        # The paper states ||W||_2 = sqrt(5) for the Fig. 1 workload.
+        assert fig1_workload.sensitivity_l2 == pytest.approx(np.sqrt(5.0))
+
+    def test_l1_sensitivity(self, fig1_workload):
+        matrix = fig1_workload.matrix
+        expected = np.abs(matrix).sum(axis=0).max()
+        assert fig1_workload.sensitivity_l1 == pytest.approx(expected)
+
+    def test_l1_sensitivity_requires_matrix(self):
+        workload = Workload.from_gram(np.eye(3), query_count=3)
+        with pytest.raises(MaterializationError):
+            _ = workload.sensitivity_l1
+
+    def test_implicit_matrix_access_raises(self):
+        workload = Workload.from_gram(np.eye(3), query_count=3)
+        with pytest.raises(MaterializationError):
+            _ = workload.matrix
+
+    def test_eigenvalues_descending_and_nonnegative(self, fig1_workload):
+        values = fig1_workload.eigenvalues
+        assert np.all(np.diff(values) <= 1e-12)
+        assert np.all(values >= 0)
+
+    def test_rank_of_fig1_workload_is_four(self, fig1_workload):
+        # Every Fig. 1 query is constant on the four gender x (gpa<3) blocks.
+        assert fig1_workload.rank == 4
+
+    def test_rank_of_identity(self):
+        assert Workload.identity(6).rank == 6
+
+
+class TestCompositions:
+    def test_kronecker_explicit(self):
+        left = Workload(np.array([[1.0, 1.0]]))
+        right = Workload.identity(3)
+        product = Workload.kronecker([left, right])
+        assert product.shape == (3, 6)
+        np.testing.assert_allclose(product.gram, np.kron(left.gram, right.gram))
+
+    def test_kronecker_implicit_gram(self):
+        left = Workload.from_gram(np.eye(3) * 4, query_count=100)
+        right = Workload.identity(2)
+        product = Workload.kronecker([left, right])
+        assert not product.has_matrix
+        assert product.query_count == 200
+        np.testing.assert_allclose(product.gram, np.kron(np.eye(3) * 4, np.eye(2)))
+
+    def test_union_stacks_matrices(self):
+        union = Workload.union([Workload.identity(3), Workload.total(3)])
+        assert union.shape == (4, 3)
+
+    def test_union_adds_grams(self):
+        first = Workload.from_gram(np.eye(3), query_count=3)
+        second = Workload.total(3)
+        union = Workload.union([first, second])
+        assert union.query_count == 4
+        np.testing.assert_allclose(union.gram, np.eye(3) + np.ones((3, 3)))
+
+    def test_union_requires_same_cells(self):
+        with pytest.raises(WorkloadError):
+            Workload.union([Workload.identity(3), Workload.identity(4)])
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload.union([])
+
+
+class TestTransformations:
+    def test_answer(self, fig1_workload):
+        data = np.arange(8, dtype=float)
+        np.testing.assert_allclose(fig1_workload.answer(data), fig1_workload.matrix @ data)
+
+    def test_scale_rows_scalar(self):
+        workload = Workload.identity(3).scale_rows(2.0)
+        np.testing.assert_array_equal(workload.matrix, 2 * np.eye(3))
+
+    def test_scale_rows_vector(self):
+        workload = Workload.identity(3).scale_rows(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_array_equal(np.diag(workload.matrix), [1, 2, 3])
+
+    def test_normalize_rows_unit_norms(self, fig1_workload):
+        normalized = fig1_workload.normalize_rows()
+        norms = np.linalg.norm(normalized.matrix, axis=1)
+        np.testing.assert_allclose(norms, np.ones(8))
+
+    def test_normalize_rows_keeps_zero_rows(self):
+        workload = Workload(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        normalized = workload.normalize_rows()
+        np.testing.assert_array_equal(normalized.matrix[0], [0.0, 0.0])
+
+    def test_permute_columns_explicit(self, fig1_workload):
+        permutation = list(reversed(range(8)))
+        permuted = fig1_workload.permute_columns(permutation)
+        np.testing.assert_array_equal(permuted.matrix, fig1_workload.matrix[:, permutation])
+
+    def test_permute_columns_implicit_gram(self):
+        gram = np.diag([1.0, 2.0, 3.0])
+        workload = Workload.from_gram(gram, query_count=5)
+        permuted = workload.permute_columns([2, 0, 1])
+        np.testing.assert_array_equal(np.diag(permuted.gram), [3.0, 1.0, 2.0])
+
+    def test_permute_columns_invalid(self, fig1_workload):
+        with pytest.raises(WorkloadError):
+            fig1_workload.permute_columns([0, 1])
+
+    def test_rotate_preserves_gram(self, fig1_workload, rng):
+        random = rng.normal(size=(8, 8))
+        orthogonal, _ = np.linalg.qr(random)
+        rotated = fig1_workload.rotate(orthogonal)
+        np.testing.assert_allclose(rotated.gram, fig1_workload.gram, atol=1e-9)
+
+    def test_rotate_requires_square_match(self, fig1_workload):
+        with pytest.raises(WorkloadError):
+            fig1_workload.rotate(np.eye(3))

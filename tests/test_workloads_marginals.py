@@ -1,0 +1,110 @@
+"""Tests for marginal and range-marginal workloads."""
+
+import numpy as np
+import pytest
+
+from repro.domain import Domain
+from repro.exceptions import WorkloadError
+from repro.workloads import (
+    all_marginals,
+    kway_marginals,
+    kway_range_marginals,
+    marginal_attribute_sets,
+    marginal_workload,
+    random_marginals,
+    range_marginal_workload,
+)
+
+
+@pytest.fixture
+def domain() -> Domain:
+    return Domain([3, 4, 2], ["a", "b", "c"])
+
+
+class TestMarginalWorkload:
+    def test_single_marginal_shape(self, domain):
+        workload = marginal_workload(domain, ["a", "b"])
+        assert workload.shape == (12, 24)
+
+    def test_total_marginal(self, domain):
+        workload = marginal_workload(domain, [])
+        np.testing.assert_array_equal(workload.matrix, np.ones((1, 24)))
+
+    def test_marginal_answers_match_numpy(self, domain, rng):
+        data = rng.integers(0, 20, domain.size).astype(float)
+        workload = marginal_workload(domain, ["b"])
+        expected = data.reshape(3, 4, 2).sum(axis=(0, 2)).reshape(-1)
+        np.testing.assert_allclose(workload.answer(data), expected)
+
+    def test_attribute_sets(self, domain):
+        assert marginal_attribute_sets(domain, 2) == [(0, 1), (0, 2), (1, 2)]
+        assert marginal_attribute_sets(domain, 0) == [()]
+
+    def test_attribute_sets_bad_order(self, domain):
+        with pytest.raises(WorkloadError):
+            marginal_attribute_sets(domain, 4)
+
+
+class TestKWayMarginals:
+    def test_query_count(self, domain):
+        workload = kway_marginals(domain, 2)
+        assert workload.query_count == 3 * 4 + 3 * 2 + 4 * 2
+
+    def test_one_way_sensitivity(self, domain):
+        # Each cell appears in exactly one query per marginal.
+        workload = kway_marginals(domain, 1)
+        assert workload.sensitivity_l2 == pytest.approx(np.sqrt(3))
+
+    def test_all_marginals_includes_total(self, domain):
+        workload = all_marginals(domain, 1)
+        assert workload.query_count == 1 + 3 + 4 + 2
+
+    def test_all_marginals_default_order(self, domain):
+        full = all_marginals(domain)
+        # Sum over k of products of subset sizes.
+        assert full.query_count == (1 + 3) * (1 + 4) * (1 + 2)
+
+    def test_all_marginals_bad_order(self, domain):
+        with pytest.raises(WorkloadError):
+            all_marginals(domain, 5)
+
+
+class TestRandomMarginals:
+    def test_count_and_reproducibility(self, domain):
+        first = random_marginals(domain, 5, random_state=3)
+        second = random_marginals(domain, 5, random_state=3)
+        np.testing.assert_array_equal(first.matrix, second.matrix)
+
+    def test_respects_max_order(self, domain):
+        workload = random_marginals(domain, 10, max_order=1, random_state=0)
+        # With max_order=1 each sampled marginal has at most max(shape) rows.
+        assert workload.query_count <= 10 * max(domain.shape)
+
+    def test_rejects_bad_count(self, domain):
+        with pytest.raises(WorkloadError):
+            random_marginals(domain, 0)
+
+
+class TestRangeMarginals:
+    def test_range_marginal_query_count(self, domain):
+        workload = range_marginal_workload(domain, ["a"])
+        assert workload.query_count == 3 * 4 // 2
+
+    def test_range_marginal_contains_marginal_sums(self, domain, rng):
+        data = rng.integers(0, 10, domain.size).astype(float)
+        workload = range_marginal_workload(domain, ["b"])
+        answers = workload.answer(data)
+        marginal = data.reshape(3, 4, 2).sum(axis=(0, 2))
+        # The single-bucket ranges reproduce the plain marginal counts.
+        for bucket in range(4):
+            assert marginal[bucket] in answers
+
+    def test_kway_range_marginal_union(self, domain):
+        workload = kway_range_marginals(domain, 1)
+        expected = (3 * 4 // 2) + (4 * 5 // 2) + (2 * 3 // 2)
+        assert workload.query_count == expected
+
+    def test_two_way_range_marginal_gram_psd(self, domain):
+        workload = kway_range_marginals(domain, 2)
+        eigenvalues = np.linalg.eigvalsh(workload.gram)
+        assert np.all(eigenvalues >= -1e-8)

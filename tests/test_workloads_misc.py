@@ -1,0 +1,126 @@
+"""Tests for predicate workloads, ad-hoc combinations and the builder registry."""
+
+import numpy as np
+import pytest
+
+from repro.domain import AttributeRange, Domain
+from repro.exceptions import WorkloadError
+from repro.workloads import (
+    all_predicate_gram,
+    all_predicate_query_count,
+    available_workloads,
+    build_workload,
+    combine_workloads,
+    example_domain,
+    example_workload,
+    permuted_workload,
+    random_predicate_queries,
+    subsample_queries,
+    weighted_union,
+    workload_from_predicates,
+)
+
+
+class TestPredicateWorkloads:
+    def test_random_predicates_shape_and_entries(self, rng):
+        workload = random_predicate_queries(32, 20, random_state=rng)
+        assert workload.shape == (20, 32)
+        assert set(np.unique(workload.matrix)).issubset({0.0, 1.0})
+
+    def test_no_empty_queries(self):
+        workload = random_predicate_queries(4, 50, density=0.1, random_state=0)
+        assert np.all(workload.matrix.sum(axis=1) >= 1)
+
+    def test_density_validation(self):
+        with pytest.raises(WorkloadError):
+            random_predicate_queries(8, 5, density=1.5)
+
+    def test_domain_argument(self):
+        workload = random_predicate_queries(Domain([4, 4]), 6, random_state=1)
+        assert workload.column_count == 16
+        assert workload.domain is not None
+
+    def test_workload_from_predicates(self):
+        domain = Domain([2, 4], ["gender", "gpa"])
+        workload = workload_from_predicates(
+            domain, [AttributeRange("gender", 0, 0), AttributeRange("gpa", 2, 3)]
+        )
+        assert workload.shape == (2, 8)
+
+    def test_workload_from_predicates_empty(self):
+        with pytest.raises(WorkloadError):
+            workload_from_predicates(Domain([4]), [])
+
+    def test_all_predicate_gram_small(self):
+        # Enumerate all 2^3 predicates explicitly and compare.
+        size = 3
+        rows = np.array([[(mask >> bit) & 1 for bit in range(size)] for mask in range(2**size)], dtype=float)
+        np.testing.assert_allclose(all_predicate_gram(size), rows.T @ rows)
+        assert all_predicate_query_count(size) == 8
+
+
+class TestAdHoc:
+    def test_permuted_workload_same_spectrum(self, fig1_workload):
+        permuted = permuted_workload(fig1_workload, random_state=5)
+        np.testing.assert_allclose(permuted.eigenvalues, fig1_workload.eigenvalues, atol=1e-9)
+
+    def test_permuted_workload_fixed_permutation(self, fig1_workload):
+        permutation = list(reversed(range(8)))
+        permuted = permuted_workload(fig1_workload, permutation=permutation)
+        np.testing.assert_array_equal(permuted.matrix, fig1_workload.matrix[:, permutation])
+
+    def test_subsample_queries(self, range_workload_32):
+        sampled = subsample_queries(range_workload_32, 10, random_state=2)
+        assert sampled.query_count == 10
+        assert sampled.column_count == 32
+
+    def test_subsample_too_many(self, fig1_workload):
+        with pytest.raises(WorkloadError):
+            subsample_queries(fig1_workload, 100)
+
+    def test_combine_workloads(self, fig1_workload):
+        from repro.core.workload import Workload
+
+        combined = combine_workloads([fig1_workload, Workload.identity(8)])
+        assert combined.query_count == 16
+
+    def test_weighted_union_scales_gram(self):
+        from repro.core.workload import Workload
+
+        identity = Workload.identity(4)
+        union = weighted_union([identity, identity], [1.0, 3.0])
+        np.testing.assert_allclose(union.gram, np.eye(4) * (1 + 9))
+
+    def test_weighted_union_validates(self):
+        from repro.core.workload import Workload
+
+        with pytest.raises(WorkloadError):
+            weighted_union([Workload.identity(2)], [1.0, 2.0])
+        with pytest.raises(WorkloadError):
+            weighted_union([Workload.identity(2)], [0.0])
+
+
+class TestBuilders:
+    def test_example_workload_matches_paper(self):
+        workload = example_workload()
+        assert workload.shape == (8, 8)
+        assert workload.sensitivity_l2 == pytest.approx(np.sqrt(5.0))
+        assert example_domain().size == 8
+
+    def test_registry_contains_paper_workloads(self):
+        names = available_workloads()
+        for required in ("all-range", "2-way-marginal", "cdf", "random-range"):
+            assert required in names
+
+    def test_build_workload_dispatch(self):
+        workload = build_workload("2-way-marginal", [4, 4, 4])
+        assert workload.column_count == 64
+
+    def test_build_workload_random_state(self):
+        first = build_workload("random-range", [16], count=5, random_state=1)
+        second = build_workload("random-range", [16], count=5, random_state=1)
+        np.testing.assert_array_equal(first.matrix, second.matrix)
+
+    def test_build_workload_unknown(self):
+        with pytest.raises(WorkloadError):
+            build_workload("nope", [4])

@@ -1,0 +1,124 @@
+"""Tests for range workloads and their closed-form Gram matrices."""
+
+import numpy as np
+import pytest
+
+from repro.domain import Domain
+from repro.workloads import (
+    all_range_gram,
+    all_range_queries,
+    all_range_queries_1d,
+    all_range_query_count,
+    cdf_workload,
+    prefix_gram,
+    prefix_workload,
+    random_range_queries,
+    range_query_vector,
+)
+
+
+class TestAllRange1D:
+    def test_query_count(self):
+        assert all_range_queries_1d(8).query_count == 36
+        assert all_range_query_count(2048) == 2048 * 2049 // 2
+
+    def test_explicit_rows_are_ranges(self):
+        workload = all_range_queries_1d(4)
+        matrix = workload.matrix
+        # Every row is a contiguous block of ones.
+        for row in matrix:
+            ones = np.flatnonzero(row)
+            assert np.array_equal(ones, np.arange(ones[0], ones[-1] + 1))
+            assert set(np.unique(row)).issubset({0.0, 1.0})
+
+    def test_gram_closed_form_matches_explicit(self):
+        for size in (1, 2, 5, 16):
+            explicit = all_range_queries_1d(size, materialize=True)
+            np.testing.assert_allclose(all_range_gram(size), explicit.gram)
+
+    def test_implicit_above_limit(self):
+        workload = all_range_queries_1d(256)
+        assert not workload.has_matrix
+        assert workload.query_count == all_range_query_count(256)
+
+    def test_force_materialization_flag(self):
+        assert all_range_queries_1d(100, materialize=True).has_matrix
+        assert not all_range_queries_1d(8, materialize=False).has_matrix
+
+    def test_sensitivity_is_sqrt_of_max_coverage(self):
+        # The centre cell of n cells is covered by the most ranges.
+        workload = all_range_queries_1d(9)
+        expected = np.sqrt(np.max(np.diag(all_range_gram(9))))
+        assert workload.sensitivity_l2 == pytest.approx(expected)
+
+
+class TestMultiDimensionalRanges:
+    def test_kron_gram_matches_explicit_small(self):
+        explicit = all_range_queries([4, 3], materialize=True)
+        rows = []
+        for low0 in range(4):
+            for high0 in range(low0, 4):
+                for low1 in range(3):
+                    for high1 in range(low1, 3):
+                        rows.append(
+                            range_query_vector(Domain([4, 3]), [low0, low1], [high0, high1])
+                        )
+        manual = np.vstack(rows)
+        np.testing.assert_allclose(explicit.gram, manual.T @ manual)
+        assert explicit.query_count == manual.shape[0]
+
+    def test_query_count_is_product(self):
+        workload = all_range_queries([64, 32])
+        assert workload.query_count == (64 * 65 // 2) * (32 * 33 // 2)
+
+    def test_2048_cell_configurations_share_cells(self):
+        for dims in ([2048], [64, 32], [16, 16, 8], [8, 8, 8, 4], [2] * 11):
+            assert all_range_queries(dims).column_count == 2048
+
+
+class TestRandomRanges:
+    def test_shape_and_binary_entries(self, rng):
+        workload = random_range_queries([8, 8], 25, random_state=rng)
+        assert workload.shape == (25, 64)
+        assert set(np.unique(workload.matrix)).issubset({0.0, 1.0})
+
+    def test_rows_are_axis_aligned_boxes(self, rng):
+        domain = Domain([6, 5])
+        workload = random_range_queries(domain, 40, random_state=rng)
+        for row in workload.matrix:
+            grid = row.reshape(6, 5)
+            rows_used = np.flatnonzero(grid.any(axis=1))
+            cols_used = np.flatnonzero(grid.any(axis=0))
+            expected = np.zeros_like(grid)
+            expected[np.ix_(rows_used, cols_used)] = 1.0
+            np.testing.assert_array_equal(grid, expected)
+
+    def test_reproducible_with_seed(self):
+        first = random_range_queries([16], 10, random_state=7)
+        second = random_range_queries([16], 10, random_state=7)
+        np.testing.assert_array_equal(first.matrix, second.matrix)
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            random_range_queries([8], 0)
+
+    def test_range_query_vector_validates_bounds(self):
+        with pytest.raises(ValueError):
+            range_query_vector(Domain([4]), [2], [1])
+
+
+class TestPrefixAndCdf:
+    def test_prefix_gram_closed_form(self):
+        workload = prefix_workload(12)
+        np.testing.assert_allclose(prefix_gram(12), workload.gram)
+
+    def test_cdf_first_cell_has_max_sensitivity(self):
+        workload = cdf_workload(16)
+        column_coverage = np.abs(workload.matrix).sum(axis=0)
+        assert column_coverage[0] == 16
+        assert column_coverage[-1] == 1
+
+    def test_cdf_answers_are_cumulative_sums(self):
+        workload = cdf_workload(5)
+        data = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        np.testing.assert_allclose(workload.answer(data), np.cumsum(data))
