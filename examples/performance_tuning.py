@@ -2,7 +2,11 @@
 
 Shows the trade-off between strategy quality and computation time for the two
 workload-reduction approaches (eigen-query separation and principal-vector
-optimisation), mirroring the paper's Fig. 4 at a laptop-friendly size.
+optimisation), mirroring the paper's Fig. 4 at a laptop-friendly size — and
+then the *factorized Kronecker fast path*, which runs the eigen design on a
+multi-dimensional product domain through structured operators: k tiny
+per-attribute eigendecompositions instead of one O(n^3) dense one, and no
+n x n allocation anywhere.
 
 Run with:  python examples/performance_tuning.py
 """
@@ -21,9 +25,13 @@ from repro import (
 )
 from repro.evaluation import format_table
 from repro.strategies import wavelet_strategy
-from repro.workloads import all_range_queries_1d
+from repro.workloads import all_range_queries, all_range_queries_1d
 
 CELLS = 512
+
+#: Product domain for the factorized fast path: n = 16 * 16 * 16 = 4096 cells,
+#: where the dense n x n Gram already blows the materialization budget.
+KRON_SHAPE = (16, 16, 16)
 
 
 def main() -> None:
@@ -76,6 +84,23 @@ def main() -> None:
     print("larger domains (see benchmarks/bench_fig4_optimizations.py), where the")
     print("principal-vector method trades a few percent of error for a smaller")
     print("optimisation problem, exactly as in the paper's Fig. 4.")
+
+    # ------------------------------------------------------- factorized fast path
+    workload = all_range_queries(KRON_SHAPE)
+    n = workload.column_count
+    print(f"\nFactorized fast path: all range queries over {'x'.join(map(str, KRON_SHAPE))}")
+    print(f"(n = {n} cells, {workload.query_count} queries; the dense n x n Gram")
+    print("is never materialised — the workload keeps its Kronecker factors).")
+    start = time.perf_counter()
+    design = eigen_design(workload, complete=False)
+    seconds = time.perf_counter() - start
+    error = expected_workload_error(workload, design.strategy, privacy)
+    bound = minimum_error_bound(workload, privacy)
+    print(f"eigen design ({design.method}) in {seconds:.2f}s; expected error")
+    print(f"{error:.2f} vs lower bound {bound:.2f} (ratio {error / bound:.3f}).")
+    print("Compare benchmarks/bench_kron_fastpath.py: the factorized")
+    print("eigendecomposition alone beats the dense eigh at n=4096 by three to")
+    print("four orders of magnitude (see BENCH_kron_fastpath.json).")
 
 
 if __name__ == "__main__":

@@ -18,6 +18,7 @@ from repro.core.error import (
 from repro.core.privacy import PrivacyParams, gaussian_scale, laplace_scale, noise_variance_factor
 from repro.core.query_weighting import (
     DesignResult,
+    build_factorized_weighted_strategy,
     build_weighted_strategy,
     design_costs,
     weighted_design_strategy,
@@ -43,6 +44,7 @@ __all__ = [
     "Workload",
     "approximation_ratio",
     "approximation_ratio_bound",
+    "build_factorized_weighted_strategy",
     "build_weighted_strategy",
     "design_costs",
     "eigen_design",

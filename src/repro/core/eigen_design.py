@@ -19,11 +19,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.query_weighting import build_weighted_strategy
+from repro.core.query_weighting import (
+    build_factorized_weighted_strategy,
+    build_weighted_strategy,
+)
 from repro.core.strategy import Strategy
 from repro.core.workload import Workload
 from repro.exceptions import OptimizationError
 from repro.optimize import WeightingProblem, WeightingSolution, solve_weighting
+from repro.utils.operators import (
+    KroneckerConstraints,
+    KroneckerEigenbasis,
+    within_materialization_budget,
+)
 
 __all__ = ["EigenDesignResult", "eigen_design", "eigen_queries", "singular_value_strategy"]
 
@@ -41,11 +49,13 @@ class EigenDesignResult:
         The final strategy matrix ``A`` (weighted eigen-queries plus
         completion rows).
     weights:
-        The eigen-query weights ``lambda_i`` (aligned with ``eigen_queries``).
+        The eigen-query weights ``lambda_i`` (aligned with ``eigenvalues``).
     eigen_queries:
-        The retained (non-zero eigenvalue) eigen-queries, one per row.
+        The retained (non-zero eigenvalue) eigen-queries, one per row — on
+        the dense path only.  The factorized path never materialises them
+        and sets this to ``None``; use ``eigen_basis`` instead.
     eigenvalues:
-        The eigenvalues corresponding to ``eigen_queries``.
+        The retained eigenvalues (descending), common to both paths.
     solution:
         The raw output of the weighting solver (variables are
         ``u_i = lambda_i**2``).
@@ -58,12 +68,16 @@ class EigenDesignResult:
 
     strategy: Strategy
     weights: np.ndarray
-    eigen_queries: np.ndarray
+    eigen_queries: np.ndarray | None
     eigenvalues: np.ndarray
     solution: WeightingSolution
     completion_rows: int = 0
     method: str = "eigen-design"
     diagnostics: dict = field(default_factory=dict)
+    #: Structured eigenbasis of the factorized path (None on the dense path).
+    #: When set, ``eigen_queries`` is None — the dense eigen-query matrix was
+    #: never materialised; the basis serves its actions instead.
+    eigen_basis: KroneckerEigenbasis | None = None
 
 
 def eigen_queries(workload: Workload) -> tuple[np.ndarray, np.ndarray]:
@@ -84,6 +98,7 @@ def eigen_design(
     *,
     solver: str = "auto",
     complete: bool = True,
+    factorized: bool | None = None,
     **solver_options,
 ) -> EigenDesignResult:
     """Run the Eigen-Design algorithm (Program 2) on ``workload``.
@@ -91,16 +106,36 @@ def eigen_design(
     Parameters
     ----------
     workload:
-        The workload to optimise for; may be explicit or Gram-implicit.
+        The workload to optimise for; may be explicit, Gram-implicit, or a
+        structured Kronecker product.
     solver:
         Weighting-solver backend (``"auto"``, ``"dual-newton"``,
         ``"dual-ascent"`` or ``"scipy"``).
     complete:
         Whether to append the sensitivity-completion rows (steps 4-5); the
         completion never hurts expected error.
+    factorized:
+        Run the *factorized* fast path: eigendecompose each Kronecker factor
+        Gram instead of the ``n x n`` product, solve the weighting program
+        through a matrix-free constraint operator, and return a strategy whose
+        Gram is a structured operator — nothing of size ``n x n`` is ever
+        allocated.  ``None`` (default) auto-selects it exactly when the
+        workload has Kronecker structure and the dense eigen-query matrix
+        would blow the materialization budget; ``True`` forces it (useful for
+        cross-checking against the dense oracle on small domains).
     solver_options:
         Forwarded to the solver (e.g. ``tolerance=1e-8``).
     """
+    if factorized is None:
+        cells = workload.column_count
+        factorized = (
+            not within_materialization_budget(cells, cells)
+            and workload.eigen_basis() is not None
+        )
+    if factorized:
+        return _factorized_eigen_design(
+            workload, solver=solver, complete=complete, **solver_options
+        )
     values, queries = eigen_queries(workload)
     # For an orthonormal design set the Thm. 1 costs are exactly the eigenvalues.
     problem = WeightingProblem(costs=values, constraints=(queries ** 2).T)
@@ -116,6 +151,52 @@ def eigen_design(
         solution=solution,
         completion_rows=completion_rows,
         method="eigen-design",
+    )
+
+
+def _factorized_eigen_design(
+    workload: Workload,
+    *,
+    solver: str = "auto",
+    complete: bool = True,
+    **solver_options,
+) -> EigenDesignResult:
+    """The Kronecker fast path of Program 2.
+
+    For ``W = W_1 ⊗ ... ⊗ W_k`` the eigen-decomposition of ``W^T W``
+    factorizes into ``k`` tiny ones; the weighting program's constraint matrix
+    ``(Q ∘ Q)^T`` is then itself a Kronecker product served matrix-free, and
+    the resulting strategy Gram ``Q^T diag(u) Q`` is kept as a structured
+    operator.  The entire design costs ``O(sum_i d_i^3 + n * iterations)``
+    memory-light work instead of ``O(n^3)``.
+    """
+    basis = workload.eigen_basis()
+    if basis is None:
+        raise OptimizationError(
+            "the factorized eigen design needs a Kronecker-structured workload; "
+            f"workload {workload.name!r} has no factor decomposition"
+        )
+    sorted_values = basis.sorted_values
+    if sorted_values.size == 0 or sorted_values[0] <= 0:
+        raise OptimizationError("the workload Gram matrix is identically zero")
+    keep = sorted_values > RANK_TOLERANCE * sorted_values[0]
+    values = sorted_values[keep]
+    positions = basis.order[keep]
+    constraints = KroneckerConstraints(basis, positions)
+    problem = WeightingProblem(costs=values, constraints=constraints)
+    solution = solve_weighting(problem, solver=solver, **solver_options)
+    strategy, lambdas, completion_rows = build_factorized_weighted_strategy(
+        basis, positions, solution.weights, complete=complete, name="eigen-design"
+    )
+    return EigenDesignResult(
+        strategy=strategy,
+        weights=lambdas,
+        eigen_queries=None,
+        eigenvalues=values,
+        solution=solution,
+        completion_rows=completion_rows,
+        method="eigen-design-factorized",
+        eigen_basis=basis,
     )
 
 

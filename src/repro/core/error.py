@@ -20,7 +20,15 @@ import numpy as np
 from repro.core.privacy import PrivacyParams
 from repro.core.strategy import Strategy
 from repro.core.workload import Workload
+from repro.exceptions import MaterializationError, SingularStrategyError
 from repro.utils.linalg import solve_psd, trace_ratio
+from repro.utils.operators import (
+    EigenDiagOperator,
+    KroneckerOperator,
+    SumOperator,
+    gram_to_dense,
+    kron_reduce,
+)
 
 __all__ = [
     "expected_workload_error",
@@ -30,10 +38,142 @@ __all__ = [
     "minimum_error_bound",
     "approximation_ratio",
     "approximation_ratio_bound",
+    "workload_strategy_trace",
 ]
 
 #: Default privacy setting used throughout the paper's experiments.
 DEFAULT_PRIVACY = PrivacyParams(epsilon=0.5, delta=1e-4)
+
+#: Strategy eigenvalues below this fraction of the largest count as zero when
+#: inverting a structured strategy Gram on its row space.
+_SPECTRUM_CUTOFF = 1e-9
+
+#: Workload mass on the strategy's null space above this fraction of the total
+#: means the strategy cannot answer the workload.
+_SUPPORT_TOLERANCE = 1e-6
+
+
+def _eigen_diag_trace(workload_op: KroneckerOperator, strategy_op: EigenDiagOperator) -> float:
+    """``trace((⊗G_i) (B diag(z) B^T)^+)`` for a matching Kronecker eigenbasis.
+
+    With ``B = ⊗V_i`` the trace is ``trace(B^T (⊗G_i) B diag(z)^+)`` and the
+    diagonal of ``B^T (⊗G_i) B`` is the Kronecker product of the per-factor
+    diagonals ``diag(V_i^T G_i V_i)`` — an ``O(sum_i d_i^3)`` computation.
+    Because ``B^T (⊗G_i) B`` is PSD, a zero diagonal entry forces its whole
+    row to zero, so checking workload mass on the zero-``z`` coordinates is an
+    exact row-space support test.
+    """
+    basis = strategy_op.basis
+    projected = kron_reduce(
+        zip(basis.vector_factors, workload_op.factors),
+        lambda pair: np.diag(pair[0].T @ pair[1] @ pair[0]),
+    )
+    projected = np.clip(projected, 0.0, None)
+    spectrum = strategy_op.spectrum
+    top = float(spectrum.max(initial=0.0))
+    alive = spectrum > _SPECTRUM_CUTOFF * top
+    dead_mass = float(projected[~alive].sum())
+    total_mass = float(projected.sum())
+    if dead_mass > _SUPPORT_TOLERANCE * max(total_mass, 1.0):
+        raise SingularStrategyError(
+            "strategy does not support the workload: the workload row space "
+            "is not contained in the strategy row space"
+        )
+    return float(np.sum(projected[alive] / spectrum[alive]))
+
+
+def _kron_factors_match(workload_op: KroneckerOperator, other_factors) -> bool:
+    shapes = [f.shape for f in workload_op.factors]
+    return shapes == [f.shape for f in other_factors]
+
+
+def _structured_trace_or_none(workload_source, strategy_source) -> float | None:
+    """The factorized trace when a structured match exists, else ``None``.
+
+    Matches, in order of preference:
+
+    * union workload Grams distribute over the trace (the trace is linear in
+      ``W^T W``) — structured only when every term matches;
+    * a Kronecker workload against a matching-eigenbasis strategy (the
+      factorized eigen design) reduces to a ratio of spectra;
+    * Kronecker against Kronecker with matching factor shapes reduces to a
+      product of per-factor dense traces (``(⊗H)^+ = ⊗H^+``).
+    """
+    if isinstance(workload_source, SumOperator):
+        parts = [
+            _structured_trace_or_none(term, strategy_source)
+            for term in workload_source.terms
+        ]
+        if all(part is not None for part in parts):
+            return float(sum(parts))
+        return None
+    if isinstance(workload_source, KroneckerOperator):
+        if isinstance(strategy_source, EigenDiagOperator) and not strategy_source.has_diag:
+            if _kron_factors_match(workload_source, strategy_source.basis.vector_factors):
+                return _eigen_diag_trace(workload_source, strategy_source)
+        if isinstance(strategy_source, KroneckerOperator):
+            if _kron_factors_match(workload_source, strategy_source.factors):
+                result = 1.0
+                for w_factor, s_factor in zip(workload_source.factors, strategy_source.factors):
+                    result *= trace_ratio(w_factor, s_factor)
+                return result
+    return None
+
+
+def _trace_core(workload_source, strategy_source, _dense_cache: dict | None = None) -> float:
+    """``trace(W^T W (A^T A)^{-1})`` dispatched over dense / structured sources.
+
+    Structured matches (see :func:`_structured_trace_or_none`) are used when
+    available; anything else densifies within the materialization cap and
+    falls back to the dense computation (the densified strategy is cached
+    across the terms of a union so it is built at most once).
+    """
+    if _dense_cache is None:
+        _dense_cache = {}
+    if isinstance(workload_source, SumOperator):
+        return sum(
+            _trace_core(term, strategy_source, _dense_cache)
+            for term in workload_source.terms
+        )
+    structured = _structured_trace_or_none(workload_source, strategy_source)
+    if structured is not None:
+        return structured
+    try:
+        workload_dense = gram_to_dense(workload_source)
+        if "strategy" not in _dense_cache:
+            _dense_cache["strategy"] = gram_to_dense(strategy_source)
+        strategy_dense = _dense_cache["strategy"]
+    except MaterializationError as error:
+        hint = ""
+        if isinstance(strategy_source, EigenDiagOperator) and strategy_source.has_diag:
+            hint = (
+                "; the sensitivity-completion rows make the strategy Gram "
+                "non-diagonal in the eigenbasis — re-run eigen_design with "
+                "complete=False to keep the error trace factorized at this scale"
+            )
+        raise MaterializationError(
+            f"the error trace has no structured factorization for these "
+            f"operands and the dense fallback exceeds the budget ({error}){hint}"
+        ) from error
+    return trace_ratio(workload_dense, strategy_dense)
+
+
+def workload_strategy_trace(workload: Workload, strategy: Strategy) -> float:
+    """``trace(W^T W (A^T A)^{-1})`` with the structured factorizations applied.
+
+    The shared entry point for every error formula built on Prop. 4's trace
+    term (Gaussian and Laplace alike): Kronecker, eigenbasis and union
+    structure is exploited when present, with a budget-gated dense fallback.
+    Operators are tried first even below the densification budget — a
+    matching factorization beats the ``O(n^3)`` dense solve at any size.
+    """
+    workload_op = workload.gram_operator
+    strategy_op = strategy.gram_operator
+    if workload_op is not None and strategy_op is not None:
+        structured = _structured_trace_or_none(workload_op, strategy_op)
+        if structured is not None:
+            return structured
+    return _trace_core(workload.gram_source(), strategy.gram_source())
 
 
 def expected_total_squared_error(
@@ -44,9 +184,12 @@ def expected_total_squared_error(
     """Total expected squared error over all workload queries.
 
     ``P(eps, delta) * ||A||_2^2 * trace(W^T W (A^T A)^{-1})`` — the inner
-    expression of Prop. 4 before the per-query averaging of Def. 5.
+    expression of Prop. 4 before the per-query averaging of Def. 5.  When the
+    workload and strategy carry matching structure (Kronecker products, the
+    factorized eigen design, unions of either) the trace factorizes and the
+    dense ``n x n`` matrices are never formed.
     """
-    core = trace_ratio(workload.gram, strategy.gram)
+    core = workload_strategy_trace(workload, strategy)
     return privacy.variance_factor * strategy.sensitivity_l2**2 * core
 
 

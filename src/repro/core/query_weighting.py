@@ -22,17 +22,58 @@ from repro.core.strategy import Strategy
 from repro.core.workload import Workload
 from repro.exceptions import OptimizationError
 from repro.optimize import WeightingProblem, WeightingSolution, solve_weighting
+from repro.utils.operators import EigenDiagOperator, KroneckerEigenbasis
 from repro.utils.validation import check_matrix
 
 __all__ = [
     "DesignResult",
     "design_costs",
     "build_weighted_strategy",
+    "build_factorized_weighted_strategy",
     "weighted_design_strategy",
 ]
 
 #: Design weights (relative to the largest) below this threshold are dropped.
 WEIGHT_DROP_TOLERANCE = 1e-12
+
+#: Column-norm deficits below this fraction of the sensitivity target are
+#: treated as already complete (no completion row is emitted for them).
+COMPLETION_TOLERANCE = 1e-8
+
+
+def _validated_lambdas(
+    squared_weights: np.ndarray, expected_count: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Shared weight validation for the dense and factorized strategy builders.
+
+    Returns ``(squared_weights, lambdas, keep)`` where ``keep`` masks the
+    weights that are non-negligible relative to the largest.  Keeping this in
+    one place guarantees the two builders stay numerically in sync.
+    """
+    squared_weights = np.clip(np.asarray(squared_weights, dtype=float), 0.0, None)
+    if squared_weights.shape[0] != expected_count:
+        raise OptimizationError(
+            f"got {squared_weights.shape[0]} weights for {expected_count} design queries"
+        )
+    lambdas = np.sqrt(squared_weights)
+    top = float(lambdas.max(initial=0.0))
+    if top <= 0:
+        raise OptimizationError("all design weights are zero; cannot build a strategy")
+    keep = lambdas > WEIGHT_DROP_TOLERANCE * top
+    return squared_weights, lambdas, keep
+
+
+def _completion_deficit(column_norms_sq: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Program 2 steps 4-5: per-column squared deficits up to the max norm.
+
+    Returns ``(deficit_sq, needs)``; columns flagged by ``needs`` require a
+    completion row of height ``sqrt(deficit_sq)``.
+    """
+    column_norms_sq = np.clip(column_norms_sq, 0.0, None)
+    target = float(column_norms_sq.max())
+    deficit_sq = np.clip(target - column_norms_sq, 0.0, None)
+    needs = np.sqrt(deficit_sq) > np.sqrt(target) * COMPLETION_TOLERANCE
+    return deficit_sq, needs
 
 
 @dataclass
@@ -97,31 +138,56 @@ def build_weighted_strategy(
     that zero-weight design queries are omitted.
     """
     design_queries = check_matrix(design_queries, "design queries")
-    squared_weights = np.clip(np.asarray(squared_weights, dtype=float), 0.0, None)
-    if squared_weights.shape[0] != design_queries.shape[0]:
-        raise OptimizationError(
-            f"got {squared_weights.shape[0]} weights for {design_queries.shape[0]} design queries"
-        )
-    lambdas = np.sqrt(squared_weights)
-    top = float(lambdas.max(initial=0.0))
-    if top <= 0:
-        raise OptimizationError("all design weights are zero; cannot build a strategy")
-    keep = lambdas > WEIGHT_DROP_TOLERANCE * top
+    _, lambdas, keep = _validated_lambdas(squared_weights, design_queries.shape[0])
     weighted = lambdas[keep, None] * design_queries[keep]
 
     rows = [weighted]
     completion_rows = 0
     if complete:
-        column_norms_sq = np.sum(weighted * weighted, axis=0)
-        target = float(column_norms_sq.max())
-        deficit = np.sqrt(np.clip(target - column_norms_sq, 0.0, None))
-        needs = deficit > np.sqrt(target) * 1e-8
+        deficit_sq, needs = _completion_deficit(np.sum(weighted * weighted, axis=0))
         completion_rows = int(np.sum(needs))
         if completion_rows:
             extra = np.zeros((completion_rows, design_queries.shape[1]))
-            extra[np.arange(completion_rows), np.flatnonzero(needs)] = deficit[needs]
+            extra[np.arange(completion_rows), np.flatnonzero(needs)] = np.sqrt(deficit_sq[needs])
             rows.append(extra)
     strategy = Strategy(np.vstack(rows), name=name)
+    return strategy, lambdas, completion_rows
+
+
+def build_factorized_weighted_strategy(
+    basis: KroneckerEigenbasis,
+    positions: np.ndarray,
+    squared_weights: np.ndarray,
+    *,
+    complete: bool = True,
+    name: str = "eigen-design",
+) -> tuple[Strategy, np.ndarray, int]:
+    """Assemble the eigen-design strategy without materialising its rows.
+
+    The design queries are eigen-queries of a Kronecker workload: row ``i`` is
+    the basis column at natural position ``positions[i]``.  The strategy
+    ``A = diag(lambda) Q`` then has Gram ``B diag(z) B^T`` where ``z`` embeds
+    the squared weights into natural order — represented exactly by an
+    :class:`~repro.utils.operators.EigenDiagOperator`.  The Program 2
+    sensitivity-completion rows (one ``e_j`` row per deficient cell) only add
+    a diagonal term, which the operator also carries.
+
+    Returns ``(strategy, lambdas, completion_row_count)`` exactly like
+    :func:`build_weighted_strategy`.
+    """
+    positions = np.asarray(positions, dtype=int)
+    squared_weights, lambdas, keep = _validated_lambdas(squared_weights, positions.shape[0])
+    spectrum = basis.scatter_sorted(squared_weights[keep], positions[keep])
+
+    completion_rows = 0
+    diag = None
+    if complete:
+        deficit_sq, needs = _completion_deficit(EigenDiagOperator(basis, spectrum).diagonal())
+        completion_rows = int(np.sum(needs))
+        if completion_rows:
+            diag = np.where(needs, deficit_sq, 0.0)
+    operator = EigenDiagOperator(basis, spectrum, diag)
+    strategy = Strategy.from_gram_operator(operator, name=name)
     return strategy, lambdas, completion_rows
 
 

@@ -2,9 +2,17 @@
 
 A strategy is the set of queries actually submitted to the Gaussian mechanism
 by the matrix mechanism (Prop. 3).  Like workloads, strategies may be
-explicit (an ``(p, n)`` matrix) or Gram-implicit, since all error analysis
-depends on a strategy only through ``A^T A`` and its L2 sensitivity.  Running
-the mechanism on real data requires an explicit strategy.
+explicit (an ``(p, n)`` matrix), Gram-implicit (dense ``A^T A``), or backed
+by a structured Gram *operator* (see :mod:`repro.utils.operators`) for
+Kronecker products and eigen-design results over domains where even the dense
+``n x n`` Gram is too large.  All error analysis depends on a strategy only
+through ``A^T A`` and its L2 sensitivity, so operator-backed strategies run
+the whole analysis pipeline; running the mechanism on real data still
+requires an explicit strategy.
+
+Spectral quantities (``rank``, ``sensitivity_l2``) are cached: the first
+access pays for an ``eigvalsh``/diagonal computation and every later access
+is free.
 """
 
 from __future__ import annotations
@@ -14,23 +22,33 @@ from typing import Sequence
 import numpy as np
 
 from repro.exceptions import MaterializationError, StrategyError
-from repro.utils.linalg import symmetrize
+from repro.utils.linalg import kron_all, symmetrize
+from repro.utils.operators import (
+    HARD_MATERIALIZATION_LIMIT,
+    EigenDiagOperator,
+    KroneckerOperator,
+    StructuredGramMixin,
+    within_materialization_budget,
+)
 from repro.utils.validation import check_matrix
 
 __all__ = ["Strategy"]
 
 
-class Strategy:
+class Strategy(StructuredGramMixin):
     """A set of strategy queries used by the matrix mechanism."""
+
+    _kind_label = "strategy"
 
     def __init__(
         self,
         matrix: np.ndarray | None = None,
         *,
         gram: np.ndarray | None = None,
+        gram_operator=None,
         name: str = "",
     ):
-        if matrix is None and gram is None:
+        if matrix is None and gram is None and gram_operator is None:
             raise StrategyError("a strategy needs either an explicit matrix or a Gram matrix")
         self._matrix = None if matrix is None else check_matrix(matrix, "strategy matrix")
         if gram is None:
@@ -40,6 +58,16 @@ class Strategy:
             if gram.shape[0] != gram.shape[1]:
                 raise StrategyError(f"gram matrix must be square, got {gram.shape}")
             self._gram = symmetrize(gram)
+        self._gram_op = gram_operator
+        if self._gram_op is not None and self._gram_op.shape[0] != self._gram_op.shape[1]:
+            raise StrategyError(f"gram operator must be square, got {self._gram_op.shape}")
+        if self._gram_op is not None:
+            for other in (self._gram, self._matrix.T if self._matrix is not None else None):
+                if other is not None and other.shape[0] != self._gram_op.shape[0]:
+                    raise StrategyError(
+                        "gram operator disagrees on the number of cells: "
+                        f"{other.shape[0]} vs {self._gram_op.shape[0]}"
+                    )
         if self._matrix is not None and self._gram is not None:
             if self._matrix.shape[1] != self._gram.shape[0]:
                 raise StrategyError(
@@ -47,8 +75,15 @@ class Strategy:
                     f"{self._matrix.shape[1]} vs {self._gram.shape[0]}"
                 )
         self.name = name
-        # Kronecker factors kept for lazy materialisation of large products.
+        # Explicit Kronecker factors kept for lazy materialisation of the matrix.
         self._factors: tuple["Strategy", ...] | None = None
+        # All Kronecker factors (explicit or Gram-implicit), for flattening
+        # nested products and preserving the factorized fast paths.
+        self._kron_factors: tuple["Strategy", ...] | None = None
+        # Cached spectral work (eigenvalues of the Gram, sensitivity, rank).
+        self._spectrum: np.ndarray | None = None
+        self._sensitivity_l2: float | None = None
+        self._rank: int | None = None
 
     # ----------------------------------------------------------- constructors
     @classmethod
@@ -62,6 +97,16 @@ class Strategy:
         return cls(None, gram=gram, name=name)
 
     @classmethod
+    def from_gram_operator(cls, operator, *, name: str = "") -> "Strategy":
+        """Build a strategy backed by a structured Gram operator.
+
+        The operator must expose ``shape``, ``matvec`` and ``diagonal`` (see
+        :mod:`repro.utils.operators`); dense materialisation stays gated by
+        the materialization budget.
+        """
+        return cls(None, gram_operator=operator, name=name)
+
+    @classmethod
     def identity(cls, size: int, *, name: str = "identity") -> "Strategy":
         """The identity strategy (ask for every cell count)."""
         return cls(np.eye(size), name=name)
@@ -70,31 +115,32 @@ class Strategy:
     def kronecker(cls, factors: Sequence["Strategy"], *, name: str = "") -> "Strategy":
         """The Kronecker-product strategy of per-attribute factor strategies.
 
-        The explicit matrix is kept only when every factor is explicit and the
-        product stays small; otherwise the result is Gram-implicit.  The L2
-        sensitivity of a Kronecker product is the product of the factor
-        sensitivities, which the Gram representation preserves exactly.
+        The explicit matrix is materialised only when every factor is explicit
+        and the product fits the materialization budget; otherwise the factors
+        are kept and the Gram is served by a structured
+        :class:`~repro.utils.operators.KroneckerOperator` (the Gram of a
+        Kronecker product is the Kronecker product of the factor Grams, which
+        preserves the L2 sensitivity exactly).
         """
         if not factors:
             raise StrategyError("kronecker requires at least one factor")
-        explicit = all(f.has_matrix for f in factors)
-        if explicit:
+        factors = cls._flatten_kron_factors(factors)
+        all_explicit = all(f.has_matrix for f in factors)
+        if all_explicit:
             rows = 1
             cells = 1
             for factor in factors:
                 rows *= factor.matrix.shape[0]
                 cells *= factor.column_count
-            explicit = rows * cells <= 10**7
-        if explicit:
-            matrix = factors[0].matrix
-            for factor in factors[1:]:
-                matrix = np.kron(matrix, factor.matrix)
-            return cls(matrix, name=name)
-        gram = factors[0].gram
-        for factor in factors[1:]:
-            gram = np.kron(gram, factor.gram)
-        strategy = cls(None, gram=gram, name=name)
-        if all(f.has_matrix for f in factors):
+            if within_materialization_budget(rows, cells):
+                strategy = cls(kron_all([f.matrix for f in factors]), name=name)
+                strategy._factors = tuple(factors)
+                strategy._kron_factors = tuple(factors)
+                return strategy
+        gram_op = KroneckerOperator([f.gram for f in factors], symmetric=True)
+        strategy = cls(None, gram_operator=gram_op, name=name)
+        strategy._kron_factors = tuple(factors)
+        if all_explicit:
             # Keep the factors so the explicit matrix can still be built lazily
             # (e.g. when the strategy is handed to the matrix mechanism).
             strategy._factors = tuple(factors)
@@ -115,10 +161,17 @@ class Strategy:
         raise :class:`~repro.exceptions.MaterializationError`.
         """
         if self._matrix is None and self._factors is not None:
-            matrix = self._factors[0].matrix
-            for factor in self._factors[1:]:
-                matrix = np.kron(matrix, factor.matrix)
-            self._matrix = matrix
+            rows = 1
+            cells = 1
+            for factor in self._factors:
+                rows *= factor.matrix.shape[0]
+                cells *= factor.column_count
+            if not within_materialization_budget(rows, cells, limit=HARD_MATERIALIZATION_LIMIT):
+                raise MaterializationError(
+                    f"strategy {self.name!r} would need a {rows} x {cells} explicit "
+                    "matrix, beyond the hard materialization cap"
+                )
+            self._matrix = kron_all([f.matrix for f in self._factors])
         if self._matrix is None:
             raise MaterializationError(
                 f"strategy {self.name!r} is Gram-implicit; running the mechanism "
@@ -128,14 +181,26 @@ class Strategy:
 
     @property
     def gram(self) -> np.ndarray:
-        """The ``n x n`` Gram matrix ``A^T A`` (computed lazily and cached)."""
+        """The dense ``n x n`` Gram matrix ``A^T A`` (lazy, cached, capped).
+
+        Operator-backed strategies densify up to the hard materialization
+        cap; structure-preferring code should use :meth:`gram_source`.
+        """
         if self._gram is None:
-            self._gram = symmetrize(self._matrix.T @ self._matrix)
+            if self._matrix is not None:
+                self._gram = symmetrize(self._matrix.T @ self._matrix)
+            else:
+                self._gram = self._densify_structured_gram()
         return self._gram
 
     @property
     def query_count(self) -> int:
-        """Number of strategy queries ``p`` (requires the explicit matrix)."""
+        """Number of strategy queries ``p``."""
+        if self._matrix is None and self._factors is not None:
+            rows = 1
+            for factor in self._factors:
+                rows *= factor.query_count
+            return rows
         return self.matrix.shape[0]
 
     @property
@@ -143,27 +208,55 @@ class Strategy:
         """The number of cells ``n``."""
         if self._gram is not None:
             return self._gram.shape[0]
+        if self._gram_op is not None:
+            return self._gram_op.shape[0]
         return self._matrix.shape[1]
 
     @property
     def sensitivity_l2(self) -> float:
-        """Maximum L2 column norm of ``A`` (the Gaussian-noise calibration)."""
-        return float(np.sqrt(np.max(np.diag(self.gram))))
+        """Maximum L2 column norm of ``A`` (the Gaussian-noise calibration).
+
+        Computed from the Gram diagonal (structurally for operator-backed
+        strategies) and cached.
+        """
+        if self._sensitivity_l2 is None:
+            self._sensitivity_l2 = float(np.sqrt(np.max(self._gram_diagonal())))
+        return self._sensitivity_l2
 
     @property
     def sensitivity_l1(self) -> float:
         """Maximum L1 column norm of ``A`` (requires the explicit matrix)."""
         return float(np.max(np.sum(np.abs(self.matrix), axis=0)))
 
+    def _gram_eigenvalues(self) -> np.ndarray:
+        """Eigenvalues of ``A^T A`` (ascending), computed once and cached.
+
+        A structured operator's spectrum is (near-)free and preferred even
+        when a dense Gram happens to be cached — ``eigvalsh`` is the
+        ``O(n^3)`` last resort.
+        """
+        if self._spectrum is None:
+            operator = self.gram_operator
+            if isinstance(operator, EigenDiagOperator) and not operator.has_diag:
+                self._spectrum = operator.eigenvalues_sorted()[::-1].copy()
+            elif isinstance(operator, KroneckerOperator):
+                self._spectrum = np.sort(operator.eigenbasis().values_natural)
+            else:
+                self._spectrum = np.linalg.eigvalsh(self.gram)
+        return self._spectrum
+
     @property
     def rank(self) -> int:
-        """Numerical rank of the strategy."""
-        values = np.linalg.eigvalsh(self.gram)
-        top = float(values.max(initial=0.0))
-        if top <= 0:
-            return 0
-        threshold = top * self.column_count * np.finfo(float).eps
-        return int(np.sum(values > threshold))
+        """Numerical rank of the strategy (cached; factorized when structured)."""
+        if self._rank is None:
+            values = self._gram_eigenvalues()
+            top = float(values.max(initial=0.0))
+            if top <= 0:
+                self._rank = 0
+            else:
+                threshold = top * self.column_count * np.finfo(float).eps
+                self._rank = int(np.sum(values > threshold))
+        return self._rank
 
     @property
     def is_full_rank(self) -> bool:
@@ -182,6 +275,13 @@ class Strategy:
             raise StrategyError("cannot normalise a zero strategy")
         if self.has_matrix:
             return Strategy(self.matrix / sensitivity, name=self.name)
+        if self._gram_op is not None:
+            # Keep the structured operator (it carries the factorized fast
+            # paths); a dense Gram that happens to be materialised is scaled
+            # alongside so neither representation is lost.
+            scaled = self._gram_op.scaled(1.0 / sensitivity**2)
+            gram = None if self._gram is None else self._gram / sensitivity**2
+            return Strategy(None, gram=gram, gram_operator=scaled, name=self.name)
         return Strategy(None, gram=self.gram / sensitivity**2, name=self.name)
 
     def supports(self, workload_gram: np.ndarray, tolerance: float = 1e-6) -> bool:
@@ -208,6 +308,5 @@ class Strategy:
         return np.linalg.pinv(self.matrix)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        kind = "explicit" if self.has_matrix else "implicit"
         label = f" {self.name!r}" if self.name else ""
-        return f"Strategy({kind}{label}, n={self.column_count})"
+        return f"Strategy({self._representation_kind()}{label}, n={self.column_count})"

@@ -1,19 +1,23 @@
 """The :class:`Workload` abstraction (Def. 2 and 3 of the paper).
 
 A workload is a set of linear counting queries over a length-``n`` data
-vector, conceptually an ``(m, n)`` matrix ``W`` with one query per row.  Two
-representations are supported:
+vector, conceptually an ``(m, n)`` matrix ``W`` with one query per row.
+Three representations are supported:
 
 * **explicit** — the matrix ``W`` itself is stored; every operation is
   available;
-* **implicit** — only the Gram matrix ``W^T W`` and the query count ``m`` are
-  stored.  This is essential for workloads such as "all multi-dimensional
-  range queries" whose explicit matrix has millions of rows but whose Gram
-  matrix is only ``n x n``.  All error analysis of the matrix mechanism
-  (Prop. 4, Thm. 2) depends on the workload only through ``W^T W`` and ``m``,
-  so implicit workloads support the entire eigen-design pipeline; only
-  operations that genuinely need per-query rows (answering queries, row
-  scaling) require the explicit matrix.
+* **Gram-implicit** — only the dense Gram matrix ``W^T W`` and the query
+  count ``m`` are stored.  This is essential for workloads such as "all
+  multi-dimensional range queries" whose explicit matrix has millions of rows
+  but whose Gram matrix is only ``n x n``.  All error analysis of the matrix
+  mechanism (Prop. 4, Thm. 2) depends on the workload only through ``W^T W``
+  and ``m``, so implicit workloads support the entire eigen-design pipeline;
+* **factored operator** — for Kronecker products (and unions of them) even
+  the ``n x n`` Gram matrix is too large; the workload then keeps its factors
+  and serves the Gram, L2 sensitivity, eigen-decomposition and answers
+  through the structured operators of :mod:`repro.utils.operators`, never
+  materialising anything larger than the
+  :data:`~repro.utils.operators.MATERIALIZATION_LIMIT` budget.
 """
 
 from __future__ import annotations
@@ -24,25 +28,38 @@ import numpy as np
 
 from repro.domain.domain import Domain
 from repro.exceptions import MaterializationError, WorkloadError
-from repro.utils.linalg import symmetrize
+from repro.utils.linalg import kron_all, symmetrize
+from repro.utils.operators import (
+    HARD_MATERIALIZATION_LIMIT,
+    KroneckerEigenbasis,
+    KroneckerOperator,
+    StackedOperator,
+    StructuredGramMixin,
+    SumOperator,
+    within_materialization_budget,
+)
 from repro.utils.validation import check_matrix, check_vector
 
 __all__ = ["Workload"]
 
 
-class Workload:
+class Workload(StructuredGramMixin):
     """A set of linear counting queries over a data vector of length ``n``."""
+
+    _kind_label = "workload"
 
     def __init__(
         self,
         matrix: np.ndarray | None = None,
         *,
         gram: np.ndarray | None = None,
+        gram_operator=None,
+        row_operator=None,
         query_count: int | None = None,
         domain: Domain | None = None,
         name: str = "",
     ):
-        if matrix is None and gram is None:
+        if matrix is None and gram is None and gram_operator is None:
             raise WorkloadError("a workload needs either an explicit matrix or a Gram matrix")
         self._matrix = None if matrix is None else check_matrix(matrix, "workload matrix")
         if gram is None:
@@ -52,16 +69,33 @@ class Workload:
             if gram.shape[0] != gram.shape[1]:
                 raise WorkloadError(f"gram matrix must be square, got {gram.shape}")
             self._gram = symmetrize(gram)
-        if self._matrix is not None and self._gram is not None:
-            if self._matrix.shape[1] != self._gram.shape[0]:
+        self._gram_op = gram_operator
+        self._row_op = row_operator
+        if self._gram_op is not None and self._gram_op.shape[0] != self._gram_op.shape[1]:
+            raise WorkloadError(f"gram operator must be square, got {self._gram_op.shape}")
+        if self._gram is not None and self._gram_op is not None:
+            if self._gram_op.shape[0] != self._gram.shape[0]:
                 raise WorkloadError(
-                    "matrix and gram disagree on the number of cells: "
-                    f"{self._matrix.shape[1]} vs {self._gram.shape[0]}"
+                    "gram matrix and gram operator disagree on the number of cells: "
+                    f"{self._gram.shape[0]} vs {self._gram_op.shape[0]}"
                 )
+        cells = self.column_count
+        if self._matrix is not None and self._matrix.shape[1] != cells:
+            raise WorkloadError(
+                "matrix and gram disagree on the number of cells: "
+                f"{self._matrix.shape[1]} vs {cells}"
+            )
+        if self._row_op is not None and self._row_op.shape[1] != cells:
+            raise WorkloadError(
+                f"row operator covers {self._row_op.shape[1]} cells, expected {cells}"
+            )
         if query_count is None:
-            if self._matrix is None:
+            if self._matrix is not None:
+                query_count = self._matrix.shape[0]
+            elif self._row_op is not None:
+                query_count = self._row_op.shape[0]
+            else:
                 raise WorkloadError("implicit workloads must specify query_count")
-            query_count = self._matrix.shape[0]
         self._query_count = int(query_count)
         if self._query_count < 1:
             raise WorkloadError(f"query_count must be >= 1, got {self._query_count}")
@@ -75,8 +109,11 @@ class Workload:
                 f"domain size {domain.size} does not match workload cells {self.column_count}"
             )
         self.name = name
+        self._kron_factors: tuple["Workload", ...] | None = None
+        self._eigenbasis: KroneckerEigenbasis | None = None
         self._eigenvalues: np.ndarray | None = None
         self._eigenvectors: np.ndarray | None = None
+        self._sensitivity_l2: float | None = None
 
     # ----------------------------------------------------------- constructors
     @classmethod
@@ -110,35 +147,51 @@ class Workload:
     def kronecker(cls, factors: Sequence["Workload"], *, domain: Domain | None = None, name: str = "") -> "Workload":
         """The Kronecker-product workload of per-attribute factor workloads.
 
-        If every factor is explicit and the resulting matrix is of manageable
-        size (at most ``10**7`` entries) the result is explicit; otherwise it
-        is Gram-implicit (``W^T W`` of a Kronecker product is the Kronecker
-        product of the factor Gram matrices).
+        If every factor is explicit and the resulting matrix fits the
+        materialization budget the result is explicit; otherwise the factors
+        are kept *lazily* and the product is served through structured
+        operators: the Gram ``W^T W`` is the Kronecker product of the factor
+        Gram matrices (densified only on demand, and only when it fits the
+        budget), the eigen-decomposition factorizes per attribute, and query
+        answering uses the factored matvec when the factors are explicit.
         """
         if not factors:
             raise WorkloadError("kronecker requires at least one factor")
+        factors = cls._flatten_kron_factors(factors)
         query_count = 1
         cells = 1
         for factor in factors:
             query_count *= factor.query_count
             cells *= factor.column_count
-        explicit = all(f.has_matrix for f in factors) and query_count * cells <= 10**7
-        if explicit:
-            matrix = factors[0].matrix
-            for factor in factors[1:]:
-                matrix = np.kron(matrix, factor.matrix)
-            return cls(matrix, domain=domain, name=name)
-        gram = factors[0].gram
-        for factor in factors[1:]:
-            gram = np.kron(gram, factor.gram)
-        return cls(None, gram=gram, query_count=query_count, domain=domain, name=name)
+        all_explicit = all(f.has_matrix for f in factors)
+        if all_explicit and within_materialization_budget(query_count, cells):
+            workload = cls(kron_all([f.matrix for f in factors]), domain=domain, name=name)
+        else:
+            gram_op = KroneckerOperator([f.gram for f in factors], symmetric=True)
+            row_op = (
+                KroneckerOperator([f.matrix for f in factors]) if all_explicit else None
+            )
+            workload = cls(
+                None,
+                gram_operator=gram_op,
+                row_operator=row_op,
+                query_count=query_count,
+                domain=domain,
+                name=name,
+            )
+        workload._kron_factors = tuple(factors)
+        return workload
 
     @classmethod
     def union(cls, workloads: Sequence["Workload"], *, name: str = "") -> "Workload":
         """Concatenate several workloads over the same cells into one.
 
         Explicit workloads are stacked row-wise; if any input is implicit the
-        result is implicit (Gram matrices and query counts add).
+        result is implicit (Gram matrices and query counts add).  When a part
+        is operator-backed (e.g. a large Kronecker product) the union stays
+        structured: its Gram is a :class:`~repro.utils.operators.SumOperator`
+        over the part Gram sources and its rows a lazy
+        :class:`~repro.utils.operators.StackedOperator`.
         """
         if not workloads:
             raise WorkloadError("union requires at least one workload")
@@ -149,9 +202,21 @@ class Workload:
         if all(w.has_matrix for w in workloads):
             matrix = np.vstack([w.matrix for w in workloads])
             return cls(matrix, domain=domain, name=name)
-        gram = sum(w.gram for w in workloads)
+        sources = [w.gram_source() for w in workloads]
         query_count = sum(w.query_count for w in workloads)
-        return cls(None, gram=gram, query_count=query_count, domain=domain, name=name)
+        if all(isinstance(source, np.ndarray) for source in sources):
+            gram = sum(sources)
+            return cls(None, gram=gram, query_count=query_count, domain=domain, name=name)
+        row_parts = [w._row_source() for w in workloads]
+        row_op = StackedOperator(row_parts) if all(p is not None for p in row_parts) else None
+        return cls(
+            None,
+            gram_operator=SumOperator(sources),
+            row_operator=row_op,
+            query_count=query_count,
+            domain=domain,
+            name=name,
+        )
 
     # -------------------------------------------------------------- properties
     @property
@@ -171,10 +236,26 @@ class Workload:
 
     @property
     def gram(self) -> np.ndarray:
-        """The ``n x n`` Gram matrix ``W^T W`` (computed lazily and cached)."""
+        """The dense ``n x n`` Gram matrix ``W^T W`` (lazy, cached, capped).
+
+        Operator-backed workloads densify only while ``n x n`` fits the hard
+        materialization cap; beyond that the structured :attr:`gram_operator`
+        must be used instead.  Structure-preferring code should go through
+        :meth:`gram_source`, which switches to the operator already at the
+        (much smaller) preference threshold.
+        """
         if self._gram is None:
-            self._gram = symmetrize(self._matrix.T @ self._matrix)
+            if self._matrix is not None:
+                self._gram = symmetrize(self._matrix.T @ self._matrix)
+            else:
+                self._gram = self._densify_structured_gram()
         return self._gram
+
+    def _row_source(self):
+        """Rows as a matrix or operator (``None`` when only the Gram exists)."""
+        if self._matrix is not None:
+            return self._matrix
+        return self._row_op
 
     @property
     def query_count(self) -> int:
@@ -186,6 +267,8 @@ class Workload:
         """The number of cells ``n`` (length of the data vector)."""
         if self._gram is not None:
             return self._gram.shape[0]
+        if self._gram_op is not None:
+            return self._gram_op.shape[0]
         return self._matrix.shape[1]
 
     @property
@@ -195,8 +278,10 @@ class Workload:
 
     @property
     def sensitivity_l2(self) -> float:
-        """Maximum L2 column norm of ``W`` (Prop. 1), available from the Gram."""
-        return float(np.sqrt(np.max(np.diag(self.gram))))
+        """Maximum L2 column norm of ``W`` (Prop. 1), from the Gram diagonal."""
+        if self._sensitivity_l2 is None:
+            self._sensitivity_l2 = float(np.sqrt(np.max(self._gram_diagonal())))
+        return self._sensitivity_l2
 
     @property
     def sensitivity_l1(self) -> float:
@@ -204,23 +289,60 @@ class Workload:
         return float(np.max(np.sum(np.abs(self.matrix), axis=0)))
 
     # -------------------------------------------------------- spectral analysis
+    def eigen_basis(self) -> KroneckerEigenbasis | None:
+        """The factorized eigen-decomposition of ``W^T W`` when available.
+
+        Kronecker-product workloads eigendecompose each (tiny) factor Gram and
+        combine eigenvalues by outer product, keeping the eigenvector matrix a
+        lazy Kronecker product.  Returns ``None`` for unstructured workloads
+        (dense or union Grams), which must use :meth:`eigen_decomposition`.
+        """
+        if self._eigenbasis is None:
+            operator = self.gram_operator  # lazily built from kron factors
+            if isinstance(operator, KroneckerOperator):
+                self._eigenbasis = operator.eigenbasis()
+        return self._eigenbasis
+
     def eigen_decomposition(self) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(eigenvalues, eigen_queries)`` of ``W^T W``.
 
         Eigenvalues are sorted in descending order; ``eigen_queries`` has the
         corresponding eigenvectors as *rows* (Def. 6).  Both are cached.
+        Kronecker workloads use the factorized decomposition (k tiny ``eigh``
+        calls instead of one ``O(n^3)`` dense one); the dense eigen-query
+        matrix is still subject to the materialization budget — beyond it use
+        :meth:`eigen_basis` and the factorized design pipeline.
         """
-        if self._eigenvalues is None:
-            values, vectors = np.linalg.eigh(self.gram)
-            order = np.argsort(values)[::-1]
-            self._eigenvalues = np.clip(values[order], 0.0, None)
-            self._eigenvectors = vectors[:, order].T
+        if self._eigenvectors is None:
+            basis = self.eigen_basis()
+            cells = self.column_count
+            if basis is not None and within_materialization_budget(
+                cells, cells, limit=HARD_MATERIALIZATION_LIMIT
+            ):
+                self._eigenvalues = basis.sorted_values
+                self._eigenvectors = basis.queries_dense()
+            else:
+                # Either no factor structure, or the dense eigen-query matrix
+                # exceeds the hard cap: fall back to the dense path, which
+                # still works whenever the Gram itself is materialisable
+                # (matrix-backed Grams have no cap) and raises a clear
+                # MaterializationError otherwise.
+                values, vectors = np.linalg.eigh(self.gram)
+                order = np.argsort(values)[::-1]
+                self._eigenvalues = np.clip(values[order], 0.0, None)
+                self._eigenvectors = vectors[:, order].T
         return self._eigenvalues, self._eigenvectors
 
     @property
     def eigenvalues(self) -> np.ndarray:
-        """Eigenvalues of ``W^T W`` in descending order."""
-        return self.eigen_decomposition()[0]
+        """Eigenvalues of ``W^T W`` in descending order (factorized when possible)."""
+        if self._eigenvalues is None:
+            basis = self.eigen_basis()
+            if basis is not None:
+                self._eigenvalues = basis.sorted_values
+            else:
+                self.eigen_decomposition()
+        return self._eigenvalues
 
     @property
     def rank(self) -> int:
@@ -233,24 +355,43 @@ class Workload:
 
     # ---------------------------------------------------------------- actions
     def answer(self, data: np.ndarray) -> np.ndarray:
-        """Return the exact (noise-free) answers ``W x``."""
+        """Return the exact (noise-free) answers ``W x``.
+
+        Served by the explicit matrix when present, otherwise by the factored
+        row operator (Kronecker/stacked), so large structured workloads can be
+        answered without materialising their rows.
+        """
         data = check_vector(data, "data", self.column_count)
-        return self.matrix @ data
+        if self._matrix is not None:
+            return self._matrix @ data
+        if self._row_op is not None:
+            return self._row_op.matvec(data)
+        return self.matrix @ data  # raises MaterializationError with context
 
     def scale_rows(self, weights: np.ndarray | float) -> "Workload":
-        """Return a workload with each query scaled by the matching weight."""
+        """Return a workload with each query scaled by the matching weight.
+
+        Scaling by a scalar ``c`` multiplies the Gram matrix by ``c**2``, so a
+        Gram that has already been computed is propagated instead of being
+        recomputed from scratch on the scaled copy.
+        """
         matrix = self.matrix
         if np.isscalar(weights):
-            scaled = matrix * float(weights)
-        else:
-            weights = check_vector(weights, "weights", self.query_count)
-            scaled = matrix * weights[:, None]
+            factor = float(weights)
+            scaled = matrix * factor
+            gram = None if self._gram is None else self._gram * factor**2
+            return Workload(scaled, gram=gram, domain=self.domain, name=f"{self.name}-scaled")
+        weights = check_vector(weights, "weights", self.query_count)
+        scaled = matrix * weights[:, None]
         return Workload(scaled, domain=self.domain, name=f"{self.name}-scaled")
 
     def normalize_rows(self) -> "Workload":
         """Scale every query to unit L2 norm (the relative-error heuristic of Sec. 3.4).
 
-        Rows that are identically zero are left unchanged.
+        Rows that are identically zero are left unchanged.  Unlike scalar
+        scaling, per-row reweighting changes the Gram in a way that cannot be
+        derived from ``W^T W`` alone (it needs ``W^T D^2 W``), so no
+        precomputed Gram is propagated here.
         """
         matrix = self.matrix
         norms = np.linalg.norm(matrix, axis=1)
@@ -274,16 +415,38 @@ class Workload:
         )
 
     def rotate(self, orthogonal: np.ndarray) -> "Workload":
-        """Return the error-equivalent workload ``Q W`` for orthogonal ``Q`` (Prop. 6)."""
+        """Return the error-equivalent workload ``Q W`` for orthogonal ``Q`` (Prop. 6).
+
+        An orthogonal rotation leaves ``W^T W`` unchanged, so a Gram that has
+        already been computed is carried over to the rotated copy — after
+        verifying ``Q^T Q = I``, so a non-orthogonal argument falls back to
+        recomputing the Gram instead of propagating a stale one.  The
+        ``O(m^3)`` verification is only worthwhile while it is no more
+        expensive than the ``O(m n^2)`` lazy recompute it saves, i.e. for
+        ``m <= n``; with more queries than cells the Gram is simply
+        recomputed on demand.
+        """
         orthogonal = check_matrix(orthogonal, "orthogonal matrix")
         matrix = self.matrix
         if orthogonal.shape != (self.query_count, self.query_count):
             raise WorkloadError(
                 f"orthogonal matrix must be {self.query_count} x {self.query_count}, got {orthogonal.shape}"
             )
-        return Workload(orthogonal @ matrix, domain=self.domain, name=f"{self.name}-rotated")
+        gram = None
+        if self._gram is not None and self.query_count <= self.column_count:
+            identity_residual = orthogonal.T @ orthogonal - np.eye(orthogonal.shape[0])
+            if np.abs(identity_residual).max() <= 1e-9:
+                gram = self._gram
+        return Workload(
+            orthogonal @ matrix,
+            gram=gram,
+            domain=self.domain,
+            name=f"{self.name}-rotated",
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        kind = "explicit" if self.has_matrix else "implicit"
         label = f" {self.name!r}" if self.name else ""
-        return f"Workload({kind}{label}, m={self.query_count}, n={self.column_count})"
+        return (
+            f"Workload({self._representation_kind()}{label}, "
+            f"m={self.query_count}, n={self.column_count})"
+        )

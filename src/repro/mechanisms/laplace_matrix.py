@@ -27,7 +27,7 @@ from repro.core.strategy import Strategy
 from repro.core.workload import Workload
 from repro.exceptions import PrivacyError, SingularStrategyError
 from repro.mechanisms.inference import least_squares_estimate, nonnegative_least_squares_estimate
-from repro.utils.linalg import trace_ratio
+from repro.core.error import workload_strategy_trace
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_vector
 
@@ -59,7 +59,7 @@ def expected_workload_error_l1(
         raise PrivacyError(f"epsilon must be positive, got {epsilon}")
     scale = strategy.sensitivity_l1 / epsilon
     variance = 2.0 * scale**2
-    core = trace_ratio(workload.gram, strategy.gram)
+    core = workload_strategy_trace(workload, strategy)
     return float(math.sqrt(variance * core / workload.query_count))
 
 
@@ -105,7 +105,7 @@ class LaplaceMatrixMechanism:
         else:
             estimate = least_squares_estimate(matrix, noisy)
         return LaplaceMechanismResult(
-            answers=workload.matrix @ estimate,
+            answers=workload.answer(estimate),
             estimate=estimate,
             strategy_answers=noisy,
             noise_scale=scale,

@@ -122,7 +122,10 @@ class MatrixMechanism:
             estimate = nonnegative_least_squares_estimate(matrix, noisy)
         else:
             estimate = self._solve_least_squares(noisy)
-        answers = workload.matrix @ estimate
+        # answer() serves explicit matrices and factored row operators alike,
+        # so large Kronecker workloads can be answered without materialising
+        # their (possibly enormous) query matrix.
+        answers = workload.answer(estimate)
         return MechanismResult(
             answers=answers,
             estimate=estimate,

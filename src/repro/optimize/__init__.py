@@ -69,7 +69,11 @@ def solve_weighting(
         # instance; the second-order method is the fallback for the rare cases
         # where it stalls (and only when the Hessian is affordable).
         solution = solve_dual_ascent(problem, **options)
-        if not solution.converged and problem.constraint_count <= NEWTON_CONSTRAINT_LIMIT:
+        if (
+            not solution.converged
+            and not problem.structured
+            and problem.constraint_count <= NEWTON_CONSTRAINT_LIMIT
+        ):
             shared = {k: v for k, v in options.items() if k in ("tolerance", "max_iterations")}
             newton = solve_dual_newton(problem, **shared)
             if newton.objective_value <= solution.objective_value or newton.converged:

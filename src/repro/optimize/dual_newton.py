@@ -43,6 +43,13 @@ def solve_dual_newton(
         Relative Tikhonov regularisation added to the reduced Hessian before
         factorisation, for numerical robustness.
     """
+    if problem.structured:
+        from repro.exceptions import OptimizationError
+
+        raise OptimizationError(
+            "dual-newton factorises a dense Hessian and cannot run on structured "
+            "constraint operators; use 'dual-ascent' instead"
+        )
     dual = problem.initial_dual()
     value = problem.dual_value(dual)
     step_memory = max(float(dual[0]), 1e-12)

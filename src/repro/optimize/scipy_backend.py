@@ -32,6 +32,11 @@ def solve_scipy(
             "the scipy backend is a reference implementation for small problems; "
             f"got {problem.variable_count} variables"
         )
+    if problem.structured:
+        raise OptimizationError(
+            "the scipy backend needs dense constraints; use 'dual-ascent' for "
+            "structured constraint operators"
+        )
     costs = problem.costs
     constraints = problem.constraints
     power = problem.power

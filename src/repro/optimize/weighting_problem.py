@@ -43,7 +43,13 @@ class WeightingProblem:
         Non-negative vector ``c`` of length ``r`` (one entry per design query).
     constraints:
         Non-negative ``(k, r)`` matrix ``C``; row ``j`` expresses the bound on
-        the squared norm of strategy column ``j``.
+        the squared norm of strategy column ``j``.  Instead of a dense array,
+        a *structured constraint operator* may be passed (e.g.
+        :class:`~repro.utils.operators.KroneckerConstraints`): any object
+        exposing ``shape``, ``matvec``, ``rmatvec``, ``column_maxes``,
+        ``column_sums`` and ``row_sums``, with implicitly non-negative
+        entries.  First-order solvers run unchanged on operators; only the
+        dense-Hessian path is unavailable.
     power:
         Exponent ``p`` of the objective (1 for the L2 problem on squared
         weights, 2 for the L1 variant on raw weights).
@@ -55,7 +61,23 @@ class WeightingProblem:
 
     def __post_init__(self) -> None:
         self.costs = check_vector(self.costs, "costs")
-        self.constraints = check_matrix(self.constraints, "constraints")
+        self._structured = not isinstance(self.constraints, (np.ndarray, list, tuple))
+        if self._structured:
+            required = ("shape", "matvec", "rmatvec", "column_maxes", "column_sums", "row_sums")
+            missing = [attr for attr in required if not hasattr(self.constraints, attr)]
+            if missing:
+                raise OptimizationError(
+                    f"structured constraint operator is missing {missing}; pass a dense "
+                    "matrix or an operator implementing the full protocol"
+                )
+            column_support = self.constraints.column_sums()
+            largest_entry = self.constraints.column_maxes()
+        else:
+            self.constraints = check_matrix(self.constraints, "constraints")
+            if np.any(self.constraints < 0):
+                raise OptimizationError("the constraint matrix must be non-negative")
+            column_support = self.constraints.sum(axis=0)
+            largest_entry = self.constraints.max(axis=0)
         if self.constraints.shape[1] != self.costs.shape[0]:
             raise OptimizationError(
                 f"constraints have {self.constraints.shape[1]} columns but there are "
@@ -63,11 +85,8 @@ class WeightingProblem:
             )
         if np.any(self.costs < 0):
             raise OptimizationError("costs must be non-negative")
-        if np.any(self.constraints < 0):
-            raise OptimizationError("the constraint matrix must be non-negative")
         if self.power < 1:
             raise OptimizationError(f"power must be >= 1, got {self.power}")
-        column_support = self.constraints.sum(axis=0)
         if np.any((column_support <= 0) & (self.costs > 0)):
             raise OptimizationError(
                 "every design query with positive cost must appear in at least one constraint"
@@ -76,9 +95,25 @@ class WeightingProblem:
         # satisfies u_i <= 1 / max_j C[j, i].  Clipping dual-derived primal
         # points to this box keeps gradients bounded when some dual variables
         # hit zero, without excluding any feasible solution.
-        largest_entry = self.constraints.max(axis=0)
         with np.errstate(divide="ignore"):
             self._upper_bounds = np.where(largest_entry > 0, 1.0 / largest_entry, np.inf)
+
+    @property
+    def structured(self) -> bool:
+        """True when the constraints are a matrix-free operator."""
+        return self._structured
+
+    def _apply(self, weights: np.ndarray) -> np.ndarray:
+        """Return ``C @ u`` for dense or structured constraints."""
+        if self._structured:
+            return self.constraints.matvec(weights)
+        return self.constraints @ weights
+
+    def _apply_transpose(self, dual: np.ndarray) -> np.ndarray:
+        """Return ``C^T @ mu`` for dense or structured constraints."""
+        if self._structured:
+            return self.constraints.rmatvec(dual)
+        return self.constraints.T @ dual
 
     # ----------------------------------------------------------------- sizes
     @property
@@ -102,7 +137,7 @@ class WeightingProblem:
 
     def constraint_values(self, weights: np.ndarray) -> np.ndarray:
         """Return ``C @ u`` (each entry should be <= 1 at a feasible point)."""
-        return self.constraints @ np.asarray(weights, dtype=float)
+        return self._apply(np.asarray(weights, dtype=float))
 
     def max_violation(self, weights: np.ndarray) -> float:
         """Maximum amount by which a constraint is exceeded (<= 0 when feasible)."""
@@ -123,7 +158,10 @@ class WeightingProblem:
 
     def initial_weights(self) -> np.ndarray:
         """A simple feasible interior starting point (uniform weights)."""
-        column_load = self.constraints.sum(axis=1)
+        if self._structured:
+            column_load = self.constraints.row_sums()
+        else:
+            column_load = self.constraints.sum(axis=1)
         top = float(column_load.max())
         if top <= 0:
             raise OptimizationError("constraint matrix is identically zero")
@@ -141,7 +179,7 @@ class WeightingProblem:
         the magnitude of the costs.
         """
         ones = np.ones(self.constraint_count)
-        reference = float(np.max(self.constraints @ self.primal_from_dual(ones)))
+        reference = float(np.max(self._apply(self.primal_from_dual(ones))))
         if not np.isfinite(reference) or reference <= 0:
             return ones
         alpha = reference ** (self.power + 1.0)
@@ -157,7 +195,7 @@ class WeightingProblem:
         positive-cost variable.
         """
         dual = np.asarray(dual, dtype=float)
-        denominator = np.maximum(self.constraints.T @ dual, _DENOMINATOR_FLOOR)
+        denominator = np.maximum(self._apply_transpose(dual), _DENOMINATOR_FLOOR)
         exponent = 1.0 / (self.power + 1.0)
         weights = (self.power * self.costs / denominator) ** exponent
         # Zero-cost design queries get zero weight from the formula, which is fine.
@@ -167,7 +205,7 @@ class WeightingProblem:
         """Lagrangian dual function ``g(mu)`` (a lower bound on the optimum)."""
         dual = np.asarray(dual, dtype=float)
         weights = self.primal_from_dual(dual)
-        linear = self.constraints.T @ dual
+        linear = self._apply_transpose(dual)
         positive = self.costs > 0
         value = float(
             np.sum(self.costs[positive] * weights[positive] ** (-self.power))
@@ -179,10 +217,19 @@ class WeightingProblem:
     def dual_gradient(self, dual: np.ndarray) -> np.ndarray:
         """Gradient of the dual function: ``C u(mu) - 1``."""
         weights = self.primal_from_dual(dual)
-        return self.constraints @ weights - 1.0
+        return self._apply(weights) - 1.0
 
     def dual_hessian(self, dual: np.ndarray) -> np.ndarray:
-        """Hessian of the dual function (negative semidefinite)."""
+        """Hessian of the dual function (negative semidefinite).
+
+        Requires dense constraints: the Hessian is a dense ``k x k`` matrix,
+        which is exactly what the structured fast path avoids building.
+        """
+        if self._structured:
+            raise OptimizationError(
+                "the dual Hessian requires dense constraints; use a first-order "
+                "solver (dual-ascent) for structured constraint operators"
+            )
         dual = np.asarray(dual, dtype=float)
         denominator = np.maximum(self.constraints.T @ dual, _DENOMINATOR_FLOOR)
         weights = self.primal_from_dual(dual)

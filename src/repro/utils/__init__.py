@@ -12,6 +12,18 @@ from repro.utils.linalg import (
     trace_product,
     trace_ratio,
 )
+from repro.utils.operators import (
+    HARD_MATERIALIZATION_LIMIT,
+    MATERIALIZATION_LIMIT,
+    EigenDiagOperator,
+    KroneckerConstraints,
+    KroneckerEigenbasis,
+    KroneckerOperator,
+    StackedOperator,
+    SumOperator,
+    kron_apply,
+    within_materialization_budget,
+)
 from repro.utils.rng import as_generator
 from repro.utils.validation import (
     check_matrix,
@@ -21,6 +33,14 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "EigenDiagOperator",
+    "HARD_MATERIALIZATION_LIMIT",
+    "KroneckerConstraints",
+    "KroneckerEigenbasis",
+    "KroneckerOperator",
+    "MATERIALIZATION_LIMIT",
+    "StackedOperator",
+    "SumOperator",
     "as_generator",
     "check_matrix",
     "check_positive",
@@ -29,6 +49,7 @@ __all__ = [
     "haar_matrix",
     "hierarchical_matrix",
     "kron_all",
+    "kron_apply",
     "max_column_norm",
     "prefix_matrix",
     "psd_project",
@@ -36,4 +57,5 @@ __all__ = [
     "symmetrize",
     "trace_product",
     "trace_ratio",
+    "within_materialization_budget",
 ]

@@ -1,0 +1,708 @@
+"""Structured linear operators for the factorized Kronecker fast path.
+
+The matrix mechanism's hot path — eigen-decomposition of ``W^T W``, the
+weighting program and the error trace ``trace(W^T W (A^T A)^{-1})`` — only
+needs *actions* of the Gram matrices (matrix-vector products, diagonals,
+spectra), never their dense entries.  For multi-dimensional workloads these
+Gram matrices are Kronecker products of tiny per-attribute factors, so every
+action factorizes:
+
+* ``(G_1 ⊗ ... ⊗ G_k) x`` costs ``O(n * sum_i d_i)`` instead of ``O(n^2)``;
+* ``eigh(G_1 ⊗ ... ⊗ G_k)`` reduces to ``k`` tiny ``eigh`` calls whose
+  eigenvalues combine by outer product and whose eigenvectors stay a lazy
+  Kronecker product of the factor eigenvector matrices;
+* the L2 sensitivity (max Gram diagonal) is the product of factor maxima.
+
+Three representations therefore coexist across the package:
+
+* **explicit** — the dense query matrix; everything is available;
+* **Gram-implicit** — only the dense ``n x n`` Gram matrix; supports the
+  whole error-analysis pipeline but still costs ``O(n^2)`` memory;
+* **factored operator** — this module; Kronecker (and unions of Kronecker)
+  structure is kept symbolically so domains far beyond the dense limit stay
+  tractable.
+
+Dense materialisation is gated everywhere by :data:`MATERIALIZATION_LIMIT`
+via :func:`within_materialization_budget`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import MaterializationError
+from repro.utils.linalg import kron_all, symmetrize
+
+__all__ = [
+    "HARD_MATERIALIZATION_LIMIT",
+    "MATERIALIZATION_LIMIT",
+    "within_materialization_budget",
+    "kron_apply",
+    "kron_reduce",
+    "KroneckerOperator",
+    "MatrixGramOperator",
+    "StackedOperator",
+    "StructuredGramMixin",
+    "SumOperator",
+    "KroneckerEigenbasis",
+    "KroneckerConstraints",
+    "EigenDiagOperator",
+    "gram_to_dense",
+]
+
+#: Preference threshold (entries = rows * columns): structured code paths
+#: keep factors lazy and avoid densifying beyond this.  Shared by
+#: :meth:`Workload.kronecker`, :meth:`Strategy.kronecker`, ``gram_source``
+#: and the ``eigen_design`` auto-switch so the policy of "when do we prefer
+#: structure" lives in exactly one place.
+MATERIALIZATION_LIMIT = 10**7
+
+#: Hard cap on any *explicit* dense materialisation request (``to_dense``,
+#: the ``gram`` property of operator-backed objects): ~2 GiB of float64.
+#: Between the two limits the fast paths stay structured but a caller that
+#: genuinely needs the dense array (e.g. running the mechanism on data)
+#: still gets it, matching the pre-operator behaviour; beyond the hard cap
+#: a :class:`~repro.exceptions.MaterializationError` is raised.
+HARD_MATERIALIZATION_LIMIT = 2**28
+
+
+def within_materialization_budget(rows: int, columns: int, *, limit: int | None = None) -> bool:
+    """True when a ``rows x columns`` dense array is small enough to build."""
+    if limit is None:
+        limit = MATERIALIZATION_LIMIT
+    return int(rows) * int(columns) <= limit
+
+
+def _dense_guard(rows: int, columns: int, what: str, limit: int | None) -> None:
+    if limit is None:
+        limit = HARD_MATERIALIZATION_LIMIT
+    if not within_materialization_budget(rows, columns, limit=limit):
+        raise MaterializationError(
+            f"refusing to materialise {what} of shape ({rows}, {columns}): "
+            f"{int(rows) * int(columns)} entries exceed the materialization "
+            f"cap of {limit}"
+        )
+
+
+def kron_apply(
+    factors: Sequence[np.ndarray],
+    vectors: np.ndarray,
+    *,
+    transpose: bool = False,
+) -> np.ndarray:
+    """Apply ``F_1 ⊗ ... ⊗ F_k`` (or its transpose) without forming it.
+
+    ``vectors`` may be a single vector or an ``(n, b)`` batch of columns.  The
+    classic vec-trick: reshape to a rank-``k`` tensor and contract one factor
+    per axis, costing ``O(n * sum_i d_i)`` per vector instead of ``O(n^2)``.
+    """
+    mats = [np.asarray(f, dtype=float) for f in factors]
+    x = np.asarray(vectors, dtype=float)
+    single = x.ndim == 1
+    if single:
+        x = x[:, None]
+    in_dims = [f.shape[0] if transpose else f.shape[1] for f in mats]
+    batch = x.shape[1]
+    tensor = x.reshape(in_dims + [batch])
+    for axis, factor in enumerate(mats):
+        applied = factor.T if transpose else factor
+        tensor = np.moveaxis(np.moveaxis(tensor, axis, -1) @ applied.T, -1, axis)
+    out = tensor.reshape(-1, batch)
+    return out[:, 0] if single else out
+
+
+def kron_reduce(factors, reducer) -> np.ndarray:
+    """Kronecker-accumulate a per-factor 1-D reduction.
+
+    ``reducer`` maps each factor to a vector; the results combine by
+    ``np.kron``, which is exact for any entrywise reduction that multiplies
+    across a Kronecker product (diagonals, column norms, column maxima/sums
+    of non-negative factors, ...).
+    """
+    factors = list(factors)
+    if not factors:
+        raise ValueError("kron_reduce requires at least one factor")
+    result = np.asarray(reducer(factors[0]))
+    for factor in factors[1:]:
+        result = np.kron(result, np.asarray(reducer(factor)))
+    return result
+
+
+def _operator_or_dense_matvec(term, x: np.ndarray) -> np.ndarray:
+    if isinstance(term, np.ndarray):
+        return term @ x
+    return term.matvec(x)
+
+
+def _operator_or_dense_diagonal(term) -> np.ndarray:
+    if isinstance(term, np.ndarray):
+        return np.diag(term).copy()
+    return term.diagonal()
+
+
+def gram_to_dense(source, *, limit: int | None = None) -> np.ndarray:
+    """Densify a Gram source (ndarray passthrough, operator via ``to_dense``)."""
+    if isinstance(source, np.ndarray):
+        return source
+    return source.to_dense(limit=limit)
+
+
+class StructuredGramMixin:
+    """Shared Gram plumbing for objects representable three ways.
+
+    :class:`~repro.core.workload.Workload` and
+    :class:`~repro.core.strategy.Strategy` both juggle an explicit matrix
+    (``_matrix``), a dense Gram (``_gram``) and a structured Gram operator
+    (``_gram_op``).  This mixin centralises the representation-selection
+    policy — budget-gated densification, the cheapest faithful Gram source,
+    the diagonal used for L2 sensitivity, and the ``__repr__`` kind — so the
+    two classes cannot silently diverge.  Hosts must provide ``_matrix``,
+    ``_gram``, ``_gram_op``, ``_kron_factors``, ``name``, ``column_count``
+    and a ``gram`` property.
+    """
+
+    _kind_label = "object"
+
+    @property
+    def gram_operator(self):
+        """The structured Gram operator, or ``None`` when no structure exists.
+
+        Explicit Kronecker products build theirs lazily from the recorded
+        factors, so even a workload/strategy whose matrix was materialised
+        still offers the factorized trace and spectrum paths.
+        """
+        if self._gram_op is None and self._kron_factors is not None:
+            self._gram_op = KroneckerOperator(
+                [factor.gram for factor in self._kron_factors], symmetric=True
+            )
+        return self._gram_op
+
+    @staticmethod
+    def _flatten_kron_factors(factors):
+        """Flatten nested Kronecker products into one factor list.
+
+        A factor that is itself a lazy Kronecker product (it records
+        ``_kron_factors`` and holds no explicit matrix) contributes its own
+        factors, so the structured fast paths always see the full
+        factorization and no intermediate factor Gram is densified.
+        """
+        flattened = []
+        for factor in factors:
+            if factor._kron_factors is not None and factor._matrix is None:
+                flattened.extend(factor._kron_factors)
+            else:
+                flattened.append(factor)
+        return flattened
+
+    def _densify_structured_gram(self) -> np.ndarray:
+        """Materialise ``_gram_op`` densely, or raise past the hard cap.
+
+        Explicit ``gram`` requests are honoured up to
+        :data:`HARD_MATERIALIZATION_LIMIT` (so e.g. running the mechanism on
+        a mid-size product domain behaves like the pre-operator code);
+        structure-*preferring* paths consult :func:`gram_source` instead and
+        never densify past :data:`MATERIALIZATION_LIMIT`.
+        """
+        cells = self.column_count
+        if not within_materialization_budget(cells, cells, limit=HARD_MATERIALIZATION_LIMIT):
+            raise MaterializationError(
+                f"{self._kind_label} {self.name!r} has a structured Gram of size "
+                f"{cells} x {cells}, beyond the hard materialization cap; "
+                "use gram_operator instead"
+            )
+        return symmetrize(self._gram_op.to_dense())
+
+    def gram_source(self):
+        """The cheapest faithful Gram representation: dense if available or
+        affordable, otherwise a structured operator.
+
+        Beyond the preference threshold a structured operator wins even when
+        a dense Gram happens to be cached — the factorized trace and eigen
+        paths it enables beat re-using the dense array.  Explicit matrices
+        there are wrapped in a :class:`MatrixGramOperator` instead of eagerly
+        computing the quadratic ``W^T W`` (a single wide query row would
+        otherwise force a multi-GiB allocation just to join a union or a
+        trace).
+        """
+        cells = self.column_count
+        if within_materialization_budget(cells, cells):
+            return self.gram
+        if self.gram_operator is not None:
+            return self.gram_operator
+        if self._gram is not None:
+            return self.gram
+        if self._matrix is not None:
+            return MatrixGramOperator(self._matrix)
+        return self.gram
+
+    def _gram_diagonal(self) -> np.ndarray:
+        """Diagonal of the Gram, served structurally when only an operator exists."""
+        if self._gram is None and self._matrix is None and self._gram_op is not None:
+            return self._gram_op.diagonal()
+        return np.diag(self.gram)
+
+    def _representation_kind(self) -> str:
+        if self._matrix is not None:
+            return "explicit"
+        if self._gram_op is not None and self._gram is None:
+            return "factored"
+        return "implicit"
+
+
+class KroneckerOperator:
+    """A lazy ``F_1 ⊗ ... ⊗ F_k`` of dense 2-D factors.
+
+    Used both for query matrices (rectangular factors) and for Gram matrices
+    (square symmetric PSD factors).  Only the factors are stored.
+    """
+
+    def __init__(self, factors: Sequence[np.ndarray], *, symmetric: bool = False):
+        if not factors:
+            raise ValueError("KroneckerOperator requires at least one factor")
+        self.factors = tuple(np.asarray(f, dtype=float) for f in factors)
+        for factor in self.factors:
+            if factor.ndim != 2:
+                raise ValueError(f"factors must be 2-D, got shape {factor.shape}")
+            if symmetric and factor.shape[0] != factor.shape[1]:
+                raise ValueError("symmetric KroneckerOperator requires square factors")
+        self.symmetric = symmetric
+        rows = 1
+        columns = 1
+        for factor in self.factors:
+            rows *= factor.shape[0]
+            columns *= factor.shape[1]
+        self.shape = (rows, columns)
+        self._eigenbasis: "KroneckerEigenbasis | None" = None
+
+    # ------------------------------------------------------------------ actions
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Return ``(⊗F_i) x`` (also accepts an ``(n, b)`` batch)."""
+        return kron_apply(self.factors, x)
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        """Return ``(⊗F_i)^T y`` (also accepts an ``(m, b)`` batch)."""
+        return kron_apply(self.factors, y, transpose=True)
+
+    def gram(self) -> "KroneckerOperator":
+        """The Gram operator ``(⊗F)^T (⊗F) = ⊗(F_i^T F_i)`` (still Kronecker)."""
+        grams = [symmetrize(f.T @ f) for f in self.factors]
+        return KroneckerOperator(grams, symmetric=True)
+
+    def diagonal(self) -> np.ndarray:
+        """Diagonal of a square operator: the Kronecker product of factor diagonals."""
+        if self.shape[0] != self.shape[1]:
+            raise ValueError("diagonal is only defined for square operators")
+        return kron_reduce(self.factors, np.diag)
+
+    def column_norms_squared(self) -> np.ndarray:
+        """Squared Euclidean column norms (Kronecker product of factor norms)."""
+        return kron_reduce(self.factors, lambda f: np.sum(f**2, axis=0))
+
+    @property
+    def sensitivity_l2(self) -> float:
+        """Max column norm — the product of the factor sensitivities."""
+        result = 1.0
+        for factor in self.factors:
+            result *= float(np.sqrt(np.max(np.sum(factor**2, axis=0))))
+        return result
+
+    def scaled(self, alpha: float) -> "KroneckerOperator":
+        """Return ``alpha * self`` (the scale is folded into the first factor)."""
+        factors = (self.factors[0] * float(alpha),) + self.factors[1:]
+        return KroneckerOperator(factors, symmetric=self.symmetric)
+
+    def to_dense(self, *, limit: int | None = None) -> np.ndarray:
+        """Materialise the dense product (guarded by the materialization budget)."""
+        _dense_guard(self.shape[0], self.shape[1], "a Kronecker product", limit)
+        return kron_all(self.factors)
+
+    # ----------------------------------------------------------------- spectrum
+    def eigenbasis(self) -> "KroneckerEigenbasis":
+        """Factorized eigen-decomposition of a symmetric PSD Kronecker operator.
+
+        Each (tiny) factor is eigendecomposed independently; eigenvalues
+        combine by outer (Kronecker) product and the eigenvector matrix stays
+        a lazy Kronecker product of the factor eigenvector matrices.  This
+        replaces one ``O(n^3)`` dense ``eigh`` with ``k`` calls of cost
+        ``O(d_i^3)``.
+        """
+        if not self.symmetric:
+            raise ValueError("eigenbasis requires a symmetric Kronecker operator")
+        if self._eigenbasis is None:
+            self._eigenbasis = KroneckerEigenbasis.from_gram_factors(self.factors)
+        return self._eigenbasis
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        dims = " ⊗ ".join("x".join(map(str, f.shape)) for f in self.factors)
+        return f"KroneckerOperator({dims})"
+
+
+class KroneckerEigenbasis:
+    """The factorized spectrum of ``G_1 ⊗ ... ⊗ G_k`` (each ``G_i`` PSD).
+
+    Stores the per-factor eigenvector matrices ``V_i`` (columns are
+    eigenvectors) and the full eigenvalue vector in *natural* (Kronecker)
+    order.  The full eigenvector matrix ``B = ⊗V_i`` is never materialised;
+    its action is served through :func:`kron_apply`.
+    """
+
+    def __init__(self, vector_factors: Sequence[np.ndarray], values_natural: np.ndarray):
+        self.vector_factors = tuple(np.asarray(v, dtype=float) for v in vector_factors)
+        self.values_natural = np.clip(np.asarray(values_natural, dtype=float), 0.0, None)
+        size = 1
+        for factors in self.vector_factors:
+            size *= factors.shape[0]
+        self.size = size
+        if self.values_natural.shape != (size,):
+            raise ValueError("eigenvalue vector does not match the basis size")
+        self._order: np.ndarray | None = None
+        self._squared_factors: tuple[np.ndarray, ...] | None = None
+
+    @classmethod
+    def from_gram_factors(cls, grams: Sequence[np.ndarray]) -> "KroneckerEigenbasis":
+        """Eigendecompose each factor Gram and combine the spectra lazily."""
+        vectors = []
+        values = np.ones(1)
+        for gram in grams:
+            factor_values, factor_vectors = np.linalg.eigh(symmetrize(gram))
+            vectors.append(factor_vectors)
+            values = np.kron(values, np.clip(factor_values, 0.0, None))
+        return cls(vectors, values)
+
+    # ------------------------------------------------------------------ ordering
+    @property
+    def order(self) -> np.ndarray:
+        """Natural-order indexes sorted by descending eigenvalue (stable)."""
+        if self._order is None:
+            self._order = np.argsort(-self.values_natural, kind="stable")
+        return self._order
+
+    @property
+    def sorted_values(self) -> np.ndarray:
+        """Eigenvalues in descending order."""
+        return self.values_natural[self.order]
+
+    # ------------------------------------------------------------------- actions
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Return ``B x`` where ``B = ⊗V_i`` has the eigenvectors as columns."""
+        return kron_apply(self.vector_factors, x)
+
+    def apply_transpose(self, x: np.ndarray) -> np.ndarray:
+        """Return ``B^T x`` (coordinates of ``x`` in the eigenbasis)."""
+        return kron_apply(self.vector_factors, x, transpose=True)
+
+    @property
+    def squared_factors(self) -> tuple[np.ndarray, ...]:
+        """Entrywise squares ``V_i ∘ V_i`` (non-negative), used for diagonals."""
+        if self._squared_factors is None:
+            self._squared_factors = tuple(v * v for v in self.vector_factors)
+        return self._squared_factors
+
+    def scatter_sorted(self, values: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """Embed per-eigen-query ``values`` (at natural ``positions``) into R^n."""
+        full = np.zeros(self.size)
+        full[np.asarray(positions, dtype=int)] = np.asarray(values, dtype=float)
+        return full
+
+    def queries_dense(self, *, limit: int | None = None) -> np.ndarray:
+        """The dense eigen-query matrix (rows = eigenvectors, descending order)."""
+        _dense_guard(self.size, self.size, "the eigen-query matrix", limit)
+        return kron_all(self.vector_factors).T[self.order]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        dims = " ⊗ ".join(str(v.shape[0]) for v in self.vector_factors)
+        return f"KroneckerEigenbasis(n={self.size}: {dims})"
+
+
+class KroneckerConstraints:
+    """The sensitivity-constraint operator ``C = ((Q ∘ Q)^T)[:, kept]``.
+
+    For the weighting program on eigen-queries the constraint matrix is the
+    entrywise square of the eigen-query matrix, transposed — which for a
+    Kronecker eigenbasis is ``⊗(V_i ∘ V_i)`` with columns restricted to the
+    retained (non-zero-eigenvalue) eigen-queries.  All the reductions the
+    solvers need (matvec, rmatvec, column max/sum, row sums) factorize.
+    """
+
+    def __init__(self, basis: KroneckerEigenbasis, columns: np.ndarray):
+        self.basis = basis
+        self.columns = np.asarray(columns, dtype=int)
+        self.shape = (basis.size, int(self.columns.shape[0]))
+
+    def matvec(self, u: np.ndarray) -> np.ndarray:
+        """Return ``C u`` — the squared column norms induced by weights ``u``."""
+        embedded = self.basis.scatter_sorted(u, self.columns)
+        return kron_apply(self.basis.squared_factors, embedded)
+
+    def rmatvec(self, mu: np.ndarray) -> np.ndarray:
+        """Return ``C^T mu``."""
+        full = kron_apply(self.basis.squared_factors, mu, transpose=True)
+        return full[self.columns]
+
+    def _column_reduction(self, reducer) -> np.ndarray:
+        return kron_reduce(self.basis.squared_factors, reducer)[self.columns]
+
+    def column_maxes(self) -> np.ndarray:
+        """Per-column maxima (exact for non-negative Kronecker factors)."""
+        return self._column_reduction(lambda f: f.max(axis=0))
+
+    def column_sums(self) -> np.ndarray:
+        """Per-column sums."""
+        return self._column_reduction(lambda f: f.sum(axis=0))
+
+    def row_sums(self) -> np.ndarray:
+        """Per-row (per-cell) sums over the retained columns."""
+        return self.matvec(np.ones(self.shape[1]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KroneckerConstraints(shape={self.shape})"
+
+
+class EigenDiagOperator:
+    """A PSD operator ``M = B diag(z) B^T + diag(d)`` with ``B = ⊗V_i``.
+
+    This is exactly the Gram matrix of a strategy assembled from weighted
+    eigen-queries of a Kronecker workload (plus the optional per-cell
+    sensitivity-completion rows, which contribute the diagonal term ``d``).
+    When ``d = 0`` the operator's own eigen-decomposition is free: the
+    spectrum is ``z`` and the eigenvectors are the basis columns.
+    """
+
+    def __init__(
+        self,
+        basis: KroneckerEigenbasis,
+        spectrum: np.ndarray,
+        diag: np.ndarray | None = None,
+    ):
+        self.basis = basis
+        self.spectrum = np.clip(np.asarray(spectrum, dtype=float), 0.0, None)
+        if self.spectrum.shape != (basis.size,):
+            raise ValueError("spectrum must have one entry per basis vector (natural order)")
+        if diag is not None:
+            diag = np.asarray(diag, dtype=float)
+            if diag.shape != (basis.size,):
+                raise ValueError("diag must have one entry per cell")
+            if not np.any(diag):
+                diag = None
+        self.diag = diag
+        self.shape = (basis.size, basis.size)
+        self.symmetric = True
+
+    @property
+    def has_diag(self) -> bool:
+        """True when completion rows contribute a diagonal term."""
+        return self.diag is not None
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Return ``M x = B (z ∘ (B^T x)) + d ∘ x``."""
+        coordinates = self.basis.apply_transpose(x)
+        if np.asarray(x).ndim == 2:
+            result = self.basis.apply(self.spectrum[:, None] * coordinates)
+        else:
+            result = self.basis.apply(self.spectrum * coordinates)
+        if self.diag is not None:
+            result = result + (self.diag[:, None] if np.asarray(x).ndim == 2 else self.diag) * x
+        return result
+
+    rmatvec = matvec  # symmetric
+
+    def diagonal(self) -> np.ndarray:
+        """Diagonal ``(⊗(V ∘ V)) z + d`` — the squared strategy column norms."""
+        diag = kron_apply(self.basis.squared_factors, self.spectrum)
+        if self.diag is not None:
+            diag = diag + self.diag
+        return diag
+
+    def eigenvalues_sorted(self) -> np.ndarray:
+        """Descending spectrum (only available without a completion diagonal)."""
+        if self.diag is not None:
+            raise MaterializationError(
+                "the completed strategy Gram is not diagonal in the eigenbasis; "
+                "re-run the design with complete=False or densify"
+            )
+        return np.sort(self.spectrum)[::-1]
+
+    def scaled(self, alpha: float) -> "EigenDiagOperator":
+        """Return ``alpha * M`` (scales both the spectrum and the diagonal)."""
+        alpha = float(alpha)
+        diag = None if self.diag is None else self.diag * alpha
+        return EigenDiagOperator(self.basis, self.spectrum * alpha, diag)
+
+    def to_dense(self, *, limit: int | None = None) -> np.ndarray:
+        _dense_guard(self.shape[0], self.shape[1], "an eigenbasis Gram", limit)
+        dense_basis = KroneckerOperator(self.basis.vector_factors).to_dense(limit=limit)
+        dense = (dense_basis * self.spectrum) @ dense_basis.T
+        if self.diag is not None:
+            dense = dense + np.diag(self.diag)
+        return (dense + dense.T) / 2.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        extra = "+diag" if self.diag is not None else ""
+        return f"EigenDiagOperator(n={self.shape[0]}{extra})"
+
+
+class MatrixGramOperator:
+    """The Gram ``W^T W`` of an explicit ``(m, n)`` matrix, kept as a product.
+
+    For a short-and-wide matrix (few queries over a huge domain) the dense
+    ``n x n`` Gram can dwarf the matrix itself; this operator serves Gram
+    actions at ``O(m n)`` cost and densifies only on request, under the hard
+    cap.  It lets explicit workloads participate in structured unions and
+    traces without an eager quadratic allocation.
+    """
+
+    def __init__(self, matrix: np.ndarray):
+        self.matrix = np.asarray(matrix, dtype=float)
+        if self.matrix.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got shape {self.matrix.shape}")
+        cells = self.matrix.shape[1]
+        self.shape = (cells, cells)
+        self.symmetric = True
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return self.matrix.T @ (self.matrix @ x)
+
+    rmatvec = matvec  # symmetric
+
+    def diagonal(self) -> np.ndarray:
+        return np.sum(self.matrix**2, axis=0)
+
+    def scaled(self, alpha: float) -> "MatrixGramOperator":
+        return MatrixGramOperator(self.matrix * float(np.sqrt(alpha)))
+
+    def to_dense(self, *, limit: int | None = None) -> np.ndarray:
+        _dense_guard(self.shape[0], self.shape[1], "an explicit-matrix Gram", limit)
+        return symmetrize(self.matrix.T @ self.matrix)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MatrixGramOperator(m={self.matrix.shape[0]}, n={self.shape[0]})"
+
+
+class SumOperator:
+    """A symmetric sum of Gram sources (dense arrays and/or operators).
+
+    This is the Gram matrix of a *union* workload: Gram matrices add.  No
+    factorized eigen-decomposition exists in general, but matvecs, diagonals
+    (hence sensitivities) and error traces all distribute over the terms.
+    """
+
+    def __init__(self, terms: Sequence[np.ndarray | KroneckerOperator | EigenDiagOperator]):
+        if not terms:
+            raise ValueError("SumOperator requires at least one term")
+        self.terms = tuple(
+            np.asarray(t, dtype=float) if isinstance(t, np.ndarray) else t for t in terms
+        )
+        sizes = set()
+        for term in self.terms:
+            if term.shape[0] != term.shape[1]:
+                raise ValueError(
+                    f"SumOperator terms must be square Gram sources, got shape {term.shape}"
+                )
+            sizes.add(term.shape[0])
+        if len(sizes) != 1:
+            raise ValueError("all terms of a SumOperator must have the same size")
+        size = sizes.pop()
+        self.shape = (size, size)
+        self.symmetric = True
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        result = _operator_or_dense_matvec(self.terms[0], x)
+        for term in self.terms[1:]:
+            result = result + _operator_or_dense_matvec(term, x)
+        return result
+
+    rmatvec = matvec  # symmetric
+
+    def diagonal(self) -> np.ndarray:
+        diag = _operator_or_dense_diagonal(self.terms[0])
+        for term in self.terms[1:]:
+            diag = diag + _operator_or_dense_diagonal(term)
+        return diag
+
+    def scaled(self, alpha: float) -> "SumOperator":
+        alpha = float(alpha)
+        return SumOperator(
+            [t * alpha if isinstance(t, np.ndarray) else t.scaled(alpha) for t in self.terms]
+        )
+
+    def to_dense(self, *, limit: int | None = None) -> np.ndarray:
+        _dense_guard(self.shape[0], self.shape[1], "a Gram sum", limit)
+        dense = None
+        for term in self.terms:
+            contribution = term if isinstance(term, np.ndarray) else term.to_dense(limit=limit)
+            dense = contribution.copy() if dense is None else dense + contribution
+        return dense
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SumOperator(n={self.shape[0]}, terms={len(self.terms)})"
+
+
+class StackedOperator:
+    """A vertical stack of query-matrix sources over the same cells.
+
+    Models the rows of a *union* workload without materialising them: the
+    parts may be dense ``(m_i, n)`` matrices or rectangular operators (e.g.
+    :class:`KroneckerOperator` row blocks).  ``matvec`` answers all queries,
+    ``rmatvec`` accumulates adjoints, and the Gram is the sum of part Grams.
+    """
+
+    def __init__(self, parts: Sequence[np.ndarray | KroneckerOperator]):
+        if not parts:
+            raise ValueError("StackedOperator requires at least one part")
+        self.parts = tuple(
+            np.asarray(p, dtype=float) if isinstance(p, np.ndarray) else p for p in parts
+        )
+        columns = {p.shape[1] for p in self.parts}
+        if len(columns) != 1:
+            raise ValueError("all stacked parts must have the same number of columns")
+        rows = sum(p.shape[0] for p in self.parts)
+        self.shape = (rows, columns.pop())
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return np.concatenate(
+            [p @ x if isinstance(p, np.ndarray) else p.matvec(x) for p in self.parts]
+        )
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        y = np.asarray(y, dtype=float)
+        shape = (self.shape[1],) if y.ndim == 1 else (self.shape[1], y.shape[1])
+        result = np.zeros(shape)
+        offset = 0
+        for part in self.parts:
+            block = y[offset : offset + part.shape[0]]
+            if isinstance(part, np.ndarray):
+                result = result + part.T @ block
+            else:
+                result = result + part.rmatvec(block)
+            offset += part.shape[0]
+        return result
+
+    def gram(self) -> SumOperator:
+        """The Gram of the stack: the sum of the part Grams."""
+        terms = []
+        for part in self.parts:
+            if isinstance(part, np.ndarray):
+                terms.append(symmetrize(part.T @ part))
+            else:
+                terms.append(part.gram())
+        return SumOperator(terms)
+
+    def column_norms_squared(self) -> np.ndarray:
+        norms = np.zeros(self.shape[1])
+        for part in self.parts:
+            if isinstance(part, np.ndarray):
+                norms = norms + np.sum(part**2, axis=0)
+            else:
+                norms = norms + part.column_norms_squared()
+        return norms
+
+    def to_dense(self, *, limit: int | None = None) -> np.ndarray:
+        _dense_guard(self.shape[0], self.shape[1], "a stacked query matrix", limit)
+        return np.vstack(
+            [p if isinstance(p, np.ndarray) else p.to_dense(limit=limit) for p in self.parts]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StackedOperator(shape={self.shape}, parts={len(self.parts)})"
