@@ -1,28 +1,49 @@
-"""Micro-benchmark: dense vs factorized Kronecker eigen-decomposition.
+"""Micro-benchmark: dense vs factorized Kronecker fast paths.
 
-Tracks the perf trajectory of the structured-operator fast path across PRs.
-For a k-dimensional product workload the dense path builds the ``n x n``
-Gram with ``np.kron`` and calls one ``O(n^3)`` ``eigh``; the factorized path
-eigendecomposes each tiny factor Gram and combines spectra by outer product.
+Tracks the perf trajectory of the structured-operator layer across PRs.
+Three sections:
+
+* **eigh** — dense ``O(n^3)`` eigendecomposition of the ``np.kron`` Gram vs
+  the per-factor factorized decomposition;
+* **completed_trace** — the error trace ``trace(W^T W (A^T A)^{-1})`` of a
+  *completed* (``complete=True``) factorized eigen design: dense
+  densify-plus-Cholesky vs the Woodbury identity (exact, small completion
+  rank relative to the budget) or the preconditioned-CG + Hutch++ stochastic
+  estimate (large rank);
+* **reductions** — the principal-vector reduction of Sec. 4.2, dense
+  eigen-query matrix vs the matrix-free ``KroneckerConstraints`` path.
 
 Emits ``BENCH_kron_fastpath.json`` at the repository root with one row per
-domain size (dense and factorized wall-clock, speedup, max eigenvalue
-deviation), so regressions in either speed or numerical agreement are visible
-in version control.
+domain size (dense and factorized wall-clock, speedup, deviation), so
+regressions in either speed or numerical agreement are visible in version
+control.
 
 Run with:  python benchmarks/bench_kron_fastpath.py
-(or via pytest; no plugin fixtures are required).
+(or via pytest; no plugin fixtures are required).  Set ``REPRO_BENCH_QUICK=1``
+for a CI smoke run: only the smallest shape per section, and the JSON is not
+rewritten.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
 import numpy as np
 
-from repro.utils.operators import KroneckerEigenbasis
+from repro.core.eigen_design import eigen_design
+from repro.core.error import workload_strategy_trace
+from repro.core.reductions import principal_vectors
+from repro.utils.linalg import trace_ratio
+from repro.utils.operators import (
+    HARD_MATERIALIZATION_LIMIT,
+    KroneckerEigenbasis,
+    gram_to_dense,
+    within_materialization_budget,
+)
+from repro.workloads import all_range_queries
 from repro.workloads.gram import all_range_gram
 
 #: Shapes benchmarked on both paths (the dense oracle stays feasible here).
@@ -31,8 +52,25 @@ DENSE_SHAPES = ((8, 8, 8), (16, 16, 4), (16, 16, 8), (16, 16, 16))
 #: Shapes only the factorized path can reach (dense would need >= 2 GiB).
 FACTORIZED_ONLY_SHAPES = ((32, 32, 16), (32, 32, 32), (64, 64, 32))
 
-#: The acceptance bar tracked across PRs.
+#: Completed-design trace cases: ``(shape, synthetic_rank)``.  With
+#: ``synthetic_rank = None`` the design's own completion diagonal is used
+#: (heavy: nearly every cell is deficient, exercising the CG + Hutch++
+#: stochastic path at the largest dense-feasible size); with an integer, only
+#: the ``k`` largest deficits are kept — the low-rank completion regime the
+#: exact Woodbury identity is built for.
+COMPLETED_CASES = (((16, 16, 4), 64), ((16, 16, 16), None))
+COMPLETED_CASES_QUICK = (((8, 8, 8), 16),)
+
+#: Reduction (principal-vector) comparison shape.  Note the factorized path's
+#: win is memory/feasibility (no dense eigen-query matrix, no O(n^3) eigh),
+#: not wall-clock at dense-feasible sizes — beyond the budget it is the only
+#: path (tested in tests/test_woodbury_completion.py).
+REDUCTION_DENSE_SHAPE = (16, 16, 8)
+
+#: The acceptance bar tracked across PRs (eigh and completed trace alike).
 TARGET_SPEEDUP = 10.0
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_kron_fastpath.json"
 
@@ -42,15 +80,22 @@ def _factor_grams(shape: tuple[int, ...]) -> list[np.ndarray]:
     return [all_range_gram(size) for size in shape]
 
 
+def _clear_eigh_cache() -> None:
+    """Drop the content-addressed eigh memo so timings stay cold and honest."""
+    from repro.utils.operators import _FACTOR_EIGH_CACHE
+
+    _FACTOR_EIGH_CACHE.clear()
+
+
 def _time(fn) -> tuple[float, object]:
     start = time.perf_counter()
     result = fn()
     return time.perf_counter() - start, result
 
 
-def run() -> dict:
+def _eigh_rows(dense_shapes, factorized_shapes) -> list[dict]:
     rows = []
-    for shape in DENSE_SHAPES:
+    for shape in dense_shapes:
         grams = _factor_grams(shape)
         cells = int(np.prod(shape))
 
@@ -60,11 +105,11 @@ def run() -> dict:
                 product = np.kron(product, gram)
             return np.clip(np.linalg.eigvalsh(product)[::-1], 0.0, None)
 
-        def factorized_path():
-            return KroneckerEigenbasis.from_gram_factors(grams).sorted_values
-
         dense_seconds, dense_values = _time(dense_path)
-        factorized_seconds, factorized_values = _time(factorized_path)
+        _clear_eigh_cache()  # keep the factorized timing cold (no memo hits)
+        factorized_seconds, factorized_values = _time(
+            lambda: KroneckerEigenbasis.from_gram_factors(grams).sorted_values
+        )
         deviation = float(np.max(np.abs(dense_values - factorized_values)) / dense_values[0])
         rows.append(
             {
@@ -76,7 +121,7 @@ def run() -> dict:
                 "max_relative_eigenvalue_deviation": deviation,
             }
         )
-    for shape in FACTORIZED_ONLY_SHAPES:
+    for shape in factorized_shapes:
         grams = _factor_grams(shape)
         factorized_seconds, values = _time(
             lambda: KroneckerEigenbasis.from_gram_factors(grams).sorted_values
@@ -92,32 +137,147 @@ def run() -> dict:
             }
         )
         del values
-    largest_dense = max(
+    return rows
+
+
+def _completed_trace_rows(cases) -> list[dict]:
+    from repro.core.strategy import Strategy
+    from repro.utils.operators import EigenDiagOperator
+
+    rows = []
+    for shape, synthetic_rank in cases:
+        workload = all_range_queries(list(shape))
+        design = eigen_design(workload, factorized=True, complete=True)
+        operator = design.strategy.gram_operator
+        strategy = design.strategy
+        if synthetic_rank is not None:
+            # Keep only the k largest completion deficits: the low-rank
+            # completion regime (near-uniform column norms) where the exact
+            # Woodbury path shines.
+            diag = operator.diag.copy()
+            keep = np.argsort(-diag)[:synthetic_rank]
+            trimmed = np.zeros_like(diag)
+            trimmed[keep] = diag[keep]
+            operator = EigenDiagOperator(operator.basis, operator.spectrum, trimmed)
+            strategy = Strategy.from_gram_operator(operator, name="completed-lowrank")
+        cells = workload.column_count
+        completion_rank = int(np.count_nonzero(operator.diag))
+        exact = within_materialization_budget(cells, max(2 * completion_rank, 1))
+
+        _clear_eigh_cache()
+        structured_seconds, structured_value = _time(
+            lambda: workload_strategy_trace(workload, strategy)
+        )
+        dense_seconds, dense_value = _time(
+            lambda: trace_ratio(
+                gram_to_dense(workload.gram_operator, limit=HARD_MATERIALIZATION_LIMIT),
+                gram_to_dense(operator, limit=HARD_MATERIALIZATION_LIMIT),
+            )
+        )
+        rows.append(
+            {
+                "shape": list(shape),
+                "cells": cells,
+                "completion_rank": completion_rank,
+                "path": "woodbury-exact" if exact else "cg-hutchpp",
+                "dense_seconds": dense_seconds,
+                "factorized_seconds": structured_seconds,
+                "speedup": dense_seconds / max(structured_seconds, 1e-12),
+                "relative_trace_deviation": float(
+                    abs(structured_value - dense_value) / max(abs(dense_value), 1e-12)
+                ),
+            }
+        )
+    return rows
+
+
+def _reduction_rows(shape=REDUCTION_DENSE_SHAPE) -> list[dict]:
+    rows = []
+    workload = all_range_queries(list(shape))
+    dense_seconds, dense_result = _time(
+        lambda: principal_vectors(workload, fraction=0.05, factorized=False)
+    )
+    factorized_seconds, factorized_result = _time(
+        lambda: principal_vectors(workload, fraction=0.05, factorized=True)
+    )
+    dense_error = workload_strategy_trace(workload, dense_result.strategy)
+    factorized_error = workload_strategy_trace(workload, factorized_result.strategy)
+    rows.append(
+        {
+            "shape": list(shape),
+            "cells": workload.column_count,
+            "method": "principal-vectors (5%)",
+            "dense_seconds": dense_seconds,
+            "factorized_seconds": factorized_seconds,
+            "speedup": dense_seconds / max(factorized_seconds, 1e-12),
+            "relative_trace_deviation": float(
+                abs(factorized_error - dense_error) / max(abs(dense_error), 1e-12)
+            ),
+        }
+    )
+    return rows
+
+
+def _largest_dense(rows: list[dict]) -> dict:
+    return max(
         (row for row in rows if row["dense_seconds"] is not None),
         key=lambda row: row["cells"],
     )
+
+
+def run() -> dict:
+    if QUICK:
+        eigh_rows = _eigh_rows(DENSE_SHAPES[:1], FACTORIZED_ONLY_SHAPES[:1])
+        completed_rows = _completed_trace_rows(COMPLETED_CASES_QUICK)
+        reduction_rows = _reduction_rows((8, 8, 4))
+    else:
+        eigh_rows = _eigh_rows(DENSE_SHAPES, FACTORIZED_ONLY_SHAPES)
+        completed_rows = _completed_trace_rows(COMPLETED_CASES)
+        reduction_rows = _reduction_rows()
+
+    largest_eigh = _largest_dense(eigh_rows)
+    largest_completed = _largest_dense(completed_rows)
     report = {
         "benchmark": "kron_fastpath",
         "workload": "all multi-dimensional range queries",
         "target_speedup": TARGET_SPEEDUP,
-        "largest_dense_cells": largest_dense["cells"],
-        "speedup_at_largest_dense": largest_dense["speedup"],
-        "rows": rows,
+        "largest_dense_cells": largest_eigh["cells"],
+        "speedup_at_largest_dense": largest_eigh["speedup"],
+        "rows": eigh_rows,
+        "completed_trace": {
+            "target_speedup": TARGET_SPEEDUP,
+            "largest_dense_cells": largest_completed["cells"],
+            "speedup_at_largest_dense": largest_completed["speedup"],
+            "rows": completed_rows,
+        },
+        "reductions": {"rows": reduction_rows},
     }
-    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    if not QUICK:
+        RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     return report
 
 
 def test_kron_fastpath_speedup():
-    """Factorized eigen-decomposition is >= 10x faster at the largest dense n."""
+    """Factorized eigh AND the completed-design trace are >= 10x faster dense."""
     report = run()
     assert report["speedup_at_largest_dense"] >= TARGET_SPEEDUP
     for row in report["rows"]:
         if row["max_relative_eigenvalue_deviation"] is not None:
             assert row["max_relative_eigenvalue_deviation"] <= 1e-8
+    completed = report["completed_trace"]
+    assert completed["speedup_at_largest_dense"] >= TARGET_SPEEDUP
+    for row in completed["rows"]:
+        # The exact Woodbury path matches the dense oracle tightly; the
+        # stochastic fallback is an estimator with documented knobs.
+        bound = 1e-8 if row["path"] == "woodbury-exact" else 1e-2
+        assert row["relative_trace_deviation"] <= bound
+    for row in report["reductions"]["rows"]:
+        if row["relative_trace_deviation"] is not None:
+            assert row["relative_trace_deviation"] <= 1e-6
 
 
 if __name__ == "__main__":
     report = run()
     print(json.dumps(report, indent=2))
-    print(f"\n[written to {RESULT_PATH}]")
+    if not QUICK:
+        print(f"\n[written to {RESULT_PATH}]")

@@ -33,7 +33,14 @@ from repro.utils.operators import (
     within_materialization_budget,
 )
 
-__all__ = ["EigenDesignResult", "eigen_design", "eigen_queries", "singular_value_strategy"]
+__all__ = [
+    "EigenDesignResult",
+    "eigen_design",
+    "eigen_queries",
+    "factorized_eigen_queries",
+    "prefer_factorized",
+    "singular_value_strategy",
+]
 
 #: Eigenvalues below this fraction of the largest are treated as zero.
 RANK_TOLERANCE = 1e-10
@@ -93,6 +100,42 @@ def eigen_queries(workload: Workload) -> tuple[np.ndarray, np.ndarray]:
     return values[keep], vectors[keep]
 
 
+def prefer_factorized(workload: Workload) -> bool:
+    """The shared auto-switch: factorize exactly when the workload has
+    Kronecker structure and the dense eigen-query matrix would blow the
+    materialization budget.  Used by ``eigen_design``, the singular-value
+    baseline and the Sec. 4.2 reductions so the policy lives in one place.
+    """
+    cells = workload.column_count
+    return (
+        not within_materialization_budget(cells, cells)
+        and workload.eigen_basis() is not None
+    )
+
+
+def factorized_eigen_queries(
+    workload: Workload,
+) -> tuple[KroneckerEigenbasis, np.ndarray, np.ndarray]:
+    """The factorized analogue of :func:`eigen_queries`.
+
+    Returns ``(basis, eigenvalues, positions)`` where ``eigenvalues`` is the
+    retained (non-zero) spectrum in descending order and ``positions`` are
+    the matching natural-order indexes into the lazy eigenbasis — the
+    eigen-query *rows* are never materialised.
+    """
+    basis = workload.eigen_basis()
+    if basis is None:
+        raise OptimizationError(
+            "the factorized eigen-query machinery needs a Kronecker-structured "
+            f"workload; workload {workload.name!r} has no factor decomposition"
+        )
+    sorted_values = basis.sorted_values
+    if sorted_values.size == 0 or sorted_values[0] <= 0:
+        raise OptimizationError("the workload Gram matrix is identically zero")
+    keep = sorted_values > RANK_TOLERANCE * sorted_values[0]
+    return basis, sorted_values[keep], basis.order[keep]
+
+
 def eigen_design(
     workload: Workload,
     *,
@@ -127,11 +170,7 @@ def eigen_design(
         Forwarded to the solver (e.g. ``tolerance=1e-8``).
     """
     if factorized is None:
-        cells = workload.column_count
-        factorized = (
-            not within_materialization_budget(cells, cells)
-            and workload.eigen_basis() is not None
-        )
+        factorized = prefer_factorized(workload)
     if factorized:
         return _factorized_eigen_design(
             workload, solver=solver, complete=complete, **solver_options
@@ -170,18 +209,7 @@ def _factorized_eigen_design(
     operator.  The entire design costs ``O(sum_i d_i^3 + n * iterations)``
     memory-light work instead of ``O(n^3)``.
     """
-    basis = workload.eigen_basis()
-    if basis is None:
-        raise OptimizationError(
-            "the factorized eigen design needs a Kronecker-structured workload; "
-            f"workload {workload.name!r} has no factor decomposition"
-        )
-    sorted_values = basis.sorted_values
-    if sorted_values.size == 0 or sorted_values[0] <= 0:
-        raise OptimizationError("the workload Gram matrix is identically zero")
-    keep = sorted_values > RANK_TOLERANCE * sorted_values[0]
-    values = sorted_values[keep]
-    positions = basis.order[keep]
+    basis, values, positions = factorized_eigen_queries(workload)
     constraints = KroneckerConstraints(basis, positions)
     problem = WeightingProblem(costs=values, constraints=constraints)
     solution = solve_weighting(problem, solver=solver, **solver_options)
@@ -200,14 +228,33 @@ def _factorized_eigen_design(
     )
 
 
-def singular_value_strategy(workload: Workload, *, complete: bool = True) -> Strategy:
+def singular_value_strategy(
+    workload: Workload,
+    *,
+    complete: bool = True,
+    factorized: bool | None = None,
+) -> Strategy:
     """The closed-form strategy behind the singular value bound (Thm. 2).
 
     Weights each eigen-query by ``sigma_i**(1/4)`` (so the squared weights are
     ``sqrt(sigma_i)``), which attains the bound whenever the resulting column
     norms are uniform.  It is contained in the search space of Program 2 and
     serves as a cheap, solver-free baseline and as a warm start.
+
+    The weights are closed-form — no solver is involved — so on a Kronecker
+    workload the whole construction rides the lazy
+    :class:`~repro.utils.operators.KroneckerEigenbasis` and works at any
+    scale; ``factorized`` follows the same auto/force semantics as
+    :func:`eigen_design`.
     """
+    if factorized is None:
+        factorized = prefer_factorized(workload)
+    if factorized:
+        basis, values, positions = factorized_eigen_queries(workload)
+        strategy, _, _ = build_factorized_weighted_strategy(
+            basis, positions, np.sqrt(values), complete=complete, name="singular-value"
+        )
+        return strategy
     values, queries = eigen_queries(workload)
     squared_weights = np.sqrt(values)
     strategy, _, _ = build_weighted_strategy(

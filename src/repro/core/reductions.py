@@ -11,17 +11,39 @@ the strategy (the strategy's rank may not drop below the workload's rank):
 * **Principal-vector optimisation** — optimise individual weights only for
   the top-``k`` eigen-queries and a single shared weight for all remaining
   non-zero eigen-queries, reducing the variable count to ``k + 1``.
+
+Both reductions run *matrix-free* on Kronecker workloads: the groups are
+formed over the lazy basis spectrum and the constraint columns are
+:class:`~repro.utils.operators.KroneckerConstraints` slices (plus a dense
+aggregated tail column for the principal-vector method), so the dense
+``(Q ∘ Q)^T`` eigen-query matrix is never materialised.  The ``factorized``
+parameter follows the same auto/force semantics as
+:func:`~repro.core.eigen_design.eigen_design`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.eigen_design import EigenDesignResult, eigen_queries
-from repro.core.query_weighting import build_weighted_strategy
+from repro.core.eigen_design import (
+    EigenDesignResult,
+    eigen_queries,
+    factorized_eigen_queries,
+    prefer_factorized,
+)
+from repro.core.query_weighting import (
+    build_factorized_weighted_strategy,
+    build_weighted_strategy,
+)
 from repro.core.workload import Workload
-from repro.exceptions import OptimizationError
+from repro.exceptions import MaterializationError, OptimizationError
 from repro.optimize import WeightingProblem, solve_weighting
+from repro.utils.operators import (
+    HARD_MATERIALIZATION_LIMIT,
+    ColumnBlockConstraints,
+    KroneckerConstraints,
+    within_materialization_budget,
+)
 
 __all__ = ["eigen_query_separation", "principal_vectors", "recommended_group_size"]
 
@@ -31,12 +53,55 @@ def recommended_group_size(cell_count: int) -> int:
     return max(2, int(round(cell_count ** (1.0 / 3.0))))
 
 
+class _DesignSpace:
+    """The eigen-query design set behind both Sec. 4.2 reductions.
+
+    Wraps the dense representation (explicit eigen-query rows and the dense
+    ``(Q ∘ Q)^T`` constraint matrix) and the factorized one (lazy basis plus
+    :class:`KroneckerConstraints`) behind one slicing interface, so the
+    reduction algorithms are written exactly once.
+    """
+
+    def __init__(self, workload: Workload, factorized: bool):
+        self.factorized = factorized
+        if factorized:
+            self.basis, self.values, self.positions = factorized_eigen_queries(workload)
+            self.queries = None
+            self.constraints = KroneckerConstraints(self.basis, self.positions)
+        else:
+            self.basis = None
+            self.values, self.queries = eigen_queries(workload)
+            self.constraints = (self.queries ** 2).T
+
+    def slice_columns(self, indexes: np.ndarray):
+        """Constraint columns for the given eigen-queries (dense or operator)."""
+        if self.factorized:
+            return self.constraints.restrict(indexes)
+        return self.constraints[:, indexes]
+
+    def tail_column(self, start: int) -> np.ndarray:
+        """The aggregated constraint column of eigen-queries ``start:`` ."""
+        if self.factorized:
+            return self.constraints.restrict(np.arange(start, self.values.shape[0])).row_sums()
+        return self.constraints[:, start:].sum(axis=1)
+
+    def build_strategy(self, squared_weights: np.ndarray, *, complete: bool, name: str):
+        if self.factorized:
+            return build_factorized_weighted_strategy(
+                self.basis, self.positions, squared_weights, complete=complete, name=name
+            )
+        return build_weighted_strategy(
+            self.queries, squared_weights, complete=complete, name=name
+        )
+
+
 def eigen_query_separation(
     workload: Workload,
     *,
     group_size: int | None = None,
     solver: str = "auto",
     complete: bool = True,
+    factorized: bool | None = None,
     **solver_options,
 ) -> EigenDesignResult:
     """Approximate Program 2 by optimising groups of eigen-queries separately.
@@ -45,29 +110,50 @@ def eigen_query_separation(
     ----------
     group_size:
         Number of eigen-queries per group; defaults to the ``n**(1/3)`` rule.
+    factorized:
+        Run matrix-free over the lazy Kronecker eigenbasis (grouping over the
+        basis spectrum, constraint columns as operator slices).  ``None``
+        auto-selects like :func:`~repro.core.eigen_design.eigen_design`.
     """
-    values, queries = eigen_queries(workload)
+    if factorized is None:
+        factorized = prefer_factorized(workload)
+    space = _DesignSpace(workload, factorized)
+    values = space.values
     count = values.shape[0]
     if group_size is None:
         group_size = recommended_group_size(workload.column_count)
     if group_size < 1:
         raise OptimizationError(f"group_size must be >= 1, got {group_size}")
     group_size = min(group_size, count)
-    constraints = (queries ** 2).T
 
     # Stage 1: optimise each group of eigen-queries in isolation.
     groups = [np.arange(start, min(start + group_size, count)) for start in range(0, count, group_size)]
+    # Stage 2 materialises one dense column per group (the group strategies'
+    # squared column norms) — the only super-linear allocation left in the
+    # factorized path.  Refuse it past the hard cap instead of letting numpy
+    # attempt a silent multi-GiB allocation; a larger group_size shrinks it.
+    if not within_materialization_budget(
+        workload.column_count, len(groups), limit=HARD_MATERIALIZATION_LIMIT
+    ):
+        raise MaterializationError(
+            f"eigen-query separation with {len(groups)} groups over "
+            f"{workload.column_count} cells needs a dense stage-2 matrix beyond "
+            "the hard materialization cap; increase group_size"
+        )
+    problems: list[WeightingProblem] = []
     group_weights: list[np.ndarray] = []
     group_costs = np.zeros(len(groups))
-    group_columns = np.zeros((constraints.shape[0], len(groups)))
+    group_columns = np.zeros((workload.column_count, len(groups)))
     iterations = 0
     for position, indexes in enumerate(groups):
-        problem = WeightingProblem(costs=values[indexes], constraints=constraints[:, indexes])
+        problem = WeightingProblem(costs=values[indexes], constraints=space.slice_columns(indexes))
         solution = solve_weighting(problem, solver=solver, **solver_options)
         iterations += solution.iterations
+        problems.append(problem)
         group_weights.append(solution.weights)
-        group_costs[position] = problem.objective(problem.scale_to_feasible(solution.weights))
-        group_columns[:, position] = constraints[:, indexes] @ problem.scale_to_feasible(solution.weights)
+        scaled = problem.scale_to_feasible(solution.weights)
+        group_costs[position] = problem.objective(scaled)
+        group_columns[:, position] = problem.constraint_values(scaled)
 
     # Stage 2: one multiplicative factor per group; this is the same weighting
     # problem with the group strategies playing the role of design queries.
@@ -82,26 +168,26 @@ def eigen_query_separation(
 
     squared_weights = np.zeros(count)
     for position, indexes in enumerate(groups):
-        problem = WeightingProblem(costs=values[indexes], constraints=constraints[:, indexes])
-        scaled = problem.scale_to_feasible(group_weights[position])
+        scaled = problems[position].scale_to_feasible(group_weights[position])
         squared_weights[indexes] = scaled * combined[position]
 
-    strategy, lambdas, completion_rows = build_weighted_strategy(
-        queries, squared_weights, complete=complete, name="eigen-separation"
+    strategy, lambdas, completion_rows = space.build_strategy(
+        squared_weights, complete=complete, name="eigen-separation"
     )
-    final_problem = WeightingProblem(costs=values, constraints=constraints)
+    final_problem = WeightingProblem(costs=values, constraints=space.constraints)
     feasible = final_problem.scale_to_feasible(squared_weights)
     reporting = combine_solution if combine_solution is not None else None
     solution = _reporting_solution(final_problem, feasible, iterations, reporting)
     return EigenDesignResult(
         strategy=strategy,
         weights=lambdas,
-        eigen_queries=queries,
+        eigen_queries=space.queries,
         eigenvalues=values,
         solution=solution,
         completion_rows=completion_rows,
-        method="eigen-separation",
+        method="eigen-separation-factorized" if factorized else "eigen-separation",
         diagnostics={"group_size": group_size, "groups": len(groups)},
+        eigen_basis=space.basis,
     )
 
 
@@ -112,14 +198,22 @@ def principal_vectors(
     fraction: float | None = None,
     solver: str = "auto",
     complete: bool = True,
+    factorized: bool | None = None,
     **solver_options,
 ) -> EigenDesignResult:
     """Approximate Program 2 with individual weights only for the top eigen-queries.
 
     Exactly one of ``count`` and ``fraction`` may be given; the default is the
     paper's observation that ~10% of the eigenvectors usually suffices.
+    ``factorized`` follows the :func:`~repro.core.eigen_design.eigen_design`
+    auto/force semantics; the reduced constraint matrix then stays an operator
+    (a top-``k`` :class:`KroneckerConstraints` slice with one dense aggregated
+    tail column appended).
     """
-    values, queries = eigen_queries(workload)
+    if factorized is None:
+        factorized = prefer_factorized(workload)
+    space = _DesignSpace(workload, factorized)
+    values = space.values
     total = values.shape[0]
     if count is not None and fraction is not None:
         raise OptimizationError("specify either count or fraction, not both")
@@ -131,16 +225,19 @@ def principal_vectors(
     count = int(count)
     if not 1 <= count <= total:
         raise OptimizationError(f"count must lie in [1, {total}], got {count}")
-    constraints = (queries ** 2).T
 
     if count == total:
         reduced_costs = values
-        reduced_constraints = constraints
+        reduced_constraints = space.constraints
     else:
         tail_cost = float(np.sum(values[count:]))
-        tail_column = constraints[:, count:].sum(axis=1, keepdims=True)
+        tail_column = space.tail_column(count)[:, None]
         reduced_costs = np.concatenate([values[:count], [tail_cost]])
-        reduced_constraints = np.hstack([constraints[:, :count], tail_column])
+        top_columns = space.slice_columns(np.arange(count))
+        if factorized:
+            reduced_constraints = ColumnBlockConstraints([top_columns, tail_column])
+        else:
+            reduced_constraints = np.hstack([top_columns, tail_column])
 
     problem = WeightingProblem(costs=reduced_costs, constraints=reduced_constraints)
     solution = solve_weighting(problem, solver=solver, **solver_options)
@@ -150,18 +247,19 @@ def principal_vectors(
     if count < total:
         squared_weights[count:] = solution.weights[count]
 
-    strategy, lambdas, completion_rows = build_weighted_strategy(
-        queries, squared_weights, complete=complete, name="principal-vectors"
+    strategy, lambdas, completion_rows = space.build_strategy(
+        squared_weights, complete=complete, name="principal-vectors"
     )
     return EigenDesignResult(
         strategy=strategy,
         weights=lambdas,
-        eigen_queries=queries,
+        eigen_queries=space.queries,
         eigenvalues=values,
         solution=solution,
         completion_rows=completion_rows,
-        method="principal-vectors",
+        method="principal-vectors-factorized" if factorized else "principal-vectors",
         diagnostics={"principal_count": count, "total_eigen_queries": total},
+        eigen_basis=space.basis,
     )
 
 

@@ -247,8 +247,27 @@ class Strategy(StructuredGramMixin):
 
     @property
     def rank(self) -> int:
-        """Numerical rank of the strategy (cached; factorized when structured)."""
+        """Numerical rank of the strategy (cached; factorized when structured).
+
+        A *completed* factorized design has no closed-form sorted spectrum
+        (the completion diagonal couples the eigenbasis), but its rank is
+        still structured: alive spectrum plus the dead-space rank reached by
+        the completion rows, served by the Woodbury machinery without any
+        ``n x n`` work.  Note the Woodbury path counts "alive" against the
+        shared relative :data:`~repro.utils.operators.SPECTRUM_CUTOFF`
+        (``1e-9``, the same zero-test its solves use) while the dense
+        fallback uses the looser ``top * n * eps`` machine threshold — a
+        spectrum entry sitting between the two is representation-dependent,
+        as numerical rank near a cutoff always is.
+        """
         if self._rank is None:
+            operator = self.gram_operator
+            if isinstance(operator, EigenDiagOperator) and operator.has_diag:
+                try:
+                    self._rank = operator.woodbury().rank
+                    return self._rank
+                except MaterializationError:
+                    pass  # completion rank too large even for the hard cap
             values = self._gram_eigenvalues()
             top = float(values.max(initial=0.0))
             if top <= 0:

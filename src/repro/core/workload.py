@@ -257,6 +257,18 @@ class Workload(StructuredGramMixin):
             return self._matrix
         return self._row_op
 
+    def row_source(self):
+        """The query rows as a dense matrix or a factored row operator.
+
+        Returns the explicit ``(m, n)`` matrix when available, otherwise the
+        structured row operator (Kronecker / stacked) kept by large product
+        workloads, and ``None`` for purely Gram-implicit workloads.  Row
+        operators expose ``row_block(start, stop)`` so consumers (e.g.
+        :func:`repro.core.error.per_query_error`) can stream the queries in
+        blocks without materialising all of them.
+        """
+        return self._row_source()
+
     @property
     def query_count(self) -> int:
         """The number of queries ``m``."""

@@ -142,6 +142,16 @@ class MatrixMechanism:
         """Expected RMSE of answering ``workload`` (Prop. 4 / Def. 5)."""
         return expected_workload_error(workload, self.strategy, self.privacy)
 
-    def expected_query_errors(self, workload: Workload) -> np.ndarray:
-        """Expected RMSE of each individual workload query."""
-        return per_query_error(workload, self.strategy, self.privacy)
+    def expected_query_errors(
+        self, workload: Workload, *, block_size: int | None = None
+    ) -> np.ndarray:
+        """Expected RMSE of each individual workload query.
+
+        Served in query blocks through the factored row operator when the
+        workload is operator-backed, so diagnostics scale to millions of
+        queries; ``block_size`` caps the per-block allocation (defaults to
+        the materialization budget).
+        """
+        return per_query_error(
+            workload, self.strategy, self.privacy, block_size=block_size
+        )

@@ -21,6 +21,9 @@ __all__ = [
     "trace_product",
     "trace_ratio",
     "solve_psd",
+    "psd_solver",
+    "pcg_solve",
+    "hutchpp_trace",
     "psd_project",
     "kron_all",
     "haar_matrix",
@@ -92,6 +95,116 @@ def solve_psd(gram: np.ndarray, rhs: np.ndarray) -> np.ndarray:
     except scipy.linalg.LinAlgError:
         inverse, _ = _spectral_pseudo_inverse(gram)
         return inverse @ rhs
+
+
+def psd_solver(gram: np.ndarray):
+    """Return a reusable ``rhs -> gram^{-1} rhs`` closure for a PSD ``gram``.
+
+    Factorizes once (Cholesky, or the rank-truncated spectral pseudo-inverse
+    for singular matrices) so repeated right-hand sides — e.g. the query
+    blocks of :func:`repro.core.error.per_query_error` — do not refactorize.
+    """
+    gram = symmetrize(gram)
+    try:
+        factor = scipy.linalg.cho_factor(gram, check_finite=False)
+    except scipy.linalg.LinAlgError:
+        inverse, _ = _spectral_pseudo_inverse(gram)
+        return lambda rhs: inverse @ rhs
+    return lambda rhs: scipy.linalg.cho_solve(factor, rhs, check_finite=False)
+
+
+def pcg_solve(
+    matvec,
+    rhs: np.ndarray,
+    *,
+    preconditioner: np.ndarray | None = None,
+    tolerance: float = 1e-10,
+    max_iterations: int | None = None,
+) -> np.ndarray:
+    """Preconditioned conjugate gradient for a positive-definite operator.
+
+    ``matvec`` maps a vector (or an ``(n, b)`` batch of columns) to the
+    operator's action; ``preconditioner`` is the *diagonal* of a Jacobi
+    preconditioner (its entrywise inverse is applied).  A batched right-hand
+    side is solved as ``b`` independent CG runs sharing every operator
+    application, which is what makes the stochastic trace fallback for
+    completed eigen designs fast: structured matvecs amortise beautifully
+    over columns.  Each column converges when its residual norm drops below
+    ``tolerance`` times its right-hand-side norm; converged (or numerically
+    stalled) columns are *compacted out* of the working batch, so a few
+    ill-conditioned stragglers never pay the matvec cost of the whole batch.
+    """
+    rhs = np.asarray(rhs, dtype=float)
+    single = rhs.ndim == 1
+    b = rhs[:, None] if single else rhs
+    if max_iterations is None:
+        max_iterations = max(10 * b.shape[0], 100)
+    if preconditioner is not None:
+        inverse_diag = (1.0 / np.clip(np.asarray(preconditioner, dtype=float), 1e-300, None))[:, None]
+    else:
+        inverse_diag = None
+    norms = np.linalg.norm(b, axis=0)
+    targets = tolerance * np.where(norms > 0, norms, 1.0)
+    x = np.zeros_like(b)
+    active = np.arange(b.shape[1])  # columns still iterating
+    residual = b.copy()
+    z = residual * inverse_diag if inverse_diag is not None else residual.copy()
+    direction = z.copy()
+    rho = np.sum(residual * z, axis=0)
+    for _ in range(max_iterations):
+        live = np.linalg.norm(residual, axis=0) > targets[active]
+        if not np.any(live):
+            break
+        if not np.all(live):
+            active = active[live]
+            residual = residual[:, live]
+            direction = direction[:, live]
+            rho = rho[live]
+        applied = matvec(direction)
+        curvature = np.sum(direction * applied, axis=0)
+        # Columns that hit a (numerically) semidefinite direction freeze too.
+        sound = curvature > 0
+        if not np.any(sound):
+            break
+        if not np.all(sound):
+            active = active[sound]
+            residual = residual[:, sound]
+            direction = direction[:, sound]
+            applied = applied[:, sound]
+            rho = rho[sound]
+            curvature = curvature[sound]
+        step = rho / curvature
+        x[:, active] += step * direction
+        residual = residual - step * applied
+        z = residual * inverse_diag if inverse_diag is not None else residual
+        rho_next = np.sum(residual * z, axis=0)
+        direction = z + (rho_next / np.maximum(rho, 1e-300)) * direction
+        rho = rho_next
+    return x[:, 0] if single else x
+
+
+def hutchpp_trace(apply_fn, size: int, *, samples: int = 48, rng=None) -> float:
+    """Hutch++ estimate of ``trace(F)`` for a symmetric PSD operator ``F``.
+
+    ``apply_fn`` maps an ``(n, b)`` batch to ``F @ batch``.  A rank-``k``
+    sketch captures the dominant range exactly (``k = samples // 3``) and a
+    Hutchinson estimate on the deflated remainder picks up the tail, giving
+    the O(1/samples) relative-error behaviour of Meyer et al. for PSD
+    matrices.  When ``samples >= 3 * size`` the sketch spans the whole space
+    and the estimate is exact up to the accuracy of ``apply_fn``.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    sketch = max(1, min(samples // 3, size))
+    probes = rng.choice([-1.0, 1.0], size=(size, sketch))
+    basis, _ = np.linalg.qr(apply_fn(probes))
+    head = float(np.sum(basis * apply_fn(basis)))
+    if basis.shape[1] >= size:
+        return head
+    residual_probes = rng.choice([-1.0, 1.0], size=(size, sketch))
+    residual_probes = residual_probes - basis @ (basis.T @ residual_probes)
+    tail = float(np.sum(residual_probes * apply_fn(residual_probes))) / sketch
+    return head + tail
 
 
 def trace_ratio(workload_gram: np.ndarray, strategy_gram: np.ndarray) -> float:
