@@ -10,8 +10,12 @@ Three sections:
   densify-plus-Cholesky vs the Woodbury identity (exact, small completion
   rank relative to the budget) or the preconditioned-CG + Hutch++ stochastic
   estimate (large rank);
-* **reductions** — the principal-vector reduction of Sec. 4.2, dense
-  eigen-query matrix vs the matrix-free ``KroneckerConstraints`` path.
+* **reductions** — the Sec. 4.2 reductions (principal vectors and
+  eigen-query separation with its lazy ``GroupColumnOperator`` stage 2),
+  dense eigen-query matrix vs the matrix-free ``KroneckerConstraints`` path;
+* **recycled_trace** — the Krylov-recycling machinery: the stochastic
+  completed-design trace evaluated twice on the same strategy, tracking the
+  wall-clock and PCG-iteration drop of the recycled second evaluation.
 
 Emits ``BENCH_kron_fastpath.json`` at the repository root with one row per
 domain size (dense and factorized wall-clock, speedup, deviation), so
@@ -35,7 +39,7 @@ import numpy as np
 
 from repro.core.eigen_design import eigen_design
 from repro.core.error import workload_strategy_trace
-from repro.core.reductions import principal_vectors
+from repro.core.reductions import eigen_query_separation, principal_vectors
 from repro.utils.linalg import trace_ratio
 from repro.utils.operators import (
     HARD_MATERIALIZATION_LIMIT,
@@ -66,6 +70,12 @@ COMPLETED_CASES_QUICK = (((8, 8, 8), 16),)
 #: not wall-clock at dense-feasible sizes — beyond the budget it is the only
 #: path (tested in tests/test_woodbury_completion.py).
 REDUCTION_DENSE_SHAPE = (16, 16, 8)
+
+#: Recycled-trace shapes: the stochastic completed-design trace evaluated
+#: twice on the same strategy (clears the recycler registry first, so the
+#: first evaluation is honestly cold).
+RECYCLED_SHAPES = ((16, 16, 16),)
+RECYCLED_SHAPES_QUICK = ((8, 8, 8),)
 
 #: The acceptance bar tracked across PRs (eigh and completed trace alike).
 TARGET_SPEEDUP = 10.0
@@ -194,27 +204,78 @@ def _completed_trace_rows(cases) -> list[dict]:
 def _reduction_rows(shape=REDUCTION_DENSE_SHAPE) -> list[dict]:
     rows = []
     workload = all_range_queries(list(shape))
-    dense_seconds, dense_result = _time(
-        lambda: principal_vectors(workload, fraction=0.05, factorized=False)
-    )
-    factorized_seconds, factorized_result = _time(
-        lambda: principal_vectors(workload, fraction=0.05, factorized=True)
-    )
-    dense_error = workload_strategy_trace(workload, dense_result.strategy)
-    factorized_error = workload_strategy_trace(workload, factorized_result.strategy)
-    rows.append(
-        {
-            "shape": list(shape),
-            "cells": workload.column_count,
-            "method": "principal-vectors (5%)",
-            "dense_seconds": dense_seconds,
-            "factorized_seconds": factorized_seconds,
-            "speedup": dense_seconds / max(factorized_seconds, 1e-12),
-            "relative_trace_deviation": float(
-                abs(factorized_error - dense_error) / max(abs(dense_error), 1e-12)
+    group_size = max(2, workload.column_count // 16)
+    cases = (
+        (
+            "principal-vectors (5%)",
+            lambda factorized: principal_vectors(workload, fraction=0.05, factorized=factorized),
+        ),
+        (
+            "eigen-separation (stage-2 operator)",
+            lambda factorized: eigen_query_separation(
+                workload, group_size=group_size, factorized=factorized
             ),
-        }
+        ),
     )
+    for method, run_reduction in cases:
+        dense_seconds, dense_result = _time(lambda: run_reduction(False))
+        factorized_seconds, factorized_result = _time(lambda: run_reduction(True))
+        dense_error = workload_strategy_trace(workload, dense_result.strategy)
+        factorized_error = workload_strategy_trace(workload, factorized_result.strategy)
+        rows.append(
+            {
+                "shape": list(shape),
+                "cells": workload.column_count,
+                "method": method,
+                "dense_seconds": dense_seconds,
+                "factorized_seconds": factorized_seconds,
+                "speedup": dense_seconds / max(factorized_seconds, 1e-12),
+                "relative_trace_deviation": float(
+                    abs(factorized_error - dense_error) / max(abs(dense_error), 1e-12)
+                ),
+            }
+        )
+    return rows
+
+
+def _recycled_trace_rows(shapes) -> list[dict]:
+    """First vs second (recycled) stochastic completed-trace evaluation."""
+    import repro.core.error as error_module
+
+    rows = []
+    for shape in shapes:
+        workload = all_range_queries(list(shape))
+        design = eigen_design(workload, factorized=True, complete=True)
+        operator = design.strategy.gram_operator
+        error_module.clear_trace_recyclers()
+        _clear_eigh_cache()
+        first_seconds, first_value = _time(
+            lambda: error_module._stochastic_completed_trace(
+                workload.gram_operator, operator
+            )
+        )
+        first_stats = dict(error_module.STOCHASTIC_TRACE_LAST)
+        second_seconds, second_value = _time(
+            lambda: error_module._stochastic_completed_trace(
+                workload.gram_operator, operator
+            )
+        )
+        second_stats = dict(error_module.STOCHASTIC_TRACE_LAST)
+        rows.append(
+            {
+                "shape": list(shape),
+                "cells": workload.column_count,
+                "first_seconds": first_seconds,
+                "second_seconds": second_seconds,
+                "speedup": first_seconds / max(second_seconds, 1e-12),
+                "first_column_iterations": first_stats["column_iterations"],
+                "second_column_iterations": second_stats["column_iterations"],
+                "recycled_sketch": second_stats["recycled_sketch"],
+                "relative_deviation": float(
+                    abs(second_value - first_value) / max(abs(first_value), 1e-12)
+                ),
+            }
+        )
     return rows
 
 
@@ -230,10 +291,12 @@ def run() -> dict:
         eigh_rows = _eigh_rows(DENSE_SHAPES[:1], FACTORIZED_ONLY_SHAPES[:1])
         completed_rows = _completed_trace_rows(COMPLETED_CASES_QUICK)
         reduction_rows = _reduction_rows((8, 8, 4))
+        recycled_rows = _recycled_trace_rows(RECYCLED_SHAPES_QUICK)
     else:
         eigh_rows = _eigh_rows(DENSE_SHAPES, FACTORIZED_ONLY_SHAPES)
         completed_rows = _completed_trace_rows(COMPLETED_CASES)
         reduction_rows = _reduction_rows()
+        recycled_rows = _recycled_trace_rows(RECYCLED_SHAPES)
 
     largest_eigh = _largest_dense(eigh_rows)
     largest_completed = _largest_dense(completed_rows)
@@ -251,6 +314,7 @@ def run() -> dict:
             "rows": completed_rows,
         },
         "reductions": {"rows": reduction_rows},
+        "recycled_trace": {"rows": recycled_rows},
     }
     if not QUICK:
         RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
@@ -274,6 +338,12 @@ def test_kron_fastpath_speedup():
     for row in report["reductions"]["rows"]:
         if row["relative_trace_deviation"] is not None:
             assert row["relative_trace_deviation"] <= 1e-6
+    for row in report["recycled_trace"]["rows"]:
+        # The recycled second evaluation must use measurably fewer PCG
+        # iterations (the Galerkin guess restarts it essentially converged).
+        assert row["second_column_iterations"] < row["first_column_iterations"]
+        assert row["recycled_sketch"]
+        assert row["relative_deviation"] <= 1e-6
 
 
 if __name__ == "__main__":

@@ -11,6 +11,13 @@ Given a workload ``W``:
 
 Eigen-queries with (numerically) zero eigenvalue are excluded from the
 optimisation, exactly as discussed in Sec. 4.1 for low-rank workloads.
+
+Every step has a dense and a *factorized* (matrix-free) realisation; the
+``factorized`` parameter and the :func:`prefer_factorized` auto-switch pick
+between them.  ``docs/architecture.md`` documents the operator protocol and
+the decision flowchart for which path runs when; ``docs/performance.md``
+documents the tuning knobs (materialization budgets, stochastic-trace and
+Krylov-recycling controls) and the measured speedups.
 """
 
 from __future__ import annotations
@@ -168,6 +175,15 @@ def eigen_design(
         cross-checking against the dense oracle on small domains).
     solver_options:
         Forwarded to the solver (e.g. ``tolerance=1e-8``).
+
+    Notes
+    -----
+    Error evaluation of the returned strategy stays matrix-free at every
+    size and rank: completed designs route through the Woodbury identity or
+    the preconditioned-CG + Hutch++ estimator, and repeated evaluations of
+    the same strategy recycle their Krylov information (see
+    ``docs/performance.md`` and
+    :data:`repro.core.error.STOCHASTIC_TRACE`).
     """
     if factorized is None:
         factorized = prefer_factorized(workload)

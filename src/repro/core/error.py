@@ -15,13 +15,16 @@ way so that ratios of measured error to the bound are directly comparable.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.core.privacy import PrivacyParams
 from repro.core.strategy import Strategy
 from repro.core.workload import Workload
 from repro.exceptions import MaterializationError, SingularStrategyError
-from repro.utils.linalg import hutchpp_trace, pcg_solve, psd_solver, trace_ratio
+from repro.utils.linalg import DeflationSpace, hutchpp_trace, pcg_solve, psd_solver, trace_ratio
 from repro.utils.operators import (
     MATERIALIZATION_LIMIT,
     SPECTRUM_CUTOFF,
@@ -44,7 +47,9 @@ __all__ = [
     "approximation_ratio",
     "approximation_ratio_bound",
     "workload_strategy_trace",
+    "clear_trace_recyclers",
     "STOCHASTIC_TRACE",
+    "STOCHASTIC_TRACE_LAST",
 ]
 
 #: Default privacy setting used throughout the paper's experiments.
@@ -64,14 +69,100 @@ _SUPPORT_TOLERANCE = 1e-6
 #: for completed designs whose completion rank is too large for the exact
 #: Woodbury path.  ``samples`` is the total Hutch++ matvec budget (each matvec
 #: is one CG solve); ``samples >= 3 n`` makes the estimate exact up to
-#: ``tolerance``.  Mutate in place to trade accuracy against time, e.g.
-#: ``repro.core.error.STOCHASTIC_TRACE["samples"] = 192``.
+#: ``tolerance``.  ``recycle`` turns the Krylov-recycling machinery on:
+#: repeated evaluations of the *same* (workload, strategy) pair reuse the
+#: Hutch++ sketch basis and seed every CG solve from a
+#: :class:`~repro.utils.linalg.DeflationSpace` holding up to
+#: ``deflation_rank`` earlier solution directions, so re-evaluations converge
+#: in a fraction of the original iteration count (see
+#: ``docs/performance.md``).  Mutate in place to trade accuracy against time,
+#: e.g. ``repro.core.error.STOCHASTIC_TRACE["samples"] = 192``.
 STOCHASTIC_TRACE = {
     "samples": 96,
     "tolerance": 1e-8,
     "max_iterations": 2000,
     "seed": 0,
+    "recycle": True,
+    "deflation_rank": 192,
 }
+
+#: Read-only diagnostics of the most recent stochastic trace evaluation:
+#: ``column_iterations`` (total per-column CG iterations — the honest work
+#: measure), ``solves`` (batched CG calls), ``unconverged`` columns,
+#: ``recycled_sketch`` and ``deflation_vectors``.  Overwritten in place on
+#: every call; consumed by the recycling tests and the benchmark.
+STOCHASTIC_TRACE_LAST: dict = {}
+
+#: Content-addressed registry of per-(workload, strategy) recycling state.
+#: Bounded with least-recently-used eviction so a sweep over many strategies
+#: cannot pin unbounded basis memory; each entry holds at most
+#: ``n * (2 * deflation_rank + samples // 3)`` floats (deflation basis, its
+#: operator image, and the cached Hutch++ sketch basis).
+_TRACE_RECYCLERS: "OrderedDict[tuple, _TraceRecycler]" = OrderedDict()
+_TRACE_RECYCLER_LIMIT = 4
+
+
+class _TraceRecycler:
+    """Krylov state shared by repeated evaluations of one trace."""
+
+    __slots__ = ("deflation", "sketch", "evaluations")
+
+    def __init__(self, deflation_rank: int):
+        self.deflation = DeflationSpace(max_vectors=deflation_rank)
+        self.sketch: dict = {}
+        self.evaluations = 0
+
+
+def clear_trace_recyclers() -> None:
+    """Release all recycled Krylov state (the content-addressed registry).
+
+    Each registry slot pins ``O(n * (2 * deflation_rank + samples // 3))``
+    floats for the process lifetime (evicted only when more-recently-used
+    pairs fill the registry).
+    Call this after a sweep over huge domains to hand the memory back, or
+    set ``STOCHASTIC_TRACE["recycle"] = False`` to opt out entirely.
+    """
+    _TRACE_RECYCLERS.clear()
+
+
+def _content_digest(array: np.ndarray) -> str:
+    array = np.ascontiguousarray(np.asarray(array, dtype=float))
+    return hashlib.sha1(array.tobytes()).hexdigest()
+
+
+def _trace_recycler(
+    workload_op: KroneckerOperator, strategy_op: EigenDiagOperator
+) -> "_TraceRecycler | None":
+    """The recycling state for this exact (workload, strategy) pair, or None.
+
+    Keyed by *content* (factor Grams, basis factors, spectrum, completion
+    diagonal and the sample budget) in the same spirit as the
+    content-addressed factor-eigh memo, so distinct objects rebuilt from
+    identical data — a budget-management loop re-running ``eigen_design`` +
+    error evaluation — still share the Krylov state.
+    """
+    if not STOCHASTIC_TRACE.get("recycle", True):
+        return None
+    parts = [_content_digest(f) for f in workload_op.factors]
+    parts += [_content_digest(v) for v in strategy_op.basis.vector_factors]
+    parts.append(_content_digest(strategy_op.spectrum))
+    parts.append(_content_digest(strategy_op.diag))
+    # The estimator knobs are part of the identity: a different seed must
+    # not reuse the old seed's sketch (replicates would be silently
+    # correlated), and a different deflation budget must build a new space.
+    parts.append(str(int(STOCHASTIC_TRACE["samples"])))
+    parts.append(str(int(STOCHASTIC_TRACE["seed"])))
+    parts.append(str(int(STOCHASTIC_TRACE["deflation_rank"])))
+    key = tuple(parts)
+    recycler = _TRACE_RECYCLERS.get(key)
+    if recycler is None:
+        recycler = _TraceRecycler(int(STOCHASTIC_TRACE["deflation_rank"]))
+        _TRACE_RECYCLERS[key] = recycler
+        while len(_TRACE_RECYCLERS) > _TRACE_RECYCLER_LIMIT:
+            _TRACE_RECYCLERS.popitem(last=False)
+    else:
+        _TRACE_RECYCLERS.move_to_end(key)
+    return recycler
 
 
 def _eigen_diag_trace(workload_op: KroneckerOperator, strategy_op: EigenDiagOperator) -> float:
@@ -116,9 +207,10 @@ def _completed_trace(
     the ``O(n r^2)`` capacitance work matches the dense ``O(n^3)`` solve, so
     the budget-feasible dense path is preferred.  Beyond the budget, a
     Jacobi-preconditioned CG + Hutch++ stochastic estimate (knobs in
-    :data:`STOCHASTIC_TRACE`) serves full-rank spectra matrix-free; returns
-    ``None`` (dense fallback) only for the huge-``r`` *and* rank-deficient
-    corner, where neither exact machinery applies.
+    :data:`STOCHASTIC_TRACE`) serves every spectrum matrix-free —
+    rank-deficient ones included, through the null-space-projected singular
+    CG formulation (see :func:`_stochastic_completed_trace`) — so the only
+    time this returns ``None`` is when dense is genuinely preferable.
     """
     size = strategy_op.shape[0]
     completion_rank = int(np.count_nonzero(strategy_op.diag))
@@ -132,21 +224,40 @@ def _completed_trace(
         return woodbury.trace_inverse_product(
             workload_op, support_tolerance=_SUPPORT_TOLERANCE
         )
-    spectrum = strategy_op.spectrum
-    top = float(spectrum.max(initial=0.0))
-    if top <= 0 or np.any(spectrum <= _SPECTRUM_CUTOFF * top):
-        return None  # rank-deficient and too large for the exact path
     return _stochastic_completed_trace(workload_op, strategy_op)
 
 
 def _stochastic_completed_trace(
     workload_op: KroneckerOperator, strategy_op: EigenDiagOperator
 ) -> float:
-    """Hutch++ estimate of ``trace(G_W^{1/2} M^{-1} G_W^{1/2})`` via CG solves.
+    """Hutch++ estimate of ``trace(G_W^{1/2} M^+ G_W^{1/2})`` via CG solves.
 
-    Requires a positive-definite strategy spectrum (checked by the caller);
-    every operation is a structured matvec, so nothing larger than a few
-    ``n``-vectors is allocated regardless of the completion rank.
+    Every operation is a structured matvec, so the solve itself allocates
+    nothing larger than a few ``n``-vectors regardless of the completion
+    rank; with recycling on (the default) the registry additionally retains
+    ``O(n * deflation_rank)`` floats per recycled pair — see
+    :func:`clear_trace_recyclers` to release it.
+
+    Rank-deficient spectra are served through the *null-space-projected*
+    singular formulation: in basis coordinates ``M' = diag(z) + R diag(c)
+    R^T`` has null space ``N`` = the dead-``z`` coordinates the completion
+    columns cannot reach.  Under the support condition (``range(G_W) ⊆
+    range(M)``) every right-hand side ``B^T G_W^{1/2} v`` is consistent, CG
+    converges on the singular system, and the arbitrary ``N``-component of
+    its iterate is annihilated by the outer ``G_W^{1/2}`` factor — because
+    ``null(M) ⊆ null(G_W)`` exactly when the support condition holds.  The
+    diagonal-zero part of the unreachable dead space is detected exactly up
+    front (a completion diagonal entry of zero in basis coordinates means
+    the whole row is zero); residual unsupported mass shows up as CG columns
+    that stall above tolerance, and both raise
+    :class:`~repro.exceptions.SingularStrategyError`.
+
+    When :data:`STOCHASTIC_TRACE`'s ``recycle`` knob is on (the default),
+    repeated evaluations of the same (workload, strategy) pair reuse the
+    Hutch++ sketch basis and seed every CG solve from the content-addressed
+    :class:`~repro.utils.linalg.DeflationSpace`, dropping the iteration
+    count of re-evaluations by an order of magnitude or more (tracked in
+    :data:`STOCHASTIC_TRACE_LAST` and ``BENCH_kron_fastpath.json``).
     """
     sqrt_factors = []
     for w_factor in workload_op.factors:
@@ -157,17 +268,47 @@ def _stochastic_completed_trace(
     basis = strategy_op.basis
     spectrum = strategy_op.spectrum
     completion = strategy_op.diag
+    top = float(spectrum.max(initial=0.0))
+    alive = spectrum > _SPECTRUM_CUTOFF * top
+    rank_deficient = not bool(np.all(alive))
     # CG runs in *basis* coordinates, where the strategy spectrum is exactly
     # diagonal: the Jacobi preconditioner then absorbs the full dynamic range
     # of the weights and only the diffuse completion term needs iterating
     # (roughly 6x fewer iterations than cell-coordinate Jacobi in practice).
-    preconditioner = np.clip(
-        spectrum + kron_apply(basis.squared_factors, completion, transpose=True),
-        1e-300,
-        None,
-    )
+    completion_in_basis = kron_apply(basis.squared_factors, completion, transpose=True)
+    diagonal = spectrum + completion_in_basis
+    # *Dead* coordinates with a vanishing completion diagonal are the
+    # diagonal-zero part of the unreachable dead space (completion weights
+    # are positive, so a zero diagonal entry of R diag(c) R^T forces the
+    # whole row to zero).  The test is restricted to dead coordinates —
+    # alive ones are never reclassified, however tiny, so a huge dynamic
+    # range cannot degrade their Jacobi preconditioner entries.
+    # Preconditioning the unreachable coordinates with 1.0 keeps the solve
+    # well-posed; consistent right-hand sides carry no mass there.
+    completion_floor = _SPECTRUM_CUTOFF * float(completion_in_basis.max(initial=0.0))
+    unreachable = (~alive) & (completion_in_basis <= max(completion_floor, 1e-300))
+    preconditioner = np.where(unreachable, 1.0, np.clip(diagonal, 1e-300, None))
+    if rank_deficient and np.any(unreachable):
+        projected = projected_workload_diagonal(basis, workload_op)
+        dead_mass = float(projected[unreachable].sum())
+        if dead_mass > _SUPPORT_TOLERANCE * max(float(projected.sum()), 1.0):
+            raise SingularStrategyError(
+                "strategy does not support the workload: the workload row "
+                "space is not contained in the (completed) strategy row space"
+            )
     tolerance = float(STOCHASTIC_TRACE["tolerance"])
     max_iterations = int(STOCHASTIC_TRACE["max_iterations"])
+    recycler = _trace_recycler(workload_op, strategy_op)
+    deflation = recycler.deflation if recycler is not None else None
+    sketch = recycler.sketch if recycler is not None else None
+    recycled_sketch = bool(sketch) if sketch is not None else False
+    totals = {
+        "column_iterations": 0,
+        "solves": 0,
+        "unconverged": 0,
+        "operator_applications": 0,
+        "deflation_vectors": 0,
+    }
 
     def gram_in_basis(coordinates: np.ndarray) -> np.ndarray:
         lifted = basis.apply(coordinates)
@@ -178,22 +319,50 @@ def _stochastic_completed_trace(
 
     def apply_inverse_quadratic(batch: np.ndarray) -> np.ndarray:
         lifted = sqrt_op.matvec(batch)
+        solve_stats: dict = {}
         solved = pcg_solve(
             gram_in_basis,
             basis.apply_transpose(lifted),
             preconditioner=preconditioner,
             tolerance=tolerance,
             max_iterations=max_iterations,
+            deflation=deflation,
+            stats=solve_stats,
+        )
+        totals["solves"] += 1
+        totals["column_iterations"] += solve_stats["column_iterations"]
+        totals["unconverged"] += solve_stats["unconverged"]
+        totals["operator_applications"] += solve_stats["operator_applications"]
+        # The basis size that actually *seeded* a solve (pre-absorb): a cold
+        # evaluation honestly reports 0 even though absorption fills the
+        # space for the next one.
+        totals["deflation_vectors"] = max(
+            totals["deflation_vectors"], solve_stats["deflation_vectors"]
         )
         return sqrt_op.matvec(basis.apply(solved))
 
     rng = np.random.default_rng(STOCHASTIC_TRACE["seed"])
-    return hutchpp_trace(
+    estimate = hutchpp_trace(
         apply_inverse_quadratic,
         strategy_op.shape[0],
         samples=int(STOCHASTIC_TRACE["samples"]),
         rng=rng,
+        sketch=sketch,
     )
+    if recycler is not None:
+        recycler.evaluations += 1
+    STOCHASTIC_TRACE_LAST.clear()
+    STOCHASTIC_TRACE_LAST.update(totals)
+    STOCHASTIC_TRACE_LAST["recycled_sketch"] = recycled_sketch
+    STOCHASTIC_TRACE_LAST["rank_deficient"] = rank_deficient
+    if rank_deficient and totals["unconverged"]:
+        raise SingularStrategyError(
+            "CG stalled on a rank-deficient completed strategy: the workload "
+            "row space is (numerically) not contained in the completed "
+            "strategy row space.  If the spectrum is merely ill-conditioned, "
+            "raise repro.core.error.STOCHASTIC_TRACE['max_iterations']"
+        )
+    return estimate
 
 
 def _structured_trace_or_none(
@@ -286,12 +455,12 @@ def _trace_core(
         hint = ""
         if isinstance(strategy_source, EigenDiagOperator) and strategy_source.has_diag:
             hint = (
-                "; completed designs normally stay factorized (exact Woodbury "
-                "for small completion ranks, preconditioned-CG + Hutch++ "
-                "beyond) — this one is both rank-deficient and too large for "
-                "the exact path.  Tune repro.core.error.STOCHASTIC_TRACE "
-                "(samples / tolerance / max_iterations) after removing the "
-                "rank deficiency, or raise the materialization budget"
+                "; completed designs normally stay factorized at every size "
+                "(exact Woodbury for small completion ranks, preconditioned-CG "
+                "+ Hutch++ beyond, rank-deficient spectra included) — reaching "
+                "this dense fallback means the *workload* side has no "
+                "structured match.  See docs/architecture.md for the dispatch "
+                "flowchart"
             )
         raise MaterializationError(
             f"the error trace has no structured factorization for these "

@@ -16,8 +16,12 @@ Both reductions run *matrix-free* on Kronecker workloads: the groups are
 formed over the lazy basis spectrum and the constraint columns are
 :class:`~repro.utils.operators.KroneckerConstraints` slices (plus a dense
 aggregated tail column for the principal-vector method), so the dense
-``(Q ∘ Q)^T`` eigen-query matrix is never materialised.  The ``factorized``
-parameter follows the same auto/force semantics as
+``(Q ∘ Q)^T`` eigen-query matrix is never materialised.  The separation
+method's stage-2 problem is matrix-free too: its ``(n, groups)``
+group-column matrix is served lazily by a
+:class:`~repro.utils.operators.GroupColumnOperator`, so nothing of size
+``Θ(n · groups)`` is ever allocated on the factorized path.  The
+``factorized`` parameter follows the same auto/force semantics as
 :func:`~repro.core.eigen_design.eigen_design`.
 """
 
@@ -41,6 +45,7 @@ from repro.optimize import WeightingProblem, solve_weighting
 from repro.utils.operators import (
     HARD_MATERIALIZATION_LIMIT,
     ColumnBlockConstraints,
+    GroupColumnOperator,
     KroneckerConstraints,
     within_materialization_budget,
 )
@@ -111,9 +116,12 @@ def eigen_query_separation(
     group_size:
         Number of eigen-queries per group; defaults to the ``n**(1/3)`` rule.
     factorized:
-        Run matrix-free over the lazy Kronecker eigenbasis (grouping over the
-        basis spectrum, constraint columns as operator slices).  ``None``
-        auto-selects like :func:`~repro.core.eigen_design.eigen_design`.
+        Run matrix-free over the lazy Kronecker eigenbasis: grouping over the
+        basis spectrum, stage-1 constraint columns as operator slices, and
+        the stage-2 group columns served lazily by a
+        :class:`~repro.utils.operators.GroupColumnOperator` (no
+        ``Θ(n · groups)`` allocation).  ``None`` auto-selects like
+        :func:`~repro.core.eigen_design.eigen_design`.
     """
     if factorized is None:
         factorized = prefer_factorized(workload)
@@ -128,22 +136,27 @@ def eigen_query_separation(
 
     # Stage 1: optimise each group of eigen-queries in isolation.
     groups = [np.arange(start, min(start + group_size, count)) for start in range(0, count, group_size)]
-    # Stage 2 materialises one dense column per group (the group strategies'
-    # squared column norms) — the only super-linear allocation left in the
-    # factorized path.  Refuse it past the hard cap instead of letting numpy
-    # attempt a silent multi-GiB allocation; a larger group_size shrinks it.
-    if not within_materialization_budget(
+    # On the dense path stage 2 materialises one dense column per group (the
+    # group strategies' squared column norms).  Refuse it past the hard cap
+    # instead of letting numpy attempt a silent multi-GiB allocation; the
+    # factorized path serves the same columns lazily through a
+    # GroupColumnOperator, so it has no such limit.
+    if not factorized and not within_materialization_budget(
         workload.column_count, len(groups), limit=HARD_MATERIALIZATION_LIMIT
     ):
         raise MaterializationError(
             f"eigen-query separation with {len(groups)} groups over "
             f"{workload.column_count} cells needs a dense stage-2 matrix beyond "
-            "the hard materialization cap; increase group_size"
+            "the hard materialization cap; increase group_size or pass "
+            "factorized=True for the matrix-free stage 2"
         )
     problems: list[WeightingProblem] = []
     group_weights: list[np.ndarray] = []
+    scaled_weights: list[np.ndarray] = []
     group_costs = np.zeros(len(groups))
-    group_columns = np.zeros((workload.column_count, len(groups)))
+    group_columns = None
+    if not factorized:
+        group_columns = np.zeros((workload.column_count, len(groups)))
     iterations = 0
     for position, indexes in enumerate(groups):
         problem = WeightingProblem(costs=values[indexes], constraints=space.slice_columns(indexes))
@@ -152,24 +165,36 @@ def eigen_query_separation(
         problems.append(problem)
         group_weights.append(solution.weights)
         scaled = problem.scale_to_feasible(solution.weights)
+        scaled_weights.append(scaled)
         group_costs[position] = problem.objective(scaled)
-        group_columns[:, position] = problem.constraint_values(scaled)
+        if group_columns is not None:
+            group_columns[:, position] = problem.constraint_values(scaled)
 
     # Stage 2: one multiplicative factor per group; this is the same weighting
     # problem with the group strategies playing the role of design queries.
+    # The factorized path keeps the (n, groups) group-column matrix lazy: the
+    # groups partition the retained eigen-queries, so the stage-2 constraint
+    # actions are single structured passes over the shared eigenbasis.
     if len(groups) == 1:
         combined = np.ones(1)
         combine_solution = None
     else:
-        combine_problem = WeightingProblem(costs=group_costs, constraints=group_columns)
+        if factorized:
+            stage2_constraints = GroupColumnOperator(
+                space.basis,
+                [space.constraints.columns[indexes] for indexes in groups],
+                scaled_weights,
+            )
+        else:
+            stage2_constraints = group_columns
+        combine_problem = WeightingProblem(costs=group_costs, constraints=stage2_constraints)
         combine_solution = solve_weighting(combine_problem, solver=solver, **solver_options)
         iterations += combine_solution.iterations
         combined = combine_solution.weights
 
     squared_weights = np.zeros(count)
     for position, indexes in enumerate(groups):
-        scaled = problems[position].scale_to_feasible(group_weights[position])
-        squared_weights[indexes] = scaled * combined[position]
+        squared_weights[indexes] = scaled_weights[position] * combined[position]
 
     strategy, lambdas, completion_rows = space.build_strategy(
         squared_weights, complete=complete, name="eigen-separation"

@@ -1,4 +1,4 @@
-"""Dense linear-algebra helpers used across the package.
+"""Dense and matrix-free linear-algebra helpers used across the package.
 
 These are thin, well-tested wrappers around numpy/scipy primitives that
 encode the conventions of the matrix mechanism:
@@ -6,6 +6,16 @@ encode the conventions of the matrix mechanism:
 * query matrices are ``(m, n)`` with one query per row;
 * Gram matrices are ``(n, n)`` symmetric positive semidefinite;
 * the L2 sensitivity of a matrix is the maximum column norm.
+
+Besides the dense helpers, this module hosts the *iterative* solve substrate
+of the structured fast path: a batched Jacobi-preconditioned conjugate
+gradient (:func:`pcg_solve`), the Hutch++ stochastic trace estimator
+(:func:`hutchpp_trace`), and the Krylov-recycling machinery
+(:class:`DeflationSpace`) that lets repeated solves against the *same*
+operator — e.g. budget-management loops re-evaluating one strategy's error
+many times — converge in a fraction of the original iteration count.  See
+``docs/architecture.md`` for where each piece sits in the operator subsystem
+and ``docs/performance.md`` for the tuning knobs.
 """
 
 from __future__ import annotations
@@ -23,6 +33,7 @@ __all__ = [
     "solve_psd",
     "psd_solver",
     "pcg_solve",
+    "DeflationSpace",
     "hutchpp_trace",
     "psd_project",
     "kron_all",
@@ -40,13 +51,35 @@ def symmetrize(matrix: np.ndarray) -> np.ndarray:
 
     Gram matrices computed as ``W.T @ W`` can pick up tiny asymmetries from
     floating point; symmetrizing keeps ``scipy.linalg.eigh`` happy.
+
+    Parameters
+    ----------
+    matrix:
+        A square ``(n, n)`` array.  Cost: ``O(n^2)``.
+
+    Examples
+    --------
+    >>> symmetrize(np.array([[1.0, 2.0], [0.0, 1.0]]))
+    array([[1., 1.],
+           [1., 1.]])
     """
     matrix = np.asarray(matrix, dtype=float)
     return (matrix + matrix.T) / 2.0
 
 
 def max_column_norm(matrix: np.ndarray) -> float:
-    """Return the maximum Euclidean column norm (the L2 sensitivity)."""
+    """Return the maximum Euclidean column norm (the L2 sensitivity).
+
+    Parameters
+    ----------
+    matrix:
+        An ``(m, n)`` query matrix, one query per row.  Cost: ``O(m n)``.
+
+    Examples
+    --------
+    >>> max_column_norm(np.array([[3.0, 0.0], [4.0, 1.0]]))
+    5.0
+    """
     matrix = np.asarray(matrix, dtype=float)
     if matrix.ndim != 2:
         raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
@@ -54,7 +87,19 @@ def max_column_norm(matrix: np.ndarray) -> float:
 
 
 def trace_product(a: np.ndarray, b: np.ndarray) -> float:
-    """Return ``trace(a @ b)`` without forming the product matrix."""
+    """Return ``trace(a @ b)`` without forming the product matrix.
+
+    Parameters
+    ----------
+    a, b:
+        Arrays with ``a.shape == b.T.shape``.  Cost: ``O(n m)`` instead of
+        the ``O(n m min(n, m))`` of materialising ``a @ b``.
+
+    Examples
+    --------
+    >>> trace_product(np.eye(3), 2.0 * np.eye(3))
+    6.0
+    """
     a = np.asarray(a, dtype=float)
     b = np.asarray(b, dtype=float)
     return float(np.sum(a * b.T))
@@ -87,6 +132,19 @@ def solve_psd(gram: np.ndarray, rhs: np.ndarray) -> np.ndarray:
     Uses a Cholesky factorization when the matrix is positive definite and
     falls back to a rank-truncated pseudo-inverse for (numerically) singular
     matrices.
+
+    Parameters
+    ----------
+    gram:
+        Symmetric PSD ``(n, n)`` matrix.
+    rhs:
+        Right-hand side vector or matrix.  Cost: ``O(n^3)`` for the
+        factorization plus ``O(n^2)`` per right-hand-side column.
+
+    Examples
+    --------
+    >>> solve_psd(2.0 * np.eye(2), np.array([2.0, 4.0]))
+    array([1., 2.])
     """
     gram = symmetrize(gram)
     try:
@@ -103,6 +161,18 @@ def psd_solver(gram: np.ndarray):
     Factorizes once (Cholesky, or the rank-truncated spectral pseudo-inverse
     for singular matrices) so repeated right-hand sides — e.g. the query
     blocks of :func:`repro.core.error.per_query_error` — do not refactorize.
+
+    Parameters
+    ----------
+    gram:
+        Symmetric PSD ``(n, n)`` matrix.  Cost: one ``O(n^3)``
+        factorization, then ``O(n^2)`` per solve.
+
+    Examples
+    --------
+    >>> solve = psd_solver(4.0 * np.eye(2))
+    >>> solve(np.array([4.0, 8.0]))
+    array([1., 2.])
     """
     gram = symmetrize(gram)
     try:
@@ -113,6 +183,112 @@ def psd_solver(gram: np.ndarray):
     return lambda rhs: scipy.linalg.cho_solve(factor, rhs, check_finite=False)
 
 
+class DeflationSpace:
+    """A recyclable Krylov subspace for repeated solves with one operator.
+
+    Budget-management loops evaluate the error of the *same* strategy many
+    times (one evaluation per candidate privacy split); each evaluation runs
+    the same batched CG solves from scratch.  A ``DeflationSpace`` harvests
+    the solution vectors of earlier :func:`pcg_solve` calls and serves a
+    Galerkin (A-optimal) initial guess for later ones: if a new right-hand
+    side lies in the span of previously solved systems — which it does
+    exactly when the same strategy is re-evaluated with the same estimator
+    seed — the guess is already the solution and CG converges in zero
+    iterations.
+
+    Parameters
+    ----------
+    max_vectors:
+        Cap on the stored basis size; the oldest directions are evicted
+        first.  Memory is ``2 * n * max_vectors`` floats (the orthonormal
+        basis and its image under the operator).
+    drop_tolerance:
+        New directions whose component orthogonal to the stored basis is
+        below ``drop_tolerance`` times their norm are discarded (they add no
+        information).
+
+    Examples
+    --------
+    >>> matrix = np.diag(np.arange(1.0, 40.0))
+    >>> rhs = np.ones((39, 2))
+    >>> space = DeflationSpace(max_vectors=8)
+    >>> first, second = {}, {}
+    >>> x1 = pcg_solve(lambda v: matrix @ v, rhs, deflation=space, stats=first)
+    >>> x2 = pcg_solve(lambda v: matrix @ v, rhs, deflation=space, stats=second)
+    >>> bool(second["iterations"] < first["iterations"])
+    True
+    >>> bool(np.allclose(x2, np.linalg.solve(matrix, rhs)))
+    True
+    """
+
+    def __init__(self, max_vectors: int = 192, drop_tolerance: float = 1e-8):
+        self.max_vectors = int(max_vectors)
+        self.drop_tolerance = float(drop_tolerance)
+        self.basis: np.ndarray | None = None
+        self.applied: np.ndarray | None = None
+        self._gram: np.ndarray | None = None
+
+    @property
+    def size(self) -> int:
+        """Number of stored directions (0 when the space is empty)."""
+        return 0 if self.basis is None else int(self.basis.shape[1])
+
+    def guess(self, rhs: np.ndarray) -> np.ndarray:
+        """The Galerkin initial guess ``U (U^T A U)^{-1} U^T rhs``.
+
+        This is the A-norm-optimal approximation of the solution within the
+        stored subspace; cost ``O(n k)`` per column for a basis of size
+        ``k``, with no operator applications (``A U`` is cached).
+        """
+        if self.basis is None:
+            raise ValueError("cannot guess from an empty deflation space")
+        rhs = np.asarray(rhs, dtype=float)
+        single = rhs.ndim == 1
+        b = rhs[:, None] if single else rhs
+        coefficients = solve_psd(self._gram, self.basis.T @ b)
+        guess = self.basis @ coefficients
+        return guess[:, 0] if single else guess
+
+    def absorb(self, solutions: np.ndarray, matvec) -> int:
+        """Add new solution directions to the space; returns how many stuck.
+
+        The solutions are orthonormalised against the stored basis;
+        directions that are (numerically) already in the span are dropped
+        without cost, so absorbing a recycled solve is free.  One batched
+        operator application is paid for the genuinely new directions (their
+        ``A``-image is cached for future guesses).
+        """
+        x = np.asarray(solutions, dtype=float)
+        if x.ndim == 1:
+            x = x[:, None]
+        if x.size == 0:
+            return 0
+        scales = np.linalg.norm(x, axis=0)
+        if self.basis is not None:
+            x = x - self.basis @ (self.basis.T @ x)
+        fresh = np.linalg.norm(x, axis=0) > self.drop_tolerance * np.where(scales > 0, scales, 1.0)
+        x = x[:, fresh]
+        if x.shape[1] == 0:
+            return 0
+        q, r = np.linalg.qr(x)
+        diagonal = np.abs(np.diag(r))
+        keep = diagonal > self.drop_tolerance * max(float(diagonal.max(initial=0.0)), 1e-300)
+        q = q[:, keep]
+        if q.shape[1] == 0:
+            return 0
+        image = matvec(q)
+        if self.basis is None:
+            self.basis, self.applied = q, image
+        else:
+            self.basis = np.concatenate([self.basis, q], axis=1)
+            self.applied = np.concatenate([self.applied, image], axis=1)
+        if self.basis.shape[1] > self.max_vectors:
+            self.basis = self.basis[:, -self.max_vectors:]
+            self.applied = self.applied[:, -self.max_vectors:]
+        self._gram = symmetrize(self.basis.T @ self.applied)
+        return int(q.shape[1])
+
+
 def pcg_solve(
     matvec,
     rhs: np.ndarray,
@@ -120,8 +296,10 @@ def pcg_solve(
     preconditioner: np.ndarray | None = None,
     tolerance: float = 1e-10,
     max_iterations: int | None = None,
+    deflation: "DeflationSpace | None" = None,
+    stats: dict | None = None,
 ) -> np.ndarray:
-    """Preconditioned conjugate gradient for a positive-definite operator.
+    """Preconditioned conjugate gradient for a positive-semidefinite operator.
 
     ``matvec`` maps a vector (or an ``(n, b)`` batch of columns) to the
     operator's action; ``preconditioner`` is the *diagonal* of a Jacobi
@@ -133,6 +311,54 @@ def pcg_solve(
     ``tolerance`` times its right-hand-side norm; converged (or numerically
     stalled) columns are *compacted out* of the working batch, so a few
     ill-conditioned stragglers never pay the matvec cost of the whole batch.
+
+    The operator may be singular: on a *consistent* system the residual
+    still converges, so CG returns *a* solution of the system.  Note the
+    returned iterate's null-space component is arbitrary once a (Jacobi)
+    preconditioner or deflation guess is involved — callers on singular
+    systems must not rely on minimum-norm semantics and need an outer
+    projection that annihilates the null space, which is exactly how the
+    rank-deficient completed-trace path stays matrix-free (the workload
+    factor ``G_W^{1/2}`` kills ``null(M)`` under the support condition; see
+    ``docs/architecture.md``).
+
+    Parameters
+    ----------
+    matvec:
+        Callable returning the operator applied to a vector or ``(n, b)``
+        batch.  Cost: one application per iteration over the active batch.
+    rhs:
+        Right-hand side vector or ``(n, b)`` batch.
+    preconditioner:
+        Optional diagonal of a Jacobi preconditioner.
+    tolerance:
+        Per-column relative residual target.
+    max_iterations:
+        Hard iteration cap (default ``max(10 n, 100)`` for an ``n``-row
+        system).
+    deflation:
+        Optional :class:`DeflationSpace`.  When non-empty it supplies the
+        initial guess (one extra operator application); after the solve the
+        solutions are absorbed back so later calls with related right-hand
+        sides start (nearly) converged.
+    stats:
+        Optional dict, filled with ``iterations`` (batch iterations),
+        ``column_iterations`` (total per-column iterations — the honest work
+        measure when columns converge at different speeds),
+        ``operator_applications``, ``unconverged`` (columns that froze on a
+        semidefinite direction or hit the iteration cap above tolerance) and
+        ``deflation_vectors`` (basis size used for the initial guess).
+
+    Examples
+    --------
+    >>> matrix = np.array([[4.0, 1.0], [1.0, 3.0]])
+    >>> info = {}
+    >>> x = pcg_solve(lambda v: matrix @ v, np.array([1.0, 2.0]),
+    ...               preconditioner=np.diag(matrix), stats=info)
+    >>> bool(np.allclose(matrix @ x, [1.0, 2.0]))
+    True
+    >>> info["unconverged"]
+    0
     """
     rhs = np.asarray(rhs, dtype=float)
     single = rhs.ndim == 1
@@ -145,28 +371,47 @@ def pcg_solve(
         inverse_diag = None
     norms = np.linalg.norm(b, axis=0)
     targets = tolerance * np.where(norms > 0, norms, 1.0)
-    x = np.zeros_like(b)
+    guess_applications = 0
+    if deflation is not None and deflation.size:
+        x = deflation.guess(b)
+        if x.ndim == 1:
+            x = x[:, None]
+        residual = b - matvec(x)
+        guess_applications = 1
+    else:
+        x = np.zeros_like(b)
+        residual = b.copy()
     active = np.arange(b.shape[1])  # columns still iterating
-    residual = b.copy()
     z = residual * inverse_diag if inverse_diag is not None else residual.copy()
     direction = z.copy()
     rho = np.sum(residual * z, axis=0)
+    iterations = 0
+    column_iterations = 0
+    frozen = 0
     for _ in range(max_iterations):
         live = np.linalg.norm(residual, axis=0) > targets[active]
         if not np.any(live):
+            active = active[:0]
+            residual = residual[:, :0]
             break
         if not np.all(live):
             active = active[live]
             residual = residual[:, live]
             direction = direction[:, live]
             rho = rho[live]
+        iterations += 1
+        column_iterations += int(active.size)
         applied = matvec(direction)
         curvature = np.sum(direction * applied, axis=0)
         # Columns that hit a (numerically) semidefinite direction freeze too.
         sound = curvature > 0
         if not np.any(sound):
+            frozen += int(active.size)
+            active = active[:0]
+            residual = residual[:, :0]
             break
         if not np.all(sound):
+            frozen += int(np.sum(~sound))
             active = active[sound]
             residual = residual[:, sound]
             direction = direction[:, sound]
@@ -180,10 +425,30 @@ def pcg_solve(
         rho_next = np.sum(residual * z, axis=0)
         direction = z + (rho_next / np.maximum(rho, 1e-300)) * direction
         rho = rho_next
+    unconverged = frozen
+    if active.size:
+        unconverged += int(np.sum(np.linalg.norm(residual, axis=0) > targets[active]))
+    deflation_vectors = 0 if deflation is None else deflation.size
+    absorb_applications = 0
+    if deflation is not None:
+        absorb_applications = 1 if deflation.absorb(x, matvec) else 0
+    if stats is not None:
+        stats["iterations"] = iterations
+        stats["column_iterations"] = column_iterations
+        stats["operator_applications"] = iterations + guess_applications + absorb_applications
+        stats["unconverged"] = unconverged
+        stats["deflation_vectors"] = deflation_vectors
     return x[:, 0] if single else x
 
 
-def hutchpp_trace(apply_fn, size: int, *, samples: int = 48, rng=None) -> float:
+def hutchpp_trace(
+    apply_fn,
+    size: int,
+    *,
+    samples: int = 48,
+    rng=None,
+    sketch: dict | None = None,
+) -> float:
     """Hutch++ estimate of ``trace(F)`` for a symmetric PSD operator ``F``.
 
     ``apply_fn`` maps an ``(n, b)`` batch to ``F @ batch``.  A rank-``k``
@@ -192,18 +457,58 @@ def hutchpp_trace(apply_fn, size: int, *, samples: int = 48, rng=None) -> float:
     the O(1/samples) relative-error behaviour of Meyer et al. for PSD
     matrices.  When ``samples >= 3 * size`` the sketch spans the whole space
     and the estimate is exact up to the accuracy of ``apply_fn``.
+
+    Parameters
+    ----------
+    apply_fn:
+        Batched action of ``F``; three batched applications are paid per
+        estimate (sketch, head, tail) — two when the sketch is recycled.
+    size:
+        Dimension ``n`` of the operator.
+    samples:
+        Total probe budget (the sketch takes a third).
+    rng:
+        Numpy generator; a fixed default keeps estimates reproducible.
+    sketch:
+        Optional mutable dict recycled across calls *on the same operator*.
+        The orthonormal sketch basis is stored under ``"basis"`` on the
+        first call and reused afterwards, skipping the sketch application
+        entirely; the probe stream is drawn identically either way, so a
+        recycled estimate equals the cold one.  Combine with a
+        :class:`DeflationSpace` inside ``apply_fn`` to also make the
+        remaining solves cheap (see
+        :data:`repro.core.error.STOCHASTIC_TRACE`).
+
+    Examples
+    --------
+    >>> matrix = np.diag([3.0, 2.0, 1.0])
+    >>> round(hutchpp_trace(lambda x: matrix @ x, 3, samples=9), 10)
+    6.0
+    >>> cache = {}
+    >>> cold = hutchpp_trace(lambda x: matrix @ x, 3, samples=9, sketch=cache)
+    >>> recycled = hutchpp_trace(lambda x: matrix @ x, 3, samples=9, sketch=cache)
+    >>> bool(recycled == cold and cache["basis"].shape == (3, 3))
+    True
     """
     if rng is None:
         rng = np.random.default_rng(0)
-    sketch = max(1, min(samples // 3, size))
-    probes = rng.choice([-1.0, 1.0], size=(size, sketch))
-    basis, _ = np.linalg.qr(apply_fn(probes))
+    sketch_size = max(1, min(samples // 3, size))
+    probes = rng.choice([-1.0, 1.0], size=(size, sketch_size))
+    basis = None
+    if sketch is not None:
+        cached = sketch.get("basis")
+        if cached is not None and cached.shape == (size, sketch_size):
+            basis = cached
+    if basis is None:
+        basis, _ = np.linalg.qr(apply_fn(probes))
+        if sketch is not None:
+            sketch["basis"] = basis
     head = float(np.sum(basis * apply_fn(basis)))
     if basis.shape[1] >= size:
         return head
-    residual_probes = rng.choice([-1.0, 1.0], size=(size, sketch))
+    residual_probes = rng.choice([-1.0, 1.0], size=(size, sketch_size))
     residual_probes = residual_probes - basis @ (basis.T @ residual_probes)
-    tail = float(np.sum(residual_probes * apply_fn(residual_probes))) / sketch
+    tail = float(np.sum(residual_probes * apply_fn(residual_probes))) / sketch_size
     return head + tail
 
 
@@ -215,6 +520,18 @@ def trace_ratio(workload_gram: np.ndarray, strategy_gram: np.ndarray) -> float:
     the row space of the workload is contained in the row space of the
     strategy; otherwise the strategy cannot answer the workload and a
     :class:`~repro.exceptions.SingularStrategyError` is raised.
+
+    Parameters
+    ----------
+    workload_gram, strategy_gram:
+        Dense symmetric PSD ``(n, n)`` matrices.  Cost: one ``O(n^3)``
+        factorization (this is exactly what the structured paths of
+        :func:`repro.core.error.workload_strategy_trace` avoid).
+
+    Examples
+    --------
+    >>> round(trace_ratio(np.eye(2), 2.0 * np.eye(2)), 12)
+    1.0
     """
     workload_gram = symmetrize(workload_gram)
     strategy_gram = symmetrize(strategy_gram)
@@ -238,7 +555,19 @@ def trace_ratio(workload_gram: np.ndarray, strategy_gram: np.ndarray) -> float:
 
 
 def psd_project(matrix: np.ndarray) -> np.ndarray:
-    """Project a symmetric matrix onto the PSD cone by clipping eigenvalues."""
+    """Project a symmetric matrix onto the PSD cone by clipping eigenvalues.
+
+    Parameters
+    ----------
+    matrix:
+        A square matrix (symmetrized first).  Cost: one ``O(n^3)`` ``eigh``.
+
+    Examples
+    --------
+    >>> psd_project(np.diag([1.0, -2.0]))
+    array([[1., 0.],
+           [0., 0.]])
+    """
     matrix = symmetrize(matrix)
     eigenvalues, eigenvectors = np.linalg.eigh(matrix)
     eigenvalues = np.clip(eigenvalues, 0.0, None)
@@ -246,7 +575,21 @@ def psd_project(matrix: np.ndarray) -> np.ndarray:
 
 
 def kron_all(matrices: list[np.ndarray] | tuple[np.ndarray, ...]) -> np.ndarray:
-    """Return the Kronecker product of a sequence of matrices (left to right)."""
+    """Return the Kronecker product of a sequence of matrices (left to right).
+
+    Parameters
+    ----------
+    matrices:
+        Non-empty sequence of 2-D arrays.  Cost: the size of the output,
+        ``O(prod_i m_i * prod_i n_i)`` — use
+        :func:`repro.utils.operators.kron_apply` to act with the product
+        without paying this.
+
+    Examples
+    --------
+    >>> kron_all([np.eye(2), 3.0 * np.eye(2)]).shape
+    (4, 4)
+    """
     if not matrices:
         raise ValueError("kron_all requires at least one matrix")
     result = np.asarray(matrices[0], dtype=float)
@@ -265,6 +608,19 @@ def haar_matrix(size: int, normalized: bool = False) -> np.ndarray:
     query that is +1 on its left half and -1 on its right half, and the root
     additionally contributes the total query.  The result always has exactly
     ``size`` rows and full rank.
+
+    Parameters
+    ----------
+    size:
+        Number of domain cells (``>= 1``).  Cost: ``O(size^2)`` output.
+    normalized:
+        Scale every row to unit Euclidean norm.
+
+    Examples
+    --------
+    >>> haar_matrix(2)
+    array([[ 1.,  1.],
+           [ 1., -1.]])
     """
     if size < 1:
         raise ValueError(f"size must be >= 1, got {size}")
@@ -298,6 +654,21 @@ def hierarchical_matrix(size: int, branching: int = 2) -> np.ndarray:
     The strategy contains one query per node of a ``branching``-ary tree whose
     leaves are the individual cells: the root is the total query and every
     node's children partition its range into (nearly) equal contiguous parts.
+
+    Parameters
+    ----------
+    size:
+        Number of domain cells (``>= 1``).
+    branching:
+        Tree fan-out (``>= 2``).  Cost: ``O(size^2 / (branching - 1))``
+        output entries.
+
+    Examples
+    --------
+    >>> hierarchical_matrix(2)
+    array([[1., 1.],
+           [1., 0.],
+           [0., 1.]])
     """
     if size < 1:
         raise ValueError(f"size must be >= 1, got {size}")
@@ -330,6 +701,20 @@ def prefix_matrix(size: int, reverse: bool = False) -> np.ndarray:
     Row ``i`` sums cells ``0..i`` (or ``i..size-1`` when ``reverse`` is True,
     matching the paper's description of the CDF workload in which the first
     query covers all ``n`` cells).
+
+    Parameters
+    ----------
+    size:
+        Number of domain cells (``>= 1``).  Cost: ``O(size^2)`` output.
+    reverse:
+        Emit suffix sums instead of prefix sums.
+
+    Examples
+    --------
+    >>> prefix_matrix(3)
+    array([[1., 0., 0.],
+           [1., 1., 0.],
+           [1., 1., 1.]])
     """
     if size < 1:
         raise ValueError(f"size must be >= 1, got {size}")

@@ -1,0 +1,30 @@
+"""The documentation stays executable and internally linked.
+
+Runs the same checks as the CI ``docs`` job (``tools/check_docs.py``): every
+``>>>`` code block in ``docs/*.md`` must execute, and every relative
+markdown link in README/ROADMAP/docs must resolve — so the architecture and
+performance documents cannot silently drift from the code they describe.
+"""
+
+import importlib.util
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location("check_docs", ROOT / "tools" / "check_docs.py")
+check_docs = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_docs)
+
+
+def test_docs_exist_and_are_linked():
+    assert (ROOT / "docs" / "architecture.md").exists()
+    assert (ROOT / "docs" / "performance.md").exists()
+    assert check_docs.DOC_FILES, "docs/*.md not discovered"
+
+
+def test_docs_code_blocks_execute():
+    assert check_docs.run_doctests() == 0
+
+
+def test_internal_links_resolve():
+    assert check_docs.check_links() == []

@@ -323,16 +323,21 @@ class TestFactorizedReductions:
             error = expected_workload_error(workload, result.strategy, PRIVACY)
             assert np.isfinite(error) and error > 0
 
-    def test_separation_stage2_guarded_past_hard_cap(self, monkeypatch):
-        # The stage-2 group-column matrix is the one remaining dense
-        # allocation; past the hard cap it must raise instead of OOM-ing.
+    def test_separation_stage2_matrix_free_past_hard_cap(self, monkeypatch):
+        # The dense path's stage-2 group-column matrix is guarded past the
+        # hard cap; the factorized path serves the same columns lazily
+        # through a GroupColumnOperator, so it sails straight through.
         import repro.core.reductions as reductions_module
         from repro.exceptions import MaterializationError
 
         monkeypatch.setattr(reductions_module, "HARD_MATERIALIZATION_LIMIT", 100)
         workload = all_range_queries([8, 8])
         with pytest.raises(MaterializationError):
-            eigen_query_separation(workload, group_size=2, factorized=True)
+            eigen_query_separation(workload, group_size=2, factorized=False)
+        result = eigen_query_separation(workload, group_size=2, factorized=True)
+        assert result.method == "eigen-separation-factorized"
+        error = expected_workload_error(workload, result.strategy, PRIVACY)
+        assert np.isfinite(error) and error > 0
 
     def test_column_block_constraints_match_dense(self):
         rng = np.random.default_rng(4)

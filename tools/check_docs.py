@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Documentation checks: executable code blocks and resolvable links.
+
+Two checks, both run by the CI ``docs`` job and by ``tests/test_docs.py``:
+
+* every ``>>>`` example in ``docs/*.md`` executes (via :mod:`doctest`, one
+  shared namespace per file — so the docs cannot drift from the code);
+* every relative markdown link in ``README.md``, ``ROADMAP.md`` and
+  ``docs/*.md`` points at a file that exists, and the README links the two
+  operator-subsystem documents.
+
+Run with:  PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Files whose ``>>>`` blocks must execute.
+DOC_FILES = sorted((ROOT / "docs").glob("*.md"))
+
+#: Files whose relative markdown links must resolve.
+LINK_FILES = [ROOT / "README.md", ROOT / "ROADMAP.md"]
+
+#: Links the README is required to carry (the operator-subsystem docs).
+REQUIRED_README_LINKS = ("docs/architecture.md", "docs/performance.md")
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def run_doctests() -> int:
+    """Execute every ``>>>`` example in the docs; returns the failure count."""
+    failures = 0
+    for path in DOC_FILES:
+        result = doctest.testfile(
+            str(path),
+            module_relative=False,
+            optionflags=doctest.NORMALIZE_WHITESPACE,
+        )
+        print(
+            f"doctest {path.relative_to(ROOT)}: "
+            f"{result.attempted} examples, {result.failed} failures"
+        )
+        failures += result.failed
+        if result.attempted == 0:
+            print(f"  warning: no executable examples found in {path.name}")
+    return failures
+
+
+def check_links() -> list[str]:
+    """Return a list of broken-link descriptions (empty when all resolve)."""
+    problems: list[str] = []
+    for path in LINK_FILES + DOC_FILES:
+        text = path.read_text()
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (path.parent / relative).exists():
+                problems.append(f"{path.relative_to(ROOT)}: broken link -> {target}")
+    readme = (ROOT / "README.md").read_text()
+    for required in REQUIRED_README_LINKS:
+        if required not in readme:
+            problems.append(f"README.md: missing required link -> {required}")
+    return problems
+
+
+def main() -> int:
+    failures = run_doctests()
+    problems = check_links()
+    for problem in problems:
+        print(problem)
+    if failures or problems:
+        print(f"FAILED: {failures} doctest failures, {len(problems)} link problems")
+        return 1
+    print("docs OK: all code blocks execute, all internal links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
