@@ -15,7 +15,11 @@ Three sections:
   dense eigen-query matrix vs the matrix-free ``KroneckerConstraints`` path;
 * **recycled_trace** — the Krylov-recycling machinery: the stochastic
   completed-design trace evaluated twice on the same strategy, tracking the
-  wall-clock and PCG-iteration drop of the recycled second evaluation.
+  wall-clock and PCG-iteration drop of the recycled second evaluation;
+* **engine_plan_cache** — the engine layer: a cold planner run (strategy
+  optimization included) vs. a warm content-addressed
+  :class:`~repro.engine.cache.PlanCache` hit on a structurally identical
+  workload, asserting the warm path skips strategy optimization.
 
 Emits ``BENCH_kron_fastpath.json`` at the repository root with one row per
 domain size (dense and factorized wall-clock, speedup, deviation), so
@@ -279,6 +283,54 @@ def _recycled_trace_rows(shapes) -> list[dict]:
     return rows
 
 
+#: Engine plan-cache smoke shapes (cold plan vs. warm content-addressed hit).
+ENGINE_SHAPES = ((16, 16, 4), (32, 32, 16))
+ENGINE_SHAPES_QUICK = ((8, 8, 4),)
+
+
+def _engine_rows(shapes) -> list[dict]:
+    """Cold planner run vs. warm PlanCache hit on the same workload shape.
+
+    The warm request builds a *new* workload object with identical content;
+    the content-addressed plan cache must serve it without re-running
+    strategy optimization (``plans_built`` stays at 1), which is the whole
+    point of the engine layer for repeated workload shapes.
+    """
+    from repro.core.privacy import PrivacyParams
+    from repro.engine import Planner
+
+    privacy = PrivacyParams(epsilon=0.5, delta=1e-4)
+    rows = []
+    for shape in shapes:
+        _clear_eigh_cache()
+        planner = Planner()
+        cold_seconds, cold_plan = _time(
+            lambda: planner.plan(all_range_queries(list(shape)), privacy)
+        )
+        warm_seconds, warm_plan = _time(
+            lambda: planner.plan(all_range_queries(list(shape)), privacy)
+        )
+        warm_hit = warm_plan is cold_plan
+        # The warm path must have skipped strategy optimization entirely.
+        assert warm_hit and planner.plans_built == 1, (
+            f"plan cache failed to serve shape {shape}: "
+            f"plans_built={planner.plans_built}"
+        )
+        rows.append(
+            {
+                "shape": list(shape),
+                "cells": int(np.prod(shape)),
+                "cold_seconds": cold_seconds,
+                "warm_seconds": warm_seconds,
+                "speedup": cold_seconds / max(warm_seconds, 1e-12),
+                "plans_built": planner.plans_built,
+                "warm_hit": warm_hit,
+                "mechanism": cold_plan.mechanism.name,
+            }
+        )
+    return rows
+
+
 def _largest_dense(rows: list[dict]) -> dict:
     return max(
         (row for row in rows if row["dense_seconds"] is not None),
@@ -292,11 +344,13 @@ def run() -> dict:
         completed_rows = _completed_trace_rows(COMPLETED_CASES_QUICK)
         reduction_rows = _reduction_rows((8, 8, 4))
         recycled_rows = _recycled_trace_rows(RECYCLED_SHAPES_QUICK)
+        engine_rows = _engine_rows(ENGINE_SHAPES_QUICK)
     else:
         eigh_rows = _eigh_rows(DENSE_SHAPES, FACTORIZED_ONLY_SHAPES)
         completed_rows = _completed_trace_rows(COMPLETED_CASES)
         reduction_rows = _reduction_rows()
         recycled_rows = _recycled_trace_rows(RECYCLED_SHAPES)
+        engine_rows = _engine_rows(ENGINE_SHAPES)
 
     largest_eigh = _largest_dense(eigh_rows)
     largest_completed = _largest_dense(completed_rows)
@@ -315,6 +369,7 @@ def run() -> dict:
         },
         "reductions": {"rows": reduction_rows},
         "recycled_trace": {"rows": recycled_rows},
+        "engine_plan_cache": {"rows": engine_rows},
     }
     if not QUICK:
         RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
@@ -344,6 +399,11 @@ def test_kron_fastpath_speedup():
         assert row["second_column_iterations"] < row["first_column_iterations"]
         assert row["recycled_sketch"]
         assert row["relative_deviation"] <= 1e-6
+    for row in report["engine_plan_cache"]["rows"]:
+        # A structurally identical workload must hit the plan cache and skip
+        # strategy optimization entirely.
+        assert row["warm_hit"] and row["plans_built"] == 1
+        assert row["warm_seconds"] < row["cold_seconds"]
 
 
 if __name__ == "__main__":

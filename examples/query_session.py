@@ -1,0 +1,103 @@
+"""The query-answering engine: one session, many analysts' requests.
+
+The paper's mechanism is a pipeline — choose a strategy for the workload,
+spend privacy budget measuring the strategy queries, infer ``x_hat``, derive
+consistent workload answers.  The engine (``repro.engine``) wraps that
+pipeline behind a planner, a content-addressed plan cache and a budgeted
+session, which is how a production deployment would serve repeated traffic:
+
+1. the first analyst's SQL task pays a *cold plan* (strategy optimization);
+2. a second, structurally identical task (tomorrow's refresh of the same
+   dashboard) hits the plan cache and skips optimization entirely;
+3. follow-up queries inside the released estimate's span are answered at
+   **zero marginal budget** (free post-processing);
+4. a request that does not fit the remaining budget is refused cleanly —
+   before any noise is drawn — and the session stays usable.
+
+Run with:  python examples/query_session.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BudgetExceededError, Planner, PrivacyParams, Session
+from repro.domain.schema import CategoricalAttribute, NumericAttribute, Schema
+from repro.relational.vectorize import sample_relation
+
+SCHEMA = Schema(
+    [
+        CategoricalAttribute("plan", ["free", "pro", "enterprise"]),
+        NumericAttribute("tenure", [0.0, 6.0, 12.0, 24.0, 48.0]),
+    ]
+)
+
+DASHBOARD = [
+    "SELECT COUNT(*) FROM accounts",
+    "SELECT COUNT(*) FROM accounts GROUP BY plan",
+    "SELECT COUNT(*) FROM accounts WHERE tenure BETWEEN 0 AND 12",
+]
+
+
+def main() -> None:
+    accounts = sample_relation(SCHEMA, 40_000, random_state=11, name="accounts")
+    planner = Planner()  # shared: one plan cache for every session
+
+    # --- Day 1: cold plan -------------------------------------------------
+    monday = Session(
+        PrivacyParams(1.0, 1e-4), schema=SCHEMA, data=accounts,
+        planner=planner, random_state=0,
+    )
+    first = monday.ask(DASHBOARD, epsilon=0.5, per_query=True)
+    print(f"cold plan   : {first.mechanism}, cache hit: {first.plan_cache_hit}")
+    for row in first.rows():
+        print(f"  {row['query']:45s} {row['answer']:10.0f}  ±{row['expected_rmse']:.0f}")
+
+    # --- Day 2: same dashboard shape, new session -> warm plan ------------
+    tuesday = Session(
+        PrivacyParams(1.0, 1e-4), schema=SCHEMA, data=accounts,
+        planner=planner, random_state=1,
+    )
+    second = tuesday.ask(DASHBOARD, epsilon=0.5)
+    print(
+        f"warm plan   : cache hit: {second.plan_cache_hit} "
+        f"(strategy optimizations so far: {planner.plans_built})"
+    )
+
+    # --- Follow-up inside the released span: free -------------------------
+    follow_up = tuesday.ask("SELECT COUNT(*) FROM accounts WHERE plan = 'pro'")
+    print(
+        f"follow-up   : {follow_up.mechanism}, spent: {follow_up.spent} "
+        f"(answer {follow_up.answers[0]:.0f}, consistent with the release)"
+    )
+
+    # A completed eigen design is often full rank, so even the 2-way
+    # marginal is inside the released span and costs nothing:
+    free_marginal = tuesday.ask("SELECT COUNT(*) FROM accounts GROUP BY plan, tenure")
+    print(
+        f"2-way free  : served_from_release={free_marginal.served_from_release}, "
+        f"spent: {free_marginal.spent}"
+    )
+
+    # --- Over-budget request: refused cleanly, nothing spent --------------
+    wednesday = Session(
+        PrivacyParams(0.5, 1e-4), schema=SCHEMA, data=accounts,
+        planner=planner, random_state=2,
+    )
+    try:
+        wednesday.ask(DASHBOARD, epsilon=0.8)
+    except BudgetExceededError:
+        print(
+            f"over-budget : refused; spent epsilon stays "
+            f"{wednesday.accountant.spent_epsilon} of {wednesday.budget.epsilon}"
+        )
+
+    # The batch is mutually consistent: marginal sums equal the total.
+    total = first.answers[0]
+    by_plan = first.answers[1:4]
+    print(f"consistency : total {total:.1f} == sum over plans {by_plan.sum():.1f}")
+    assert np.isclose(total, by_plan.sum())
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,8 @@ Typical use::
 
 The subpackages are:
 
+* :mod:`repro.engine` — the query-answering engine: planner, plan cache and
+  budgeted sessions from SQL (or raw workloads) to consistent answers;
 * :mod:`repro.core` — workloads, strategies, error analysis, eigen design;
 * :mod:`repro.workloads` — range / marginal / predicate / ad-hoc workloads;
 * :mod:`repro.strategies` — identity, wavelet, hierarchical, Fourier, DataCube;
@@ -57,11 +59,37 @@ from repro.exceptions import (
     StrategyError,
     WorkloadError,
 )
-from repro.mechanisms import GaussianMechanism, LaplaceMechanism, MatrixMechanism, MechanismResult
+from repro.mechanisms import (
+    BudgetExceededError,
+    GaussianMechanism,
+    LaplaceMechanism,
+    MatrixMechanism,
+    MechanismResult,
+)
 
 __version__ = "1.0.0"
 
+#: Engine symbols are exported lazily (PEP 562): `from repro import Session`
+#: works, but `python -m repro list`-style entry points that never touch the
+#: engine do not pay its (relational front end included) import cost.
+_ENGINE_EXPORTS = frozenset(
+    {"Plan", "PlanCache", "Planner", "Session", "SessionAnswer"}
+)
+
+
+def __getattr__(name: str):
+    if name in _ENGINE_EXPORTS:
+        from repro import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | _ENGINE_EXPORTS)
+
 __all__ = [
+    "BudgetExceededError",
     "ConvergenceWarning",
     "DatasetError",
     "DesignResult",
@@ -74,10 +102,15 @@ __all__ = [
     "MatrixMechanism",
     "MechanismResult",
     "OptimizationError",
+    "Plan",
+    "PlanCache",
+    "Planner",
     "PrivacyError",
     "PrivacyParams",
     "ReproError",
     "Schema",
+    "Session",
+    "SessionAnswer",
     "SingularStrategyError",
     "Strategy",
     "StrategyError",

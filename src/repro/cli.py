@@ -1,4 +1,4 @@
-"""Command-line harness: list and run the registered experiments.
+"""Command-line harness: run experiments, or answer SQL queries privately.
 
 Usage (after ``pip install -e .``)::
 
@@ -7,11 +7,19 @@ Usage (after ``pip install -e .``)::
     python -m repro run example
     python -m repro run range-absolute --set cells=256 --format csv
     python -m repro run alternative-workloads --output results.json
+    python -m repro query --schema schema.json --data people.csv \
+        --sql "SELECT COUNT(*) FROM people GROUP BY gender" --epsilon 0.5
 
 ``run`` prints the experiment's rows as an aligned table (or CSV/JSON) and can
 persist them with ``--output``; ``--set key=value`` overrides any default
 parameter of the experiment (values are parsed as Python literals when
 possible, so ``--set dims=(4,4,4)`` and ``--set epsilon=1.0`` both work).
+
+``query`` is the end-to-end private query path: a schema spec (JSON mapping
+each attribute to ``"categorical"``, a bucket count, or explicit edges), a
+CSV of raw tuples, and one or more SQL counting queries go through the
+engine — SQL compilation, planning, plan cache, budgeted session — and come
+back as mutually consistent private answers.
 """
 
 from __future__ import annotations
@@ -68,6 +76,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--precision",
         type=int,
         default=3,
+        help="decimal places in table output",
+    )
+
+    query = commands.add_parser(
+        "query",
+        help="answer SQL counting queries privately (schema + CSV + SQL -> answers)",
+    )
+    query.add_argument(
+        "--schema",
+        required=True,
+        help="JSON file mapping attribute names to 'categorical', a bucket count, "
+        "or explicit bucket edges/values",
+    )
+    query.add_argument("--data", required=True, help="CSV file of raw tuples")
+    query.add_argument(
+        "--sql",
+        action="append",
+        default=[],
+        metavar="STATEMENT",
+        help="a SQL counting query (repeatable)",
+    )
+    query.add_argument(
+        "--sql-file",
+        default=None,
+        help="file with one SQL counting query per line ('#' comments allowed)",
+    )
+    query.add_argument("--epsilon", type=float, default=0.5, help="privacy budget epsilon")
+    query.add_argument("--delta", type=float, default=1e-4, help="privacy budget delta")
+    query.add_argument("--seed", type=int, default=None, help="noise seed (reproducible runs)")
+    query.add_argument(
+        "--format",
+        choices=("table", "csv", "json"),
+        default="table",
+        help="output format for the answers",
+    )
+    query.add_argument(
+        "--precision",
+        type=int,
+        default=1,
         help="decimal places in table output",
     )
     return parser
@@ -135,11 +182,108 @@ def _render(record: ExperimentRecord, fmt: str, precision: int) -> str:
 def _command_run(arguments, out) -> int:
     spec = get_experiment(arguments.experiment)
     overrides = _parse_overrides(arguments.overrides)
-    record = spec.run(**overrides)
+    if overrides:
+        # A --set literal of the wrong type (e.g. cells=abc) surfaces as a
+        # TypeError/ValueError inside the runner; report it as a usage error
+        # instead of a traceback, naming the exception type so a genuine
+        # runner defect that slips through stays identifiable.  Runs without
+        # overrides propagate such exceptions untouched — there they can only
+        # indicate a real defect.
+        try:
+            record = spec.run(**overrides)
+        except (TypeError, ValueError) as error:
+            raise ReproError(
+                f"experiment {spec.name!r} rejected the provided parameters "
+                f"({', '.join(arguments.overrides)}): "
+                f"{type(error).__name__}: {error}"
+            ) from error
+    else:
+        record = spec.run()
     print(_render(record, arguments.format, arguments.precision), file=out)
     if arguments.output:
         path = save_records([record], arguments.output)
         print(f"[saved to {path}]", file=out)
+    return 0
+
+
+def _load_schema_spec(path: str) -> dict:
+    try:
+        with open(path) as handle:
+            spec = json.load(handle)
+    except OSError as error:
+        raise ReproError(f"cannot read schema file {path!r}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ReproError(f"schema file {path!r} is not valid JSON: {error}") from error
+    if not isinstance(spec, dict) or not spec:
+        raise ReproError(
+            f"schema file {path!r} must hold a non-empty JSON object mapping "
+            "attribute names to bucket specifications"
+        )
+    return spec
+
+
+def _load_statements(arguments) -> list[str]:
+    statements = list(arguments.sql)
+    if arguments.sql_file:
+        try:
+            with open(arguments.sql_file) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line and not line.startswith("#"):
+                        statements.append(line)
+        except OSError as error:
+            raise ReproError(
+                f"cannot read SQL file {arguments.sql_file!r}: {error}"
+            ) from error
+    if not statements:
+        raise ReproError("query needs at least one statement (--sql or --sql-file)")
+    return statements
+
+
+def _command_query(arguments, out) -> int:
+    # Imported lazily so `list`/`run` keep their fast startup.
+    from repro.core.privacy import PrivacyParams
+    from repro.engine import Session
+    from repro.relational.csvio import read_csv
+    from repro.relational.vectorize import infer_schema
+
+    statements = _load_statements(arguments)
+    spec = _load_schema_spec(arguments.schema)
+    try:
+        relation = read_csv(arguments.data)
+    except OSError as error:
+        raise ReproError(f"cannot read data file {arguments.data!r}: {error}") from error
+    schema = infer_schema(relation, spec)
+    budget = PrivacyParams(arguments.epsilon, arguments.delta)
+    session = Session(budget, schema=schema, data=relation, random_state=arguments.seed)
+    answer = session.ask(
+        statements, epsilon=arguments.epsilon, delta=arguments.delta, per_query=True
+    )
+    rows = answer.rows()
+    if arguments.format == "csv":
+        print(rows_to_csv(rows), file=out)
+    elif arguments.format == "json":
+        payload = {
+            "statements": statements,
+            "epsilon": arguments.epsilon,
+            "delta": arguments.delta,
+            "mechanism": answer.mechanism,
+            "expected_rmse": answer.expected_error,
+            "rows": rows,
+        }
+        print(json.dumps(payload, indent=2, default=str), file=out)
+    else:
+        title = (
+            f"private answers  (epsilon={arguments.epsilon}, delta={arguments.delta}, "
+            f"{answer.mechanism})"
+        )
+        print(format_table(rows, precision=arguments.precision, title=title), file=out)
+        if answer.expected_error is not None:
+            print(f"[expected workload RMSE {answer.expected_error:.2f}]", file=out)
+        print(
+            "[all answers derive from one released estimate and are mutually consistent]",
+            file=out,
+        )
     return 0
 
 
@@ -156,6 +300,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _command_list(out)
         if arguments.command == "info":
             return _command_info(arguments.experiment, out)
+        if arguments.command == "query":
+            return _command_query(arguments, out)
         return _command_run(arguments, out)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -1,0 +1,89 @@
+"""A content-addressed, bounded cache of executable plans.
+
+Repeated workload *shapes* dominate real query traffic — the same dashboard
+marginals, the same range scans over fresh data.  The expensive part of
+answering them is strategy optimization, not the mechanism run, so the engine
+memoises whole :class:`~repro.engine.planner.Plan` objects keyed by workload
+*content* (see :func:`~repro.engine.planner.workload_fingerprint` — the same
+keying discipline as the factor-``eigh`` memo in :mod:`repro.utils.operators`).
+
+A warm hit skips strategy optimization entirely, and it composes with the
+lower layers' memoisation: the cached plan's strategy carries its spectral
+caches, and repeated error evaluations of it reuse their Krylov state
+(``docs/performance.md``), so a warm re-answer does near-zero optimization
+*and* near-zero PCG work.
+
+Entries are evicted least-recently-used against an entry bound; the cache is
+deliberately tiny state (plans hold strategies, which can be large) and all
+bookkeeping — hits, misses, evictions — is exposed for tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["PlanCache"]
+
+
+class PlanCache:
+    """LRU-bounded, content-addressed plan store.
+
+    Examples
+    --------
+    >>> cache = PlanCache(max_entries=2)
+    >>> cache.put("a", "plan-a"); cache.put("b", "plan-b")
+    >>> cache.get("a")
+    'plan-a'
+    >>> cache.put("c", "plan-c")  # evicts "b" (least recently used)
+    >>> cache.get("b") is None
+    True
+    >>> cache.stats["hits"], cache.stats["misses"], cache.stats["evictions"]
+    (1, 1, 1)
+    """
+
+    def __init__(self, max_entries: int = 64):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str):
+        """The cached plan for ``key``, or ``None`` (recorded as a miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, plan) -> None:
+        """Insert (or refresh) ``plan`` under ``key``, evicting LRU overflow."""
+        self._entries[key] = plan
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; they describe the lifetime)."""
+        self._entries.clear()
+
+    @property
+    def stats(self) -> dict:
+        """Lifetime counters: ``entries``, ``hits``, ``misses``, ``evictions``."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,249 @@
+"""The :class:`Mechanism` protocol: one ``run(workload, x, params)`` interface.
+
+The repository grew three ways of answering a workload privately — the
+Gaussian and Laplace mechanisms applied to the workload directly, and the
+matrix mechanism (Gaussian or Laplace noise on a *strategy*, least-squares
+inference, consistent derived answers).  Each lived behind its own class with
+its own constructor signature, so callers had to know up front which one they
+wanted.  This module extracts the common surface so the
+:class:`~repro.engine.planner.Planner` can enumerate candidates, rank them by
+expected error, and execute whichever wins, without special-casing.
+
+Every mechanism answers three questions:
+
+* ``supports(workload, params)`` — can it answer this workload under this
+  privacy regime at all?
+* ``expected_error(workload, params)`` — the closed-form expected workload
+  RMSE (Def. 5 normalisation), the planner's ranking key;
+* ``run(workload, data, params)`` — one private release, returned as a
+  uniform :class:`EngineResult`.
+
+``EngineResult.estimate`` is the released synthetic data vector ``x_hat``
+when the mechanism produces one (the matrix mechanisms), else ``None`` (the
+direct mechanisms perturb each answer independently and offer no consistent
+estimate).  The :class:`~repro.engine.session.Session` uses the estimate to
+serve later overlapping queries at zero marginal budget, so its planner
+excludes estimate-free mechanisms by default.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.error import expected_workload_error
+from repro.core.privacy import PrivacyParams
+from repro.core.strategy import Strategy
+from repro.core.workload import Workload
+from repro.exceptions import MaterializationError, PrivacyError
+from repro.mechanisms.gaussian import GaussianMechanism
+from repro.mechanisms.laplace import LaplaceMechanism
+from repro.mechanisms.laplace_matrix import (
+    LaplaceMatrixMechanism,
+    expected_workload_error_l1,
+)
+from repro.mechanisms.matrix_mechanism import MatrixMechanism
+
+__all__ = [
+    "EngineResult",
+    "Mechanism",
+    "StrategyMechanism",
+    "DirectMechanism",
+]
+
+
+@dataclass
+class EngineResult:
+    """Uniform output of one private release, whatever mechanism produced it.
+
+    Attributes
+    ----------
+    answers:
+        Noisy answers to the workload queries.
+    estimate:
+        The released synthetic data vector ``x_hat`` from which ``answers``
+        derive (mutually consistent), or ``None`` for direct mechanisms.
+    strategy_answers:
+        The raw noisy answers to the measured queries.
+    noise_scale:
+        Scale of the noise added to each measured query.
+    mechanism:
+        Label of the mechanism that produced the release.
+    """
+
+    answers: np.ndarray
+    estimate: np.ndarray | None
+    strategy_answers: np.ndarray
+    noise_scale: float
+    mechanism: str = ""
+
+
+@runtime_checkable
+class Mechanism(Protocol):
+    """What the planner needs from a private query-answering mechanism."""
+
+    name: str
+    #: Whether :meth:`run` yields a consistent estimate ``x_hat``.
+    releases_estimate: bool
+
+    def supports(self, workload: Workload, params: PrivacyParams) -> bool:
+        """Whether this mechanism can answer ``workload`` under ``params``."""
+        ...
+
+    def expected_error(self, workload: Workload, params: PrivacyParams) -> float:
+        """Expected workload RMSE (Def. 5) of one run under ``params``."""
+        ...
+
+    def run(
+        self,
+        workload: Workload,
+        data: np.ndarray,
+        params: PrivacyParams,
+        *,
+        random_state=None,
+    ) -> EngineResult:
+        """Perform one private release."""
+        ...
+
+
+class StrategyMechanism:
+    """The matrix mechanism behind the protocol: noise on a strategy, then infer.
+
+    The privacy regime picks the noise distribution: ``delta > 0`` runs the
+    (epsilon, delta) Gaussian instantiation (Prop. 3), ``delta == 0`` the pure
+    epsilon Laplace one (Sec. 3.5).  Underlying mechanism objects are cached
+    per privacy setting so repeated runs (Monte-Carlo loops, session batches)
+    keep their factorisation caches warm.
+    """
+
+    releases_estimate = True
+
+    #: Bound on memoised per-privacy-setting mechanism instances.  Each one
+    #: holds least-squares factorisation caches over the ``n`` cells, and
+    #: mechanisms live inside plans held by the long-lived plan cache, so an
+    #: unbounded memo would grow with every distinct ``(epsilon, delta)`` a
+    #: session ever uses.  LRU keeps the common case (few settings, reused
+    #: across Monte-Carlo trials and batches) warm.
+    MAX_INSTANCES = 8
+
+    def __init__(self, strategy: Strategy, *, nonnegative: bool = False):
+        self.strategy = strategy
+        self.nonnegative = nonnegative
+        self.name = f"matrix-mechanism[{strategy.name or 'strategy'}]"
+        self._instances: "OrderedDict[PrivacyParams, object]" = OrderedDict()
+
+    def _instance(self, params: PrivacyParams):
+        mechanism = self._instances.get(params)
+        if mechanism is None:
+            if params.is_approximate:
+                mechanism = MatrixMechanism(
+                    self.strategy, params, nonnegative=self.nonnegative
+                )
+            else:
+                mechanism = LaplaceMatrixMechanism(
+                    self.strategy, params, nonnegative=self.nonnegative
+                )
+            self._instances[params] = mechanism
+            while len(self._instances) > self.MAX_INSTANCES:
+                self._instances.popitem(last=False)
+        else:
+            self._instances.move_to_end(params)
+        return mechanism
+
+    def supports(self, workload: Workload, params: PrivacyParams) -> bool:
+        if workload.column_count != self.strategy.column_count:
+            return False
+        if not params.is_approximate:
+            # The Laplace instantiation needs the explicit strategy matrix for
+            # its L1 sensitivity.
+            try:
+                self.strategy.sensitivity_l1
+            except MaterializationError:
+                return False
+        return True
+
+    def expected_error(self, workload: Workload, params: PrivacyParams) -> float:
+        if params.is_approximate:
+            return expected_workload_error(workload, self.strategy, params)
+        return expected_workload_error_l1(workload, self.strategy, params)
+
+    def run(
+        self,
+        workload: Workload,
+        data: np.ndarray,
+        params: PrivacyParams,
+        *,
+        random_state=None,
+    ) -> EngineResult:
+        result = self._instance(params).run(workload, data, random_state=random_state)
+        return EngineResult(
+            answers=result.answers,
+            estimate=result.estimate,
+            strategy_answers=result.strategy_answers,
+            noise_scale=result.noise_scale,
+            mechanism=self.name,
+        )
+
+
+class DirectMechanism:
+    """Independent noise on every workload answer — the classic baselines.
+
+    ``kind="gaussian"`` adds Gaussian noise calibrated to the workload's L2
+    sensitivity (requires ``delta > 0``); ``kind="laplace"`` adds Laplace
+    noise calibrated to the L1 sensitivity (any regime — pure epsilon
+    differential privacy implies the approximate guarantee).  Neither yields
+    a consistent estimate, so sessions exclude them unless asked not to.
+    """
+
+    releases_estimate = False
+
+    def __init__(self, kind: str = "gaussian"):
+        if kind not in ("gaussian", "laplace"):
+            raise PrivacyError(f"unknown direct mechanism kind {kind!r}")
+        self.kind = kind
+        self.name = f"direct-{kind}"
+
+    def supports(self, workload: Workload, params: PrivacyParams) -> bool:
+        if self.kind == "gaussian" and not params.is_approximate:
+            return False
+        try:
+            if self.kind == "laplace":
+                workload.sensitivity_l1  # needs the explicit matrix
+            else:
+                workload.matrix
+        except MaterializationError:
+            return False
+        return True
+
+    def expected_error(self, workload: Workload, params: PrivacyParams) -> float:
+        # Every query receives i.i.d. noise, so the Def. 5 RMSE over the m
+        # queries is exactly the per-answer noise standard deviation.
+        if self.kind == "gaussian":
+            return params.gaussian_scale(workload.sensitivity_l2)
+        scale = params.laplace_scale(workload.sensitivity_l1)
+        return math.sqrt(2.0) * scale  # Laplace(b) has variance 2 b^2
+
+    def run(
+        self,
+        workload: Workload,
+        data: np.ndarray,
+        params: PrivacyParams,
+        *,
+        random_state=None,
+    ) -> EngineResult:
+        if self.kind == "gaussian":
+            mechanism = GaussianMechanism(params)
+        else:
+            mechanism = LaplaceMechanism(params)
+        answers = mechanism.answer(workload, data, random_state=random_state)
+        return EngineResult(
+            answers=answers,
+            estimate=None,
+            strategy_answers=answers,
+            noise_scale=mechanism.noise_scale(workload),
+            mechanism=self.name,
+        )

@@ -1,0 +1,415 @@
+"""Budgeted query-answering sessions: many requests, one accountant.
+
+A :class:`Session` is the engine's executor: it owns a
+:class:`~repro.mechanisms.accountant.PrivacyAccountant`, accepts requests in
+whatever form the caller has — a raw query matrix, a
+:class:`~repro.core.workload.Workload`, or SQL counting-query strings parsed
+through :mod:`repro.relational.sql` — and answers each one through the
+planner/plan-cache pipeline:
+
+* every *paid* request is planned (warm shapes hit the
+  :class:`~repro.engine.cache.PlanCache` and skip strategy optimization),
+  executed against the session's data vector, and debited from the budget
+  under sequential composition;
+* requests whose row space is contained in an earlier release's strategy are
+  **served from the released estimate** ``x_hat`` at zero marginal budget —
+  answering a post-processed question costs nothing (the post-processing
+  property of differential privacy);
+* compatible requests can be **batched**: :meth:`Session.ask_batch` unions
+  them into one workload, spends the budget once, and derives every answer
+  from a single ``x_hat``, so the batch is mutually consistent end to end;
+* a request that does not fit the remaining budget raises
+  :class:`~repro.mechanisms.accountant.BudgetExceededError` *before* any
+  noise is drawn or budget is spent — the session stays usable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.error import per_query_error
+from repro.core.privacy import PrivacyParams
+from repro.core.workload import Workload
+from repro.domain.schema import Schema
+from repro.engine.mechanism import EngineResult, StrategyMechanism
+from repro.engine.planner import Plan, Planner
+from repro.exceptions import MaterializationError, ReproError, SingularStrategyError, WorkloadError
+from repro.mechanisms.accountant import BudgetExceededError, PrivacyAccountant
+from repro.relational.relation import Relation
+from repro.relational.sql import workload_from_sql
+from repro.relational.vectorize import data_vector
+from repro.utils.rng import as_generator
+
+__all__ = ["Session", "SessionAnswer"]
+
+
+@dataclass
+class SessionAnswer:
+    """One answered request, with full provenance.
+
+    ``spent`` is the privacy cost debited for this answer — ``None`` when the
+    answer was derived from an earlier release (free post-processing).  For
+    batched requests every member reports the single *collective* spend and
+    its ``batch_size``.
+    """
+
+    labels: list[str]
+    answers: np.ndarray
+    expected_error: float | None
+    mechanism: str
+    spent: PrivacyParams | None
+    plan: Plan | None = None
+    plan_cache_hit: bool = False
+    served_from_release: bool = False
+    batch_size: int = 1
+    per_query_expected: np.ndarray | None = None
+    estimate: np.ndarray | None = None
+
+    def rows(self) -> list[dict]:
+        """One dict per query, for tabular reporting."""
+        out = []
+        for index, (label, answer) in enumerate(zip(self.labels, self.answers)):
+            row = {"query": label, "answer": float(answer)}
+            if self.per_query_expected is not None:
+                row["expected_rmse"] = float(self.per_query_expected[index])
+            out.append(row)
+        return out
+
+
+@dataclass
+class _Release:
+    """A paid release the session may reuse: the strategy and its estimate."""
+
+    strategy: object
+    estimate: np.ndarray
+    params: PrivacyParams
+    label: str = ""
+    #: Lazily computed: a full-rank strategy supports *every* workload, so
+    #: the per-request reuse probe is O(1) after the first ask instead of a
+    #: fresh O(n^3) support check per release per request.
+    _full_rank: bool | None = None
+
+    def full_rank(self) -> bool:
+        if self._full_rank is None:
+            try:
+                self._full_rank = bool(
+                    self.strategy.rank == self.strategy.column_count
+                )
+            except (MaterializationError, SingularStrategyError):
+                self._full_rank = False
+        return self._full_rank
+
+
+class Session:
+    """A long-lived, budget-accounted query-answering session.
+
+    Parameters
+    ----------
+    budget:
+        Total (epsilon, delta) the session may spend, enforced by a
+        :class:`PrivacyAccountant` under sequential composition.
+    schema:
+        Required to accept SQL requests or tuple-level (:class:`Relation`)
+        data; optional otherwise.
+    data:
+        The sensitive input: a length-``n`` data vector, or a
+        :class:`Relation` (bucketed through ``schema`` on construction).
+        May also be supplied per request.
+    planner:
+        Shared :class:`Planner` (and through it the plan cache).  Defaults to
+        a fresh planner with a fresh cache.
+    default_epsilon / default_delta:
+        Per-request budget when a request does not name its own.  With no
+        default epsilon a request must pass ``epsilon=``; with no default
+        delta, approximate-DP sessions give each request a proportional
+        slice ``budget.delta * epsilon / budget.epsilon``.
+    random_state:
+        Seeds the session's noise stream (per-request override available).
+    """
+
+    def __init__(
+        self,
+        budget: PrivacyParams,
+        *,
+        schema: Schema | None = None,
+        data: np.ndarray | Relation | None = None,
+        planner: Planner | None = None,
+        default_epsilon: float | None = None,
+        default_delta: float | None = None,
+        random_state=None,
+    ):
+        self.budget = budget
+        self.accountant = PrivacyAccountant(budget)
+        self.schema = schema
+        self.planner = planner if planner is not None else Planner()
+        self.default_epsilon = default_epsilon
+        self.default_delta = default_delta
+        self._rng = as_generator(random_state)
+        self._data = self._resolve_data(data) if data is not None else None
+        self._releases: list[_Release] = []
+        self.history: list[SessionAnswer] = []
+
+    # -------------------------------------------------------------- plumbing
+    def _resolve_data(self, data) -> np.ndarray:
+        if isinstance(data, Relation):
+            if self.schema is None:
+                raise ReproError(
+                    "a Session needs a schema to bucket tuple-level (Relation) data"
+                )
+            return data_vector(data, self.schema)
+        return np.asarray(data, dtype=float)
+
+    def _resolve_request(self, request) -> tuple[Workload, list[str]]:
+        if isinstance(request, Workload):
+            stem = request.name or "workload"
+            return request, [f"{stem}[{i}]" for i in range(request.query_count)]
+        if isinstance(request, str):
+            request = [request]
+        if isinstance(request, (list, tuple)) and request and all(
+            isinstance(item, str) for item in request
+        ):
+            if self.schema is None:
+                raise ReproError("a Session needs a schema to accept SQL requests")
+            return workload_from_sql(self.schema, list(request))
+        if isinstance(request, np.ndarray):
+            workload = Workload(request, name="adhoc")
+            return workload, [f"query[{i}]" for i in range(workload.query_count)]
+        raise ReproError(
+            f"cannot interpret request of type {type(request).__name__}; pass a "
+            "Workload, a query matrix, or SQL counting-query string(s)"
+        )
+
+    def _request_params(self, epsilon, delta) -> PrivacyParams:
+        if epsilon is None:
+            epsilon = self.default_epsilon
+        if epsilon is None:
+            raise ReproError(
+                "request has no epsilon: pass epsilon=... or construct the "
+                "Session with default_epsilon"
+            )
+        if delta is None:
+            delta = self.default_delta
+        if delta is None:
+            delta = (
+                self.budget.delta * float(epsilon) / self.budget.epsilon
+                if self.budget.delta > 0
+                else 0.0
+            )
+        return PrivacyParams(float(epsilon), float(delta))
+
+    @property
+    def remaining(self) -> PrivacyParams | None:
+        """The unspent budget (``None`` once exhausted in either parameter)."""
+        return self.accountant.remaining
+
+    @property
+    def releases(self) -> int:
+        """Number of paid releases so far (the reusable ``x_hat`` pool)."""
+        return len(self._releases)
+
+    # --------------------------------------------------------- free reuse path
+    def _serve_from_release(self, workload: Workload) -> SessionAnswer | None:
+        for release in reversed(self._releases):
+            strategy = release.strategy
+            if strategy is None or workload.column_count != release.estimate.shape[0]:
+                continue
+            # Cached full-rank releases (the common case after sensitivity
+            # completion) support everything; only rank-deficient releases
+            # pay the per-workload row-space check.
+            if not release.full_rank():
+                try:
+                    if not strategy.supports(workload.gram):
+                        continue
+                except (MaterializationError, SingularStrategyError):
+                    continue
+            answers = workload.answer(release.estimate)
+            expected = None
+            per_query = None
+            if release.params.is_approximate:
+                try:
+                    per_query = per_query_error(workload, strategy, release.params)
+                    expected = float(np.sqrt(np.mean(per_query**2)))
+                except (MaterializationError, SingularStrategyError):
+                    per_query = None
+            return SessionAnswer(
+                labels=[],
+                answers=answers,
+                expected_error=expected,
+                mechanism=f"release-reuse[{release.label}]",
+                spent=None,
+                served_from_release=True,
+                per_query_expected=per_query,
+                estimate=release.estimate,
+            )
+        return None
+
+    # ------------------------------------------------------------------- ask
+    def ask(
+        self,
+        request,
+        *,
+        epsilon: float | None = None,
+        delta: float | None = None,
+        data: np.ndarray | Relation | None = None,
+        random_state=None,
+        per_query: bool = False,
+    ) -> SessionAnswer:
+        """Answer one request privately.
+
+        The request may be a :class:`Workload`, a raw ``(m, n)`` query
+        matrix, one SQL counting-query string, or a list of them.  Overlap
+        with an earlier release is served free; otherwise the request is
+        planned, executed, and debited ``(epsilon, delta)``.
+
+        Passing ``data=`` answers against that data instead of the
+        session's: such requests neither reuse earlier releases nor leave
+        a reusable one behind (every recorded estimate describes the
+        session's own data, so cross-data reuse would silently answer
+        about the wrong dataset).
+        """
+        workload, labels = self._resolve_request(request)
+        # Release reuse is only sound against the session's own data: every
+        # recorded estimate was computed on it.  A request that brings its
+        # own data= must pay its way.
+        if data is None:
+            reused = self._serve_from_release(workload)
+            if reused is not None:
+                reused.labels = labels
+                self.history.append(reused)
+                return reused
+        params = self._request_params(epsilon, delta)
+        if not self.accountant.can_spend(params):
+            remaining = self.accountant.remaining
+            raise BudgetExceededError(
+                f"request (epsilon={params.epsilon}, delta={params.delta}) exceeds the "
+                f"remaining session budget "
+                f"({'exhausted' if remaining is None else f'epsilon={remaining.epsilon}, delta={remaining.delta}'}); "
+                "nothing was spent"
+            )
+        vector = self._resolve_data(data) if data is not None else self._data
+        if vector is None:
+            raise ReproError(
+                "the Session has no data: pass data= at construction or per request"
+            )
+        cache = self.planner.cache
+        hits_before = None if cache is None else cache.hits
+        plan = self.planner.plan(workload, params)
+        cache_hit = cache is not None and hits_before is not None and cache.hits > hits_before
+        rng = self._rng if random_state is None else as_generator(random_state)
+        result = plan.execute(workload, vector, params, random_state=rng)
+        self.accountant.spend(params, label=workload.name or labels[0])
+        answer = self._record(
+            workload, labels, plan, result, params, cache_hit, per_query,
+            reusable=data is None,
+        )
+        return answer
+
+    def ask_batch(
+        self,
+        requests,
+        *,
+        epsilon: float | None = None,
+        delta: float | None = None,
+        data: np.ndarray | Relation | None = None,
+        random_state=None,
+        per_query: bool = False,
+    ) -> list[SessionAnswer]:
+        """Answer several compatible requests from a single paid release.
+
+        All requests are unioned into one workload over the same cells, one
+        plan is executed, the budget is debited **once**, and every answer
+        derives from the same ``x_hat`` — so answers are mutually consistent
+        across the whole batch.  Returns one :class:`SessionAnswer` per
+        request, each reporting the collective spend and the batch size.
+        """
+        if not requests:
+            raise ReproError("ask_batch needs at least one request")
+        resolved = [self._resolve_request(request) for request in requests]
+        cells = resolved[0][0].column_count
+        if any(workload.column_count != cells for workload, _ in resolved):
+            raise WorkloadError("all batched requests must share the same cells")
+        union = Workload.union([workload for workload, _ in resolved], name="session-batch")
+        all_labels = [label for _, labels in resolved for label in labels]
+        collective = self.ask(
+            union,
+            epsilon=epsilon,
+            delta=delta,
+            data=data,
+            random_state=random_state,
+            per_query=per_query,
+        )
+        collective.labels = all_labels
+        self.history.pop()  # replace the union entry with per-request answers
+        answers: list[SessionAnswer] = []
+        offset = 0
+        for workload, labels in resolved:
+            stop = offset + workload.query_count
+            answer = SessionAnswer(
+                labels=labels,
+                answers=collective.answers[offset:stop],
+                expected_error=collective.expected_error,
+                mechanism=collective.mechanism,
+                spent=collective.spent,
+                plan=collective.plan,
+                plan_cache_hit=collective.plan_cache_hit,
+                served_from_release=collective.served_from_release,
+                batch_size=len(resolved),
+                per_query_expected=None
+                if collective.per_query_expected is None
+                else collective.per_query_expected[offset:stop],
+                estimate=collective.estimate,
+            )
+            answers.append(answer)
+            self.history.append(answer)
+            offset = stop
+        return answers
+
+    # ---------------------------------------------------------------- record
+    def _record(
+        self,
+        workload: Workload,
+        labels: list[str],
+        plan: Plan,
+        result: EngineResult,
+        params: PrivacyParams,
+        cache_hit: bool,
+        per_query: bool,
+        reusable: bool = True,
+    ) -> SessionAnswer:
+        per_query_expected = None
+        strategy = (
+            plan.mechanism.strategy
+            if isinstance(plan.mechanism, StrategyMechanism)
+            else None
+        )
+        if per_query and strategy is not None and params.is_approximate:
+            try:
+                per_query_expected = per_query_error(workload, strategy, params)
+            except (MaterializationError, SingularStrategyError):
+                per_query_expected = None
+        # Only estimates computed on the session's own data may serve future
+        # (session-data) requests for free.
+        if reusable and result.estimate is not None and strategy is not None:
+            self._releases.append(
+                _Release(
+                    strategy=strategy,
+                    estimate=result.estimate,
+                    params=params,
+                    label=workload.name or labels[0],
+                )
+            )
+        answer = SessionAnswer(
+            labels=labels,
+            answers=result.answers,
+            expected_error=plan.expected_error(params),
+            mechanism=result.mechanism,
+            spent=params,
+            plan=plan,
+            plan_cache_hit=cache_hit,
+            per_query_expected=per_query_expected,
+            estimate=result.estimate,
+        )
+        self.history.append(answer)
+        return answer

@@ -3,6 +3,14 @@
 This is the machinery behind the paper's Figures 3(a), 3(c), 5 and Table 2:
 for one workload, compute the expected (data-independent) workload error of
 several strategies plus the singular-value lower bound, and report ratios.
+
+Strategies are priced through the engine's :class:`Mechanism` cost model
+(:mod:`repro.engine.mechanism`) — the same code path the
+:class:`~repro.engine.planner.Planner` ranks candidates with — so the
+experiment tables and the production planner can never disagree about what a
+strategy costs.  A side effect of the shared model is that comparisons work
+in both privacy regimes: ``delta > 0`` prices the Gaussian instantiation,
+``delta == 0`` the pure-epsilon Laplace one.
 """
 
 from __future__ import annotations
@@ -10,11 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.core.error import expected_workload_error, minimum_error_bound
+from repro.core.error import minimum_error_bound
 from repro.core.privacy import PrivacyParams
 from repro.core.strategy import Strategy
 from repro.core.workload import Workload
-from repro.exceptions import SingularStrategyError
+from repro.engine.mechanism import StrategyMechanism
+from repro.exceptions import MaterializationError, SingularStrategyError
 
 __all__ = ["StrategyComparison", "compare_strategies"]
 
@@ -113,9 +122,10 @@ def compare_strategies(
     """
     errors: dict[str, float] = {}
     for label, strategy in strategies.items():
+        mechanism = StrategyMechanism(strategy)
         try:
-            errors[label] = expected_workload_error(workload, strategy, privacy)
-        except SingularStrategyError:
+            errors[label] = mechanism.expected_error(workload, privacy)
+        except (SingularStrategyError, MaterializationError):
             errors[label] = float("inf")
     return StrategyComparison(
         workload_name=workload.name or "workload",

@@ -32,10 +32,23 @@ class PrivacyAccountant:
 
     @property
     def remaining(self) -> PrivacyParams | None:
-        """The unspent budget, or ``None`` when it is (numerically) exhausted."""
+        """The unspent budget, or ``None`` when it is (numerically) exhausted.
+
+        Exhaustion counts *both* parameters: a budget whose delta has been
+        overspent is exhausted even while epsilon remains, because no further
+        request (``delta >= 0``) could be afforded without violating the
+        configured guarantee.  Delta deficits within the ``can_spend``
+        rounding slack (``1e-15``) are treated as zero, not as exhaustion.
+        The two views agree for any request larger than the rounding slack:
+        ``remaining is None`` implies ``can_spend`` refuses every request
+        with ``epsilon > 1e-12``, and a non-``None`` remainder is itself
+        spendable.  (Degenerate requests at or below the slack exist only to
+        absorb float accumulation and are intentionally outside the
+        guarantee.)
+        """
         epsilon = self.budget.epsilon - self.spent_epsilon
         delta = self.budget.delta - self.spent_delta
-        if epsilon <= 0:
+        if epsilon <= 0 or delta < -1e-15:
             return None
         return PrivacyParams(epsilon, max(delta, 0.0))
 

@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro import (
     GaussianMechanism,
@@ -194,3 +195,80 @@ class TestAccountant:
         accountant = PrivacyAccountant(PrivacyParams(1.0, 1e-4))
         assert accountant.can_spend(PrivacyParams(0.9, 1e-5))
         assert accountant.spent_epsilon == 0.0
+
+    def test_delta_exhaustion_counts(self):
+        # Delta overspent (e.g. state restored from elsewhere) with epsilon
+        # to spare: the budget is exhausted, not "usable at delta 0".
+        accountant = PrivacyAccountant(
+            PrivacyParams(1.0, 1e-4), spent_epsilon=0.1, spent_delta=2e-4
+        )
+        assert accountant.remaining is None
+        assert not accountant.can_spend(PrivacyParams(0.1, 1e-5))
+        assert not accountant.can_spend(PrivacyParams(0.1, 0.0))
+
+    def test_delta_fully_spent_but_not_overspent_allows_pure_requests(self):
+        accountant = PrivacyAccountant(PrivacyParams(1.0, 1e-4))
+        accountant.spend(PrivacyParams(0.5, 1e-4))
+        remaining = accountant.remaining
+        assert remaining is not None
+        assert remaining.delta == 0.0
+        assert accountant.can_spend(PrivacyParams(0.5, 0.0))
+        assert not accountant.can_spend(PrivacyParams(0.5, 1e-5))
+
+
+class TestAccountantProperties:
+    """Property test: spend / can_spend / remaining can never disagree."""
+
+    @given(
+        budget_epsilon=st.floats(0.1, 4.0),
+        budget_delta=st.one_of(st.just(0.0), st.floats(1e-8, 1e-2)),
+        requests=st.lists(
+            st.tuples(
+                st.floats(0.01, 2.0),
+                st.one_of(st.just(0.0), st.floats(1e-10, 5e-3)),
+            ),
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_spend_can_spend_remaining_consistency(
+        self, budget_epsilon, budget_delta, requests
+    ):
+        accountant = PrivacyAccountant(PrivacyParams(budget_epsilon, budget_delta))
+        total_epsilon = 0.0
+        total_delta = 0.0
+        for epsilon, delta in requests:
+            request = PrivacyParams(epsilon, delta)
+            before = (
+                accountant.spent_epsilon,
+                accountant.spent_delta,
+                len(accountant.history),
+            )
+            if accountant.can_spend(request):
+                accountant.spend(request)
+                total_epsilon += epsilon
+                total_delta += delta
+                assert len(accountant.history) == before[2] + 1
+            else:
+                # A refused spend raises and leaves the state untouched.
+                with pytest.raises(BudgetExceededError):
+                    accountant.spend(request)
+                after = (
+                    accountant.spent_epsilon,
+                    accountant.spent_delta,
+                    len(accountant.history),
+                )
+                assert after == before
+            # Spent totals track exactly what was granted.
+            assert accountant.spent_epsilon == pytest.approx(total_epsilon)
+            assert accountant.spent_delta == pytest.approx(total_delta)
+            # Granted spending never exceeds the budget (within slack).
+            assert accountant.spent_epsilon <= accountant.budget.epsilon + 1e-12
+            assert accountant.spent_delta <= accountant.budget.delta + 1e-15
+            remaining = accountant.remaining
+            if remaining is None:
+                # Exhausted: nothing beyond the rounding slack is spendable.
+                assert not accountant.can_spend(PrivacyParams(1e-6, 0.0))
+            else:
+                # Not exhausted: spending exactly the remainder is allowed.
+                assert accountant.can_spend(remaining)

@@ -145,3 +145,138 @@ class TestCli:
     def test_unknown_override_key_reports_error(self):
         out = io.StringIO()
         assert main(["run", "example", "--set", "bananas=1"], out=out) == 1
+
+    def test_bad_override_literal_type_reports_error(self, capsys):
+        # A value that parses to the wrong type (epsilon=abc stays a string)
+        # must come back as a usage error, not an uncaught traceback.
+        out = io.StringIO()
+        assert main(["run", "example", "--set", "epsilon=abc"], out=out) == 1
+        assert "epsilon=abc" in capsys.readouterr().err
+
+    def test_run_unknown_experiment_reports_error(self, capsys):
+        out = io.StringIO()
+        assert main(["run", "does-not-exist"], out=out) == 1
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestQueryEngineExperiment:
+    def test_cold_warm_and_refusal_rows(self):
+        record = run_experiment("query-engine", tuples=800, buckets=4)
+        phases = {row["phase"]: row for row in record.rows}
+        assert phases["cold plan"]["plan_cache_hit"] is False
+        assert phases["warm plan-cache hit"]["plan_cache_hit"] is True
+        # The warm session re-used the cold session's plan: one optimization.
+        assert phases["warm plan-cache hit"]["plans_built"] == 1
+        assert phases["released-estimate reuse"]["mechanism"].startswith("release-reuse")
+        refused = phases["over-budget request"]
+        assert "refused" in refused["mechanism"]
+        assert refused["spent_epsilon"] == 0.0
+
+
+SCHEMA_JSON = '{"gender": "categorical", "gpa": [1.0, 2.0, 3.0, 3.5, 4.0]}'
+DATA_CSV = "gender,gpa\n" + "\n".join(
+    f"{'M' if i % 2 else 'F'},{1.0 + (i % 30) / 10:.1f}" for i in range(200)
+)
+
+
+class TestCliQuery:
+    @pytest.fixture
+    def files(self, tmp_path):
+        schema = tmp_path / "schema.json"
+        schema.write_text(SCHEMA_JSON)
+        data = tmp_path / "people.csv"
+        data.write_text(DATA_CSV + "\n")
+        return schema, data
+
+    def test_query_end_to_end_table(self, files):
+        schema, data = files
+        out = io.StringIO()
+        code = main(
+            [
+                "query", "--schema", str(schema), "--data", str(data),
+                "--sql", "SELECT COUNT(*) FROM people GROUP BY gender",
+                "--sql", "SELECT COUNT(*) FROM people WHERE gpa BETWEEN 2.0 AND 3.5",
+                "--epsilon", "0.5", "--seed", "0",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "gender = 'M'" in text and "gender = 'F'" in text
+        assert "mutually consistent" in text
+
+    def test_query_json_output_is_consistent(self, files):
+        schema, data = files
+        out = io.StringIO()
+        code = main(
+            [
+                "query", "--schema", str(schema), "--data", str(data),
+                "--sql", "SELECT COUNT(*) FROM people",
+                "--sql", "SELECT COUNT(*) FROM people GROUP BY gender",
+                "--epsilon", "1.0", "--seed", "3", "--format", "json",
+            ],
+            out=out,
+        )
+        assert code == 0
+        payload = json.loads(out.getvalue())
+        assert payload["mechanism"].startswith("matrix-mechanism")
+        answers = [row["answer"] for row in payload["rows"]]
+        # Total equals the sum of the gender marginal: one x_hat serves all.
+        assert answers[0] == pytest.approx(answers[1] + answers[2], abs=1e-6)
+
+    def test_query_sql_file(self, files, tmp_path):
+        schema, data = files
+        sql_file = tmp_path / "queries.sql"
+        sql_file.write_text(
+            "# analyst task\nSELECT COUNT(*) FROM people\n\n"
+            "SELECT COUNT(*) FROM people WHERE gender = 'M'\n"
+        )
+        out = io.StringIO()
+        code = main(
+            [
+                "query", "--schema", str(schema), "--data", str(data),
+                "--sql-file", str(sql_file), "--epsilon", "0.5", "--seed", "1",
+                "--format", "csv",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert out.getvalue().splitlines()[0].startswith("query,")
+
+    def test_query_without_statements_errors(self, files):
+        schema, data = files
+        out = io.StringIO()
+        assert main(["query", "--schema", str(schema), "--data", str(data)], out=out) == 1
+
+    def test_query_missing_schema_file_errors(self, files, capsys):
+        _, data = files
+        out = io.StringIO()
+        code = main(
+            ["query", "--schema", "/nonexistent.json", "--data", str(data),
+             "--sql", "SELECT COUNT(*) FROM people"],
+            out=out,
+        )
+        assert code == 1
+        assert "cannot read schema file" in capsys.readouterr().err
+
+    def test_query_invalid_schema_json_errors(self, files, tmp_path):
+        _, data = files
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2, 3]")
+        out = io.StringIO()
+        code = main(
+            ["query", "--schema", str(bad), "--data", str(data),
+             "--sql", "SELECT COUNT(*) FROM people"],
+            out=out,
+        )
+        assert code == 1
+
+    def test_query_unparsable_sql_errors(self, files):
+        schema, data = files
+        out = io.StringIO()
+        code = main(
+            ["query", "--schema", str(schema), "--data", str(data),
+             "--sql", "DELETE FROM people", "--epsilon", "0.5"],
+            out=out,
+        )
+        assert code == 1

@@ -1,0 +1,166 @@
+"""SQL -> workload round trips against hand-built matrices.
+
+The cell layout is the row-major cross product of the schema attributes: with
+``gender in (M, F)`` first and four GPA buckets second, cells 0-3 are the
+``M`` row of GPA buckets ``[1,2), [2,3), [3,3.5), [3.5,4)`` and cells 4-7 the
+``F`` row.  Every test writes the expected workload matrix out by hand in
+that layout, so these are oracle tests of the whole SQL compilation path —
+parsing, predicate semantics (half-open BETWEEN, NOT, IN), and GROUP BY
+expansion order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.domain.schema import CategoricalAttribute, NumericAttribute, Schema
+from repro.exceptions import QueryParseError
+from repro.relational.sql import parse_counting_query, workload_from_sql
+
+SCHEMA = Schema(
+    [
+        CategoricalAttribute("gender", ["M", "F"]),
+        NumericAttribute("gpa", [1.0, 2.0, 3.0, 3.5, 4.0]),
+    ]
+)
+# Cell index = 4 * gender_bucket + gpa_bucket.
+M = [1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0]
+F = [0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0]
+
+
+def rows_of(statements):
+    workload, labels = workload_from_sql(SCHEMA, statements)
+    return workload.matrix, labels
+
+
+class TestWhereCompilation:
+    def test_total_query(self):
+        matrix, _ = rows_of(["SELECT COUNT(*) FROM s"])
+        np.testing.assert_array_equal(matrix, np.ones((1, 8)))
+
+    def test_equality_on_categorical(self):
+        matrix, _ = rows_of(["SELECT COUNT(*) FROM s WHERE gender = 'F'"])
+        np.testing.assert_array_equal(matrix, [F])
+
+    def test_between_is_half_open(self):
+        # BETWEEN 2.0 AND 3.5 means 2.0 <= gpa < 3.5: buckets [2,3) and
+        # [3,3.5) only — the [3.5,4) bucket is NOT included.
+        matrix, _ = rows_of(["SELECT COUNT(*) FROM s WHERE gpa BETWEEN 2.0 AND 3.5"])
+        expected = [[0, 1, 1, 0, 0, 1, 1, 0]]
+        np.testing.assert_array_equal(matrix, expected)
+
+    def test_between_whole_range_differs_from_closed_interpretation(self):
+        # Under closed-interval semantics 1.0..3.5 would still exclude the
+        # top bucket; make the half-open upper edge explicit.
+        matrix, _ = rows_of(["SELECT COUNT(*) FROM s WHERE gpa BETWEEN 1.0 AND 4.0"])
+        np.testing.assert_array_equal(matrix, np.ones((1, 8)))
+
+    def test_not_inverts_cell_membership(self):
+        matrix, _ = rows_of(["SELECT COUNT(*) FROM s WHERE NOT gender = 'F'"])
+        np.testing.assert_array_equal(matrix, [M])
+
+    def test_not_between(self):
+        matrix, _ = rows_of(
+            ["SELECT COUNT(*) FROM s WHERE NOT gpa BETWEEN 2.0 AND 3.5"]
+        )
+        expected = [[1, 0, 0, 1, 1, 0, 0, 1]]
+        np.testing.assert_array_equal(matrix, expected)
+
+    def test_in_list_on_categorical(self):
+        matrix, _ = rows_of(["SELECT COUNT(*) FROM s WHERE gender IN ('M', 'F')"])
+        np.testing.assert_array_equal(matrix, np.ones((1, 8)))
+
+    def test_not_in_combined_with_range(self):
+        matrix, _ = rows_of(
+            ["SELECT COUNT(*) FROM s WHERE NOT gender IN ('F') AND gpa >= 3.0"]
+        )
+        expected = [[0, 0, 1, 1, 0, 0, 0, 0]]
+        np.testing.assert_array_equal(matrix, expected)
+
+    def test_or_and_parentheses(self):
+        matrix, _ = rows_of(
+            ["SELECT COUNT(*) FROM s WHERE gender = 'M' OR (gender = 'F' AND gpa < 2.0)"]
+        )
+        expected = [[1, 1, 1, 1, 1, 0, 0, 0]]
+        np.testing.assert_array_equal(matrix, expected)
+
+
+class TestGroupByExpansion:
+    def test_group_by_single_attribute(self):
+        matrix, labels = rows_of(["SELECT COUNT(*) FROM s GROUP BY gender"])
+        np.testing.assert_array_equal(matrix, [M, F])
+        assert labels == ["gender = 'M'", "gender = 'F'"]
+
+    def test_group_by_with_where(self):
+        matrix, labels = rows_of(
+            ["SELECT COUNT(*) FROM s WHERE gpa BETWEEN 2.0 AND 3.5 GROUP BY gender"]
+        )
+        expected = [
+            [0, 1, 1, 0, 0, 0, 0, 0],  # M restricted to [2, 3.5)
+            [0, 0, 0, 0, 0, 1, 1, 0],  # F restricted to [2, 3.5)
+        ]
+        np.testing.assert_array_equal(matrix, expected)
+
+    def test_group_by_two_attributes_row_order(self):
+        # Groups expand in row-major order over (gender, gpa): M x 4 GPA
+        # buckets then F x 4 GPA buckets — i.e. the identity workload here.
+        matrix, labels = rows_of(["SELECT COUNT(*) FROM s GROUP BY gender, gpa"])
+        np.testing.assert_array_equal(matrix, np.eye(8))
+        assert labels[0] == "gender = 'M' AND gpa in [1.0, 2.0)"
+        assert labels[-1] == "gender = 'F' AND gpa in [3.5, 4.0)"
+
+    def test_group_by_misaligned_in_predicate_rejected(self):
+        # 1.5 is interior to bucket [1, 2): the predicate is misaligned with
+        # the cell partition and must be rejected, not silently approximated.
+        from repro.exceptions import MisalignedPredicateError
+
+        with pytest.raises(MisalignedPredicateError):
+            rows_of(["SELECT COUNT(*) FROM s WHERE NOT gpa IN (1.5) GROUP BY gender"])
+
+    def test_group_by_unknown_attribute_raises(self):
+        with pytest.raises(QueryParseError):
+            rows_of(["SELECT COUNT(*) FROM s GROUP BY wealth"])
+
+
+class TestStackedStatements:
+    def test_union_of_statements_stacks_rows_in_order(self):
+        statements = [
+            "SELECT COUNT(*) FROM s",
+            "SELECT COUNT(*) FROM s WHERE gender = 'M'",
+            "SELECT COUNT(*) FROM s GROUP BY gender",
+        ]
+        matrix, labels = rows_of(statements)
+        expected = np.vstack([np.ones((1, 8)), [M], [M], [F]])
+        np.testing.assert_array_equal(matrix, expected)
+        assert len(labels) == 4
+
+    def test_roundtrip_counts_match_direct_evaluation(self):
+        # W x must equal evaluating each compiled predicate on the histogram.
+        x = np.array([3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0])
+        statements = [
+            "SELECT COUNT(*) FROM s WHERE gpa >= 3.0 GROUP BY gender",
+            "SELECT COUNT(*) FROM s WHERE gender = 'F' AND gpa BETWEEN 1.0 AND 3.0",
+        ]
+        workload, _ = workload_from_sql(SCHEMA, statements)
+        answers = workload.answer(x)
+        np.testing.assert_allclose(answers, [4 + 1, 2 + 6, 5 + 9])
+
+    def test_empty_statement_list_raises(self):
+        with pytest.raises(QueryParseError):
+            workload_from_sql(SCHEMA, [])
+
+
+class TestParserEdgeCases:
+    def test_between_values_preserved(self):
+        query = parse_counting_query(
+            "SELECT COUNT(*) FROM s WHERE gpa BETWEEN 2.0 AND 3.5"
+        )
+        assert query.table == "s"
+        assert query.group_by == ()
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_counting_query("SELECT COUNT(*) FROM s WHERE gender = 'M' HAVING 1")
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_counting_query("SELECT COUNT(*) FROM s WHERE gpa ~ 3")
