@@ -73,7 +73,7 @@ __version__ = "1.0.0"
 #: works, but `python -m repro list`-style entry points that never touch the
 #: engine do not pay its (relational front end included) import cost.
 _ENGINE_EXPORTS = frozenset(
-    {"Plan", "PlanCache", "Planner", "Session", "SessionAnswer"}
+    {"Plan", "PlanCache", "Planner", "Server", "Session", "SessionAnswer"}
 )
 
 
@@ -109,6 +109,7 @@ __all__ = [
     "PrivacyParams",
     "ReproError",
     "Schema",
+    "Server",
     "Session",
     "SessionAnswer",
     "SingularStrategyError",

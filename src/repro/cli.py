@@ -9,6 +9,8 @@ Usage (after ``pip install -e .``)::
     python -m repro run alternative-workloads --output results.json
     python -m repro query --schema schema.json --data people.csv \
         --sql "SELECT COUNT(*) FROM people GROUP BY gender" --epsilon 0.5
+    python -m repro serve --schema schema.json --data people.csv \
+        --budget-epsilon 1.0 --workers 4 < requests.jsonl
 
 ``run`` prints the experiment's rows as an aligned table (or CSV/JSON) and can
 persist them with ``--output``; ``--set key=value`` overrides any default
@@ -20,6 +22,15 @@ each attribute to ``"categorical"``, a bucket count, or explicit edges), a
 CSV of raw tuples, and one or more SQL counting queries go through the
 engine — SQL compilation, planning, plan cache, budgeted session — and come
 back as mutually consistent private answers.
+
+``serve`` keeps the engine resident and answers **line-delimited requests**
+from stdin (or ``--requests FILE``) through a multi-tenant
+:class:`~repro.engine.server.Server`: each line is a bare SQL counting query
+(tenant ``default``) or a JSON object ``{"tenant": ..., "sql": ...,
+"epsilon": ...}``; each reply is one JSON line.  Every tenant gets its own
+budget (``--budget-epsilon`` / ``--budget-delta``), requests are answered
+from a thread pool, and repeated workload shapes across tenants share one
+plan cache.
 """
 
 from __future__ import annotations
@@ -117,6 +128,49 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="decimal places in table output",
     )
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve line-delimited SQL requests from a multi-tenant engine server",
+    )
+    serve.add_argument(
+        "--schema",
+        required=True,
+        help="JSON file mapping attribute names to 'categorical', a bucket count, "
+        "or explicit bucket edges/values",
+    )
+    serve.add_argument("--data", required=True, help="CSV file of raw tuples")
+    serve.add_argument(
+        "--requests",
+        default=None,
+        help="file of line-delimited requests (default: read stdin until EOF)",
+    )
+    serve.add_argument(
+        "--budget-epsilon",
+        type=float,
+        default=1.0,
+        help="per-tenant privacy budget epsilon",
+    )
+    serve.add_argument(
+        "--budget-delta",
+        type=float,
+        default=1e-4,
+        help="per-tenant privacy budget delta",
+    )
+    serve.add_argument(
+        "--default-epsilon",
+        type=float,
+        default=0.1,
+        help="per-request epsilon when a request does not name its own",
+    )
+    serve.add_argument("--workers", type=int, default=4, help="request-pool threads")
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard-pool parallelism for one large request (default: workers)",
+    )
+    serve.add_argument("--seed", type=int, default=None, help="noise seed (reproducible runs)")
     return parser
 
 
@@ -287,6 +341,51 @@ def _command_query(arguments, out) -> int:
     return 0
 
 
+def _command_serve(arguments, out) -> int:
+    # Imported lazily so `list`/`run` keep their fast startup.
+    from repro.core.privacy import PrivacyParams
+    from repro.engine import Server
+    from repro.relational.csvio import read_csv
+    from repro.relational.vectorize import infer_schema
+
+    spec = _load_schema_spec(arguments.schema)
+    try:
+        relation = read_csv(arguments.data)
+    except OSError as error:
+        raise ReproError(f"cannot read data file {arguments.data!r}: {error}") from error
+    schema = infer_schema(relation, spec)
+    if arguments.requests is not None:
+        try:
+            with open(arguments.requests) as handle:
+                lines = [line for line in handle if line.strip()]
+        except OSError as error:
+            raise ReproError(
+                f"cannot read requests file {arguments.requests!r}: {error}"
+            ) from error
+    else:
+        lines = [line for line in sys.stdin if line.strip()]
+    server = Server(
+        PrivacyParams(arguments.budget_epsilon, arguments.budget_delta),
+        schema=schema,
+        data=relation,
+        workers=arguments.workers,
+        shards=arguments.shards,
+        default_epsilon=arguments.default_epsilon,
+        random_state=arguments.seed,
+    )
+    try:
+        server.serve(lines, out=out)
+    finally:
+        server.close()
+    stats = server.stats()
+    print(
+        f"[served {stats['answers_served']} answers for {stats['tenants']} tenant(s); "
+        f"plan cache: {stats['plan_cache']}]",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     """Entry point used by ``python -m repro`` (returns a process exit code)."""
     out = sys.stdout if out is None else out
@@ -302,6 +401,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _command_info(arguments.experiment, out)
         if arguments.command == "query":
             return _command_query(arguments, out)
+        if arguments.command == "serve":
+            return _command_serve(arguments, out)
         return _command_run(arguments, out)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -15,7 +15,9 @@ way so that ratios of measured error to the bound are directly comparable.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -100,17 +102,30 @@ STOCHASTIC_TRACE_LAST: dict = {}
 #: operator image, and the cached Hutch++ sketch basis).
 _TRACE_RECYCLERS: "OrderedDict[tuple, _TraceRecycler]" = OrderedDict()
 _TRACE_RECYCLER_LIMIT = 4
+#: Guards the registry's structure (lookup, insert, LRU move, eviction,
+#: clear).  The registry is process-global shared state; without the lock two
+#: server sessions evaluating traces concurrently can corrupt the OrderedDict
+#: mid-eviction.  The lock covers only the *registry* — mutating Krylov state
+#: inside one recycler is serialized separately per recycler (see
+#: ``_TraceRecycler.lock``), so distinct pairs still recycle in parallel.
+_TRACE_RECYCLER_REGISTRY_LOCK = threading.Lock()
 
 
 class _TraceRecycler:
-    """Krylov state shared by repeated evaluations of one trace."""
+    """Krylov state shared by repeated evaluations of one trace.
 
-    __slots__ = ("deflation", "sketch", "evaluations")
+    ``lock`` serializes *use* of the recycled state (the deflation space and
+    sketch basis mutate during a solve); distinct (workload, strategy) pairs
+    hold distinct recyclers and therefore evaluate concurrently.
+    """
+
+    __slots__ = ("deflation", "sketch", "evaluations", "lock")
 
     def __init__(self, deflation_rank: int):
         self.deflation = DeflationSpace(max_vectors=deflation_rank)
         self.sketch: dict = {}
         self.evaluations = 0
+        self.lock = threading.Lock()
 
 
 def clear_trace_recyclers() -> None:
@@ -122,7 +137,8 @@ def clear_trace_recyclers() -> None:
     Call this after a sweep over huge domains to hand the memory back, or
     set ``STOCHASTIC_TRACE["recycle"] = False`` to opt out entirely.
     """
-    _TRACE_RECYCLERS.clear()
+    with _TRACE_RECYCLER_REGISTRY_LOCK:
+        _TRACE_RECYCLERS.clear()
 
 
 def _content_digest(array: np.ndarray) -> str:
@@ -154,14 +170,15 @@ def _trace_recycler(
     parts.append(str(int(STOCHASTIC_TRACE["seed"])))
     parts.append(str(int(STOCHASTIC_TRACE["deflation_rank"])))
     key = tuple(parts)
-    recycler = _TRACE_RECYCLERS.get(key)
-    if recycler is None:
-        recycler = _TraceRecycler(int(STOCHASTIC_TRACE["deflation_rank"]))
-        _TRACE_RECYCLERS[key] = recycler
-        while len(_TRACE_RECYCLERS) > _TRACE_RECYCLER_LIMIT:
-            _TRACE_RECYCLERS.popitem(last=False)
-    else:
-        _TRACE_RECYCLERS.move_to_end(key)
+    with _TRACE_RECYCLER_REGISTRY_LOCK:
+        recycler = _TRACE_RECYCLERS.get(key)
+        if recycler is None:
+            recycler = _TraceRecycler(int(STOCHASTIC_TRACE["deflation_rank"]))
+            _TRACE_RECYCLERS[key] = recycler
+            while len(_TRACE_RECYCLERS) > _TRACE_RECYCLER_LIMIT:
+                _TRACE_RECYCLERS.popitem(last=False)
+        else:
+            _TRACE_RECYCLERS.move_to_end(key)
     return recycler
 
 
@@ -342,15 +359,19 @@ def _stochastic_completed_trace(
         return sqrt_op.matvec(basis.apply(solved))
 
     rng = np.random.default_rng(STOCHASTIC_TRACE["seed"])
-    estimate = hutchpp_trace(
-        apply_inverse_quadratic,
-        strategy_op.shape[0],
-        samples=int(STOCHASTIC_TRACE["samples"]),
-        rng=rng,
-        sketch=sketch,
-    )
-    if recycler is not None:
-        recycler.evaluations += 1
+    # Recycled Krylov state mutates during the solve, so its use is
+    # serialized per recycler (distinct pairs still evaluate in parallel).
+    lock = recycler.lock if recycler is not None else contextlib.nullcontext()
+    with lock:
+        estimate = hutchpp_trace(
+            apply_inverse_quadratic,
+            strategy_op.shape[0],
+            samples=int(STOCHASTIC_TRACE["samples"]),
+            rng=rng,
+            sketch=sketch,
+        )
+        if recycler is not None:
+            recycler.evaluations += 1
     STOCHASTIC_TRACE_LAST.clear()
     STOCHASTIC_TRACE_LAST.update(totals)
     STOCHASTIC_TRACE_LAST["recycled_sketch"] = recycled_sketch

@@ -25,9 +25,12 @@ from repro.exceptions import MaterializationError, StrategyError
 from repro.utils.linalg import kron_all, symmetrize
 from repro.utils.operators import (
     HARD_MATERIALIZATION_LIMIT,
+    SPECTRUM_CUTOFF,
     EigenDiagOperator,
     KroneckerOperator,
     StructuredGramMixin,
+    kron_apply,
+    projected_workload_diagonal,
     within_materialization_budget,
 )
 from repro.utils.validation import check_matrix
@@ -321,6 +324,59 @@ class Strategy(StructuredGramMixin):
         residual = workload_gram - projector @ workload_gram @ projector
         scale = max(np.abs(workload_gram).max(), 1.0)
         return bool(np.abs(residual).max() <= tolerance * scale)
+
+    def supports_workload(self, workload, tolerance: float = 1e-6) -> bool:
+        """Row-space support test that never densifies beyond the budget.
+
+        The structured fast path covers the common serving case — an
+        eigen-design strategy (:class:`~repro.utils.operators
+        .EigenDiagOperator` Gram) probed by a Kronecker workload over the
+        same factor shapes: the workload mass on the strategy's *unreachable*
+        spectrum coordinates is computed factor by factor
+        (:func:`~repro.utils.operators.projected_workload_diagonal`,
+        ``O(sum_i d_i^3)``), the exact test the error trace itself applies.
+        Completion rows extend the reachable set, so a completed design only
+        counts coordinates its completion diagonal leaves at zero.
+
+        Without a structured match the dense :meth:`supports` check runs
+        **only** while ``n x n`` fits the materialization *preference*
+        budget; past it a :class:`~repro.exceptions.MaterializationError` is
+        raised *before* any dense Gram is built — callers probing for free
+        reuse (``Session._serve_from_release``) treat that as "unsupported"
+        and pay for the request instead of densifying a 100M-entry matrix
+        just to decide reuse.
+        """
+        operator = self.gram_operator
+        workload_op = getattr(workload, "gram_operator", None)
+        if isinstance(operator, EigenDiagOperator) and isinstance(
+            workload_op, KroneckerOperator
+        ):
+            basis = operator.basis
+            if [factor.shape[0] for factor in workload_op.factors] == [
+                vectors.shape[0] for vectors in basis.vector_factors
+            ]:
+                projected = projected_workload_diagonal(basis, workload_op)
+                spectrum = operator.spectrum
+                top = float(spectrum.max(initial=0.0))
+                alive = spectrum > SPECTRUM_CUTOFF * top
+                if operator.has_diag:
+                    completion = kron_apply(
+                        basis.squared_factors, operator.diag, transpose=True
+                    )
+                    floor = SPECTRUM_CUTOFF * float(completion.max(initial=0.0))
+                    unreachable = (~alive) & (completion <= max(floor, 1e-300))
+                else:
+                    unreachable = ~alive
+                dead_mass = float(projected[unreachable].sum())
+                return dead_mass <= tolerance * max(float(projected.sum()), 1.0)
+        cells = self.column_count
+        if not within_materialization_budget(cells, cells):
+            raise MaterializationError(
+                f"strategy {self.name!r} has no structured support test for this "
+                f"workload and the dense row-space check would materialise a "
+                f"{cells} x {cells} Gram, beyond the materialization budget"
+            )
+        return self.supports(workload.gram, tolerance)
 
     def pseudo_inverse(self) -> np.ndarray:
         """Return ``A^+``, used by the matrix mechanism's inference step."""

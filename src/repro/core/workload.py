@@ -22,6 +22,7 @@ Three representations are supported:
 
 from __future__ import annotations
 
+import copy
 from typing import Sequence
 
 import numpy as np
@@ -192,9 +193,24 @@ class Workload(StructuredGramMixin):
         structured: its Gram is a :class:`~repro.utils.operators.SumOperator`
         over the part Gram sources and its rows a lazy
         :class:`~repro.utils.operators.StackedOperator`.
+
+        A union of **one** workload preserves its identity: the input is
+        returned as-is (or as a renamed shallow view sharing every cached
+        representation), never re-wrapped.  Re-wrapping used to turn a lazy
+        Kronecker workload into an anonymous operator-backed one, changing
+        its :func:`~repro.engine.planner.workload_fingerprint` — so a batch
+        of one request missed the plan cache for a shape that was already
+        warm.
         """
         if not workloads:
             raise WorkloadError("union requires at least one workload")
+        if len(workloads) == 1:
+            only = workloads[0]
+            if not name or name == only.name:
+                return only
+            renamed = copy.copy(only)
+            renamed.name = name
+            return renamed
         cells = workloads[0].column_count
         if any(w.column_count != cells for w in workloads):
             raise WorkloadError("all workloads in a union must have the same number of cells")

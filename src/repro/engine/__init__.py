@@ -15,7 +15,10 @@ path from a request to consistent private answers:
   lets repeated workload shapes skip strategy optimization;
 * :mod:`repro.engine.session` — the budgeted :class:`Session` executor:
   SQL / workload / matrix requests in, consistent answers out, free reuse of
-  released estimates, clean refusal when the budget would be exceeded.
+  released estimates, clean refusal when the budget would be exceeded;
+* :mod:`repro.engine.server` — the multi-tenant :class:`Server`: one shared
+  planner/plan cache, per-tenant budgeted sessions, thread-pooled request
+  answering and shard-parallel execution of large requests.
 
 Every entry point — the ``python -m repro query`` CLI, the experiment
 registry, library callers — goes through this layer; see the "Engine layer"
@@ -36,6 +39,7 @@ _EXPORTS = {
     "PlanCandidate": "repro.engine.planner",
     "Planner": "repro.engine.planner",
     "PrivacyAccountant": "repro.mechanisms.accountant",
+    "Server": "repro.engine.server",
     "Session": "repro.engine.session",
     "SessionAnswer": "repro.engine.session",
     "StrategyMechanism": "repro.engine.mechanism",

@@ -1,4 +1,4 @@
-"""A content-addressed, bounded cache of executable plans.
+"""A content-addressed, bounded, thread-safe cache of executable plans.
 
 Repeated workload *shapes* dominate real query traffic — the same dashboard
 marginals, the same range scans over fresh data.  The expensive part of
@@ -16,17 +16,24 @@ caches, and repeated error evaluations of it reuse their Krylov state
 Entries are evicted least-recently-used against an entry bound; the cache is
 deliberately tiny state (plans hold strategies, which can be large) and all
 bookkeeping — hits, misses, evictions — is exposed for tests and benchmarks.
+
+The cache is shared by every session of a :class:`~repro.engine.server.Server`,
+so all structural mutation — ``get`` (it reorders the LRU list), ``put``,
+eviction, ``clear`` — happens under one mutex.  Counter *reads* (``stats``,
+``hits``...) are deliberately lock-free: they read int attributes that are
+only ever replaced atomically, so monitoring never contends with serving.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 __all__ = ["PlanCache"]
 
 
 class PlanCache:
-    """LRU-bounded, content-addressed plan store.
+    """LRU-bounded, content-addressed, thread-safe plan store.
 
     Examples
     --------
@@ -46,41 +53,64 @@ class PlanCache:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = int(max_entries)
         self._entries: OrderedDict[str, object] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def get(self, key: str):
         """The cached plan for ``key``, or ``None`` (recorded as a miss)."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def peek(self, key: str):
+        """Like :meth:`get` but without touching stats or the LRU order.
+
+        Used by the planner's double-checked build gate (and by callers that
+        only want to know whether a shape is already warm): every logical
+        *lookup* stays a single counted ``get``, so ``hits + misses`` equals
+        the number of lookups even when a build races.
+        """
+        with self._lock:
+            return self._entries.get(key)
 
     def put(self, key: str, plan) -> None:
         """Insert (or refresh) ``plan`` under ``key``, evicting LRU overflow."""
-        self._entries[key] = plan
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
         """Drop every entry (counters are kept; they describe the lifetime)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     @property
     def stats(self) -> dict:
-        """Lifetime counters: ``entries``, ``hits``, ``misses``, ``evictions``."""
+        """Lifetime counters: ``entries``, ``hits``, ``misses``, ``evictions``.
+
+        Read lock-free (each counter is a single atomic attribute read), so
+        monitoring a busy server never blocks the serving path; the snapshot
+        may straddle an in-flight lookup but each individual counter is
+        exact.
+        """
         return {
             "entries": len(self._entries),
             "hits": self.hits,

@@ -29,6 +29,7 @@ excludes estimate-free mechanisms by default.
 from __future__ import annotations
 
 import math
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
@@ -135,24 +136,29 @@ class StrategyMechanism:
         self.nonnegative = nonnegative
         self.name = f"matrix-mechanism[{strategy.name or 'strategy'}]"
         self._instances: "OrderedDict[PrivacyParams, object]" = OrderedDict()
+        # StrategyMechanisms live inside plans held by the *shared* plan
+        # cache, so concurrent sessions executing the same warm plan mutate
+        # this memo together — the LRU bookkeeping must be serialized.
+        self._instances_lock = threading.Lock()
 
     def _instance(self, params: PrivacyParams):
-        mechanism = self._instances.get(params)
-        if mechanism is None:
-            if params.is_approximate:
-                mechanism = MatrixMechanism(
-                    self.strategy, params, nonnegative=self.nonnegative
-                )
+        with self._instances_lock:
+            mechanism = self._instances.get(params)
+            if mechanism is None:
+                if params.is_approximate:
+                    mechanism = MatrixMechanism(
+                        self.strategy, params, nonnegative=self.nonnegative
+                    )
+                else:
+                    mechanism = LaplaceMatrixMechanism(
+                        self.strategy, params, nonnegative=self.nonnegative
+                    )
+                self._instances[params] = mechanism
+                while len(self._instances) > self.MAX_INSTANCES:
+                    self._instances.popitem(last=False)
             else:
-                mechanism = LaplaceMatrixMechanism(
-                    self.strategy, params, nonnegative=self.nonnegative
-                )
-            self._instances[params] = mechanism
-            while len(self._instances) > self.MAX_INSTANCES:
-                self._instances.popitem(last=False)
-        else:
-            self._instances.move_to_end(params)
-        return mechanism
+                self._instances.move_to_end(params)
+            return mechanism
 
     def supports(self, workload: Workload, params: PrivacyParams) -> bool:
         if workload.column_count != self.strategy.column_count:

@@ -25,6 +25,7 @@ noise scale)``, a cached plan serves *any* privacy setting of the same regime
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -219,6 +220,13 @@ class Planner:
         Extra keyword arguments for :func:`repro.core.eigen_design.eigen_design`
         (e.g. ``solver="scipy"``, ``factorized=True``).
 
+    The planner is safe to share across threads (it is the shared optimizer
+    of a :class:`~repro.engine.server.Server`): counters are incremented
+    under a lock, and cold builds are serialized **per fingerprint** — when
+    several threads miss on the same key simultaneously, exactly one runs
+    strategy optimization and the others wait on its build gate and reuse
+    the finished plan.  Distinct fingerprints build fully in parallel.
+
     Attributes
     ----------
     plans_built:
@@ -243,6 +251,10 @@ class Planner:
         self.design_options = dict(design_options or {})
         self.plans_built = 0
         self.requests = 0
+        self._lock = threading.Lock()
+        #: Per-fingerprint build gates: one strategy optimization per key,
+        #: however many threads miss on it at once.
+        self._building: dict[str, threading.Lock] = {}
 
     # ------------------------------------------------------------------ keys
     def _config_digest(self) -> str:
@@ -299,24 +311,52 @@ class Planner:
         return candidates
 
     # ------------------------------------------------------------------ plan
-    def plan(self, workload: Workload, params: PrivacyParams) -> Plan:
-        """Return a (possibly cached) executable plan for ``workload``."""
-        self.requests += 1
-        key = self.plan_key(workload, params)
-        if self.cache is not None and key is not None:
-            hit = self.cache.get(key)
-            if hit is not None:
-                return hit
-        plan = self._build_plan(workload, params, key)
-        if self.cache is not None and key is not None:
-            self.cache.put(key, plan)
+    def plan(
+        self, workload: Workload, params: PrivacyParams, *, key: str | None = None
+    ) -> Plan:
+        """Return a (possibly cached) executable plan for ``workload``.
+
+        Every call performs exactly one counted cache lookup (``hits +
+        misses`` equals the number of ``plan`` calls with a cacheable
+        workload); concurrent misses on the same fingerprint serialize on a
+        per-key build gate so the same shape is never optimized twice.
+
+        ``key`` lets a caller that already computed :meth:`plan_key` (the
+        session does, for its cache-hit probe) pass it in — the
+        fingerprint sha1-hashes the workload's matrix/Gram bytes, which is
+        worth not doing twice per request on the serving hot path.
+        """
+        with self._lock:
+            self.requests += 1
+        if key is None:
+            key = self.plan_key(workload, params)
+        if self.cache is None or key is None:
+            return self._build_plan(workload, params, key)
+        hit = self.cache.get(key)
+        if hit is not None:
+            return hit
+        with self._lock:
+            gate = self._building.setdefault(key, threading.Lock())
+        try:
+            with gate:
+                # Double-checked via peek (uncounted): a thread that lost
+                # the race finds the winner's plan here instead of
+                # rebuilding it.
+                plan = self.cache.peek(key)
+                if plan is None:
+                    plan = self._build_plan(workload, params, key)
+                    self.cache.put(key, plan)
+        finally:
+            with self._lock:
+                self._building.pop(key, None)
         return plan
 
     def _build_plan(
         self, workload: Workload, params: PrivacyParams, key: str | None
     ) -> Plan:
         started = time.perf_counter()
-        self.plans_built += 1
+        with self._lock:
+            self.plans_built += 1
         regime = "gaussian" if params.is_approximate else "laplace"
         reference = REFERENCE_PRIVACY if regime == "gaussian" else REFERENCE_PRIVACY_PURE
         profile = analyze_workload(workload)

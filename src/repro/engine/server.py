@@ -1,0 +1,481 @@
+"""The multi-tenant serving layer: one engine, many budgeted sessions.
+
+A :class:`Server` is the concurrency story of the engine (``docs/
+architecture.md`` §6): it owns **one** shared :class:`~repro.engine.planner
+.Planner` (and through it one content-addressed
+:class:`~repro.engine.cache.PlanCache`), hands out per-tenant budgeted
+:class:`~repro.engine.session.Session` objects, and answers requests from a
+thread pool.  Everything the sessions share — the accountants, the plan
+cache, the planner's build gates, the factor-``eigh`` memo, the Krylov
+recycler registry — is lock-protected at its own layer, so the server adds
+no global serialization of its own: distinct tenants (and distinct workload
+shapes) plan, execute and account fully in parallel, while the *same* warm
+shape is optimized exactly once and then served from the cache by everyone.
+
+Two shard-parallel paths exploit numpy's GIL release for large requests:
+
+* **data ingestion** — a tuple-level :class:`~repro.relational.relation
+  .Relation` is partitioned into row chunks, each chunk is histogrammed into
+  its own data vector on the shard pool, and the per-shard vectors are
+  merged by summation (histograms are additive over row partitions);
+* **answer derivation** — deriving ``m`` answers ``W @ x_hat`` from a
+  released estimate is partitioned into row blocks of the query matrix (or
+  of the structured row operator via ``row_block``), each block multiplied
+  on the shard pool, and the blocks concatenated.  This is the hot warm-path
+  operation: once a plan is cached and an estimate released, serving a big
+  workload is *only* this matmul.
+
+Request work runs on one pool and shard work on a second, so a request that
+shards never waits on its own siblings for a worker (no pool-within-pool
+starvation).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.privacy import PrivacyParams
+from repro.core.workload import Workload
+from repro.domain.schema import Schema
+from repro.engine.planner import Planner
+from repro.engine.session import Session, SessionAnswer
+from repro.exceptions import ReproError
+from repro.mechanisms.accountant import BudgetExceededError
+from repro.relational.relation import Relation
+from repro.relational.vectorize import data_vector
+
+__all__ = ["Server"]
+
+#: Below this many query rows (or relation rows) a request is answered on the
+#: calling thread: the per-shard dispatch overhead would exceed the matmul.
+DEFAULT_SHARD_MIN_ROWS = 4096
+
+
+def _row_chunks(total: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into at most ``shards`` contiguous blocks."""
+    bounds = np.linspace(0, total, min(shards, total) + 1).astype(int)
+    return [(int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
+
+
+class Server:
+    """A thread-pooled, multi-tenant front end over one shared engine.
+
+    Parameters
+    ----------
+    budget:
+        Default per-tenant privacy budget for sessions opened implicitly
+        (e.g. by the line protocol); :meth:`open_session` may override it.
+    schema / data:
+        Shared with every session: the schema for SQL requests, and the
+        sensitive input (a data vector or a :class:`Relation`, which is
+        vectorised shard-parallel on construction).
+    planner:
+        The shared :class:`Planner`; a fresh one (with a fresh plan cache)
+        by default.  Passing the same planner to several servers shares the
+        warm cache between them.
+    workers:
+        Request-pool threads: how many tenant requests execute at once.
+    shards:
+        Shard-pool parallelism for one large request (defaults to
+        ``workers``); ``1`` disables sharding.
+    shard_min_rows:
+        Sharding threshold — requests (or relations) with fewer rows run
+        unsharded on the calling thread.
+    default_epsilon / default_delta / random_state:
+        Forwarded to each opened :class:`Session`; each tenant's noise
+        stream is seeded from ``(random_state, tenant name)``, never from
+        opening order, so seeded runs are reproducible however threads
+        race to open sessions.  Note the scope of that promise: the line
+        protocol (:meth:`serve`) is fully reproducible because it keeps
+        each tenant's requests in order, while *racing* same-tenant
+        requests through :meth:`ask_many` draw from the session stream in
+        arrival order — pass ``random_state`` per request there if you
+        need bit-reproducibility.
+
+    Examples
+    --------
+    >>> server = Server(PrivacyParams(1.0, 1e-4), data=np.full(64, 3.0),
+    ...                 workers=2, random_state=0)
+    >>> session = server.open_session("tenant-a")
+    >>> answer = server.ask("tenant-a", np.ones((1, 64)), epsilon=0.5)
+    >>> answer.spent is not None
+    True
+    >>> server.stats()["tenants"]
+    1
+    >>> server.close()
+    """
+
+    def __init__(
+        self,
+        budget: PrivacyParams,
+        *,
+        schema: Schema | None = None,
+        data: np.ndarray | Relation | None = None,
+        planner: Planner | None = None,
+        workers: int = 4,
+        shards: int | None = None,
+        shard_min_rows: int = DEFAULT_SHARD_MIN_ROWS,
+        default_epsilon: float | None = None,
+        default_delta: float | None = None,
+        random_state=None,
+    ):
+        self.budget = budget
+        self.schema = schema
+        self.planner = planner if planner is not None else Planner()
+        self.workers = max(1, int(workers))
+        self.shards = self.workers if shards is None else max(1, int(shards))
+        self.shard_min_rows = max(1, int(shard_min_rows))
+        self.default_epsilon = default_epsilon
+        self.default_delta = default_delta
+        self._random_state = random_state
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve"
+        )
+        # Separate pool for intra-request shards: a sharding request running
+        # *on* the request pool must never wait for its own shard tasks to
+        # find a free request worker (classic nested-pool starvation).
+        self._shard_pool = (
+            ThreadPoolExecutor(max_workers=self.shards, thread_name_prefix="repro-shard")
+            if self.shards > 1
+            else None
+        )
+        self._lock = threading.RLock()
+        self._sessions: dict[str, Session] = {}
+        self._answers_served = 0
+        self._closed = False
+        self._data = self._resolve_data(data) if data is not None else None
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut both pools down (idempotent); sessions stay readable."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._pool.shutdown(wait=True)
+        if self._shard_pool is not None:
+            self._shard_pool.shutdown(wait=True)
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ data
+    def _resolve_data(self, data) -> np.ndarray:
+        """The shared data vector; Relations are histogrammed shard-parallel."""
+        if not isinstance(data, Relation):
+            return np.asarray(data, dtype=float)
+        if self.schema is None:
+            raise ReproError(
+                "a Server needs a schema to bucket tuple-level (Relation) data"
+            )
+        rows = data.row_count
+        if self._shard_pool is None or rows < max(self.shard_min_rows, 2 * self.shards):
+            return data_vector(data, self.schema)
+        names = data.column_names
+
+        def shard(lo: int, hi: int) -> np.ndarray:
+            chunk = Relation(
+                {name: data.column(name)[lo:hi] for name in names}, name=data.name
+            )
+            return data_vector(chunk, self.schema)
+
+        futures = [
+            self._shard_pool.submit(shard, lo, hi)
+            for lo, hi in _row_chunks(rows, self.shards)
+        ]
+        # Histograms over a row partition add up to the full histogram.
+        return np.sum([future.result() for future in futures], axis=0)
+
+    # -------------------------------------------------------------- sessions
+    def open_session(
+        self,
+        tenant: str,
+        budget: PrivacyParams | None = None,
+        *,
+        default_epsilon: float | None = None,
+        default_delta: float | None = None,
+    ) -> Session:
+        """Open (and register) the budgeted session for ``tenant``.
+
+        Each tenant owns exactly one accountant: opening an already-open
+        tenant raises instead of silently granting a second budget.
+        """
+        with self._lock:
+            if tenant in self._sessions:
+                raise ReproError(f"tenant {tenant!r} already has an open session")
+            # Seed from the tenant *name*, not an open-order counter: under
+            # concurrency, tenants open in whichever order pool threads
+            # first touch them, and an order-dependent seed would make
+            # seeded runs unreproducible.
+            random_state = (
+                None
+                if self._random_state is None
+                else np.random.default_rng(
+                    [self._random_state, *tenant.encode("utf-8")]
+                )
+            )
+            session = Session(
+                budget if budget is not None else self.budget,
+                schema=self.schema,
+                data=self._data,
+                planner=self.planner,
+                default_epsilon=(
+                    default_epsilon if default_epsilon is not None else self.default_epsilon
+                ),
+                default_delta=(
+                    default_delta if default_delta is not None else self.default_delta
+                ),
+                random_state=random_state,
+                release_answerer=self.sharded_answers,
+            )
+            self._sessions[tenant] = session
+            return session
+
+    def session(self, tenant: str, *, create: bool = True) -> Session:
+        """The tenant's session, opening one with the default budget if asked."""
+        with self._lock:
+            session = self._sessions.get(tenant)
+        if session is not None:
+            return session
+        if not create:
+            raise ReproError(f"tenant {tenant!r} has no open session")
+        try:
+            return self.open_session(tenant)
+        except ReproError:
+            # Two threads raced to open the same tenant: reuse the winner's.
+            return self.session(tenant, create=False)
+
+    def tenants(self) -> list[str]:
+        """Names of the open tenants (snapshot)."""
+        with self._lock:
+            return sorted(self._sessions)
+
+    # ------------------------------------------------------------ serving API
+    def ask(self, tenant: str, request, **options) -> SessionAnswer:
+        """Answer one request for ``tenant`` on the calling thread.
+
+        ``options`` are forwarded to :meth:`Session.ask` (``epsilon``,
+        ``delta``, ``per_query``, ...).
+        """
+        answer = self.session(tenant).ask(request, **options)
+        with self._lock:
+            self._answers_served += 1
+        return answer
+
+    def submit(self, tenant: str, request, **options):
+        """Schedule :meth:`ask` on the request pool; returns its future."""
+        with self._lock:
+            if self._closed:
+                raise ReproError("the server is closed")
+        return self._pool.submit(self.ask, tenant, request, **options)
+
+    def ask_many(self, requests) -> list[SessionAnswer]:
+        """Answer ``(tenant, request)`` (or ``(tenant, request, options)``)
+        pairs concurrently on the request pool, preserving order.
+
+        The first failure (e.g. a :class:`BudgetExceededError`) propagates
+        after every future has settled, so no work is silently abandoned
+        mid-flight.
+        """
+        futures = []
+        for entry in requests:
+            tenant, request, *rest = entry
+            options = rest[0] if rest else {}
+            futures.append(self.submit(tenant, request, **options))
+        results, first_error = [], None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except Exception as error:  # settle every future before raising
+                results.append(None)
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
+        return results
+
+    # ------------------------------------------------------- sharded answers
+    def sharded_answers(self, workload: Workload, estimate: np.ndarray) -> np.ndarray:
+        """``W @ x_hat`` with the query rows partitioned over the shard pool.
+
+        Falls back to ``workload.answer`` for small workloads, a disabled
+        shard pool, or purely Gram-implicit workloads (no row source).  Each
+        shard is a dense-block matmul — numpy drops the GIL inside it, so
+        blocks genuinely overlap on multicore hardware — and the blocks are
+        concatenated in row order, which is exactly the unsharded result.
+        """
+        rows = workload.query_count
+        if (
+            self._shard_pool is None
+            or rows < max(self.shard_min_rows, 2 * self.shards)
+        ):
+            return workload.answer(estimate)
+        source = workload.row_source()
+        if source is None:
+            return workload.answer(estimate)
+
+        def shard(lo: int, hi: int) -> np.ndarray:
+            if isinstance(source, np.ndarray):
+                block = source[lo:hi]
+            else:
+                block = source.row_block(lo, hi)
+            return block @ estimate
+
+        futures = [
+            self._shard_pool.submit(shard, lo, hi)
+            for lo, hi in _row_chunks(rows, self.shards)
+        ]
+        return np.concatenate([future.result() for future in futures])
+
+    # ---------------------------------------------------------- line protocol
+    def handle_request(self, line: str) -> dict:
+        """Answer one line-delimited request; never raises on a bad request.
+
+        A line is either a bare SQL counting query (tenant ``"default"``,
+        session defaults for the budget slice) or a JSON object::
+
+            {"tenant": "alice", "sql": "SELECT COUNT(*) FROM t", "epsilon": 0.1}
+
+        (``"sql"`` may also be a list of statements answered as one
+        consistent request.)  The reply is a JSON-serialisable dict; errors
+        — unparsable lines, over-budget requests, unknown SQL — come back as
+        ``{"error": ...}`` replies instead of exceptions, so one bad request
+        never takes the serving loop down.
+        """
+        line = line.strip()
+        tenant, epsilon, delta = "default", None, None
+        statements: list[str] | str = line
+        try:
+            if line.startswith("{"):
+                payload = json.loads(line)
+                if not isinstance(payload, dict) or "sql" not in payload:
+                    raise ReproError('a JSON request must carry a "sql" field')
+                tenant = str(payload.get("tenant", "default"))
+                statements = payload["sql"]
+                epsilon = payload.get("epsilon")
+                delta = payload.get("delta")
+            answer = self.ask(tenant, statements, epsilon=epsilon, delta=delta)
+        except json.JSONDecodeError as error:
+            return {"tenant": tenant, "error": f"bad JSON request: {error}"}
+        except BudgetExceededError as error:
+            return {"tenant": tenant, "error": str(error), "refused": True}
+        except ReproError as error:  # MaterializationError et al. included
+            return {"tenant": tenant, "error": str(error)}
+        except (TypeError, ValueError) as error:
+            # e.g. a non-numeric "epsilon" in the payload: a bad request,
+            # not a serving-loop failure.
+            return {"tenant": tenant, "error": f"bad request: {error}"}
+        spent = answer.spent
+        return {
+            "tenant": tenant,
+            "labels": answer.labels,
+            "answers": [float(value) for value in answer.answers],
+            "mechanism": answer.mechanism,
+            "spent": None if spent is None else {"epsilon": spent.epsilon, "delta": spent.delta},
+            "served_from_release": answer.served_from_release,
+            "plan_cache_hit": answer.plan_cache_hit,
+        }
+
+    @staticmethod
+    def _peek_tenant(line: str) -> str:
+        """The tenant a request line addresses (cheap parse, never raises)."""
+        line = line.strip()
+        if line.startswith("{"):
+            try:
+                payload = json.loads(line)
+                if isinstance(payload, dict):
+                    return str(payload.get("tenant", "default"))
+            except json.JSONDecodeError:
+                pass
+        return "default"
+
+    def serve(self, lines, out=None):
+        """Run the line protocol over ``lines``, pipelined through the pool.
+
+        Distinct tenants are answered concurrently; each tenant's own
+        requests run **in submission order** (at most one in flight), so a
+        tenant's later query sees its earlier releases — the stream behaves
+        like the session it is.  Replies are emitted in input order (each as
+        one JSON line when ``out`` is given) as soon as their prefix is
+        complete.  Returns the list of reply dicts.
+
+        Ordering is enforced by chaining — the next request of a tenant is
+        submitted from the completion callback of the previous one — rather
+        than by blocking a pool worker on a predecessor, which could
+        deadlock a small pool.
+        """
+        lines = [line for line in lines if line.strip()]
+        total = len(lines)
+        replies: list = [None] * total
+        queues: dict[str, list[int]] = {}
+        for index, line in enumerate(lines):
+            queues.setdefault(self._peek_tenant(line), []).append(index)
+        finished = threading.Event()
+        state = {"remaining": total, "emitted": 0}
+        state_lock = threading.Lock()
+
+        def flush_ready() -> None:
+            while state["emitted"] < total and replies[state["emitted"]] is not None:
+                if out is not None:
+                    print(json.dumps(replies[state["emitted"]]), file=out, flush=True)
+                state["emitted"] += 1
+
+        def launch(tenant: str) -> None:
+            queue = queues[tenant]
+            if not queue:
+                return
+            index = queue.pop(0)
+            future = self._pool.submit(self.handle_request, lines[index])
+
+            def finish(done) -> None:
+                try:
+                    reply = done.result()
+                except Exception as error:  # pragma: no cover - handle_request guards
+                    reply = {"tenant": tenant, "error": repr(error)}
+                with state_lock:
+                    replies[index] = reply
+                    state["remaining"] -= 1
+                    flush_ready()
+                    if state["remaining"] == 0:
+                        finished.set()
+                launch(tenant)
+
+            future.add_done_callback(finish)
+
+        for tenant in list(queues):
+            launch(tenant)
+        if total == 0:
+            finished.set()
+        finished.wait()
+        return replies
+
+    # ------------------------------------------------------------- monitoring
+    def stats(self) -> dict:
+        """One snapshot of the serving counters and the shared-cache stats."""
+        with self._lock:
+            sessions = dict(self._sessions)
+            answers_served = self._answers_served
+        cache = self.planner.cache
+        return {
+            "tenants": len(sessions),
+            "answers_served": answers_served,
+            "workers": self.workers,
+            "shards": self.shards,
+            "plans_built": self.planner.plans_built,
+            "plan_requests": self.planner.requests,
+            "plan_cache": None if cache is None else cache.stats,
+            "spent": {
+                tenant: {
+                    "epsilon": session.accountant.spent_epsilon,
+                    "delta": session.accountant.spent_delta,
+                }
+                for tenant, session in sorted(sessions.items())
+            },
+        }

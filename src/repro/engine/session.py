@@ -21,10 +21,19 @@ planner/plan-cache pipeline:
 * a request that does not fit the remaining budget raises
   :class:`~repro.mechanisms.accountant.BudgetExceededError` *before* any
   noise is drawn or budget is spent — the session stays usable.
+
+Sessions are **thread-safe** and built to be served concurrently (see
+:class:`~repro.engine.server.Server`): the budget is reserved through the
+accountant's atomic :meth:`~repro.mechanisms.accountant.PrivacyAccountant
+.charge` *before* the mechanism runs (and handed back if the run fails), so
+two threads can never jointly overspend; session-local state (releases,
+history, the noise stream) is guarded by one lock, while the expensive
+planning and mechanism execution run outside it.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -127,6 +136,14 @@ class Session:
         slice ``budget.delta * epsilon / budget.epsilon``.
     random_state:
         Seeds the session's noise stream (per-request override available).
+        Each request draws from an independent child generator spawned
+        deterministically from the session seed, so concurrent requests
+        never contend on (or corrupt) one shared bit stream.
+    release_answerer:
+        Optional hook ``(workload, estimate) -> answers`` used to derive
+        answers from a released estimate — a
+        :class:`~repro.engine.server.Server` injects its shard-parallel
+        answerer here.  Defaults to ``workload.answer(estimate)``.
     """
 
     def __init__(
@@ -139,6 +156,7 @@ class Session:
         default_epsilon: float | None = None,
         default_delta: float | None = None,
         random_state=None,
+        release_answerer=None,
     ):
         self.budget = budget
         self.accountant = PrivacyAccountant(budget)
@@ -147,9 +165,16 @@ class Session:
         self.default_epsilon = default_epsilon
         self.default_delta = default_delta
         self._rng = as_generator(random_state)
+        self._release_answerer = release_answerer
         self._data = self._resolve_data(data) if data is not None else None
         self._releases: list[_Release] = []
         self.history: list[SessionAnswer] = []
+        #: Guards session-local mutable state: the release pool, the answer
+        #: history, and the seed stream.  Planning and mechanism execution
+        #: happen outside it (the planner and accountant carry their own
+        #: synchronization), so concurrent requests overlap on the heavy
+        #: numpy work.
+        self._lock = threading.RLock()
 
     # -------------------------------------------------------------- plumbing
     def _resolve_data(self, data) -> np.ndarray:
@@ -209,30 +234,65 @@ class Session:
         """Number of paid releases so far (the reusable ``x_hat`` pool)."""
         return len(self._releases)
 
+    def _request_rng(self, random_state) -> np.random.Generator:
+        """A per-request generator: explicit seed, or a spawned child.
+
+        Spawning (rather than handing out the shared session generator)
+        keeps concurrent requests off one mutable bit stream — a
+        :class:`numpy.random.Generator` is not safe to share across threads
+        — while staying deterministic for a seeded session.
+        """
+        if random_state is not None:
+            return as_generator(random_state)
+        with self._lock:
+            return self._rng.spawn(1)[0]
+
+    def _derive_answers(self, workload: Workload, estimate: np.ndarray) -> np.ndarray:
+        if self._release_answerer is not None:
+            return self._release_answerer(workload, estimate)
+        return workload.answer(estimate)
+
     # --------------------------------------------------------- free reuse path
-    def _serve_from_release(self, workload: Workload) -> SessionAnswer | None:
-        for release in reversed(self._releases):
+    def _serve_from_release(
+        self, workload: Workload, per_query: bool = False, releases=None
+    ) -> SessionAnswer | None:
+        """Answer from a recorded release, or ``None`` if none supports it.
+
+        ``releases`` is a snapshot of the release pool: callers on the
+        serving path copy it under the session lock and run the (possibly
+        heavy) probe + answer derivation *outside* the lock, so a big free
+        matmul never blocks the tenant's other requests.  The per-release
+        ``full_rank`` memo is an idempotent bool, so the benign race of two
+        threads filling it is harmless.
+        """
+        if releases is None:
+            with self._lock:
+                releases = list(self._releases)
+        for release in reversed(releases):
             strategy = release.strategy
             if strategy is None or workload.column_count != release.estimate.shape[0]:
                 continue
             # Cached full-rank releases (the common case after sensitivity
             # completion) support everything; only rank-deficient releases
-            # pay the per-workload row-space check.
+            # pay the per-workload row-space check — routed through the
+            # structured-operator path, which refuses (MaterializationError,
+            # treated as "unsupported") rather than densify an ``n x n``
+            # Gram beyond the budget just to decide reuse.
             if not release.full_rank():
                 try:
-                    if not strategy.supports(workload.gram):
+                    if not strategy.supports_workload(workload):
                         continue
                 except (MaterializationError, SingularStrategyError):
                     continue
-            answers = workload.answer(release.estimate)
+            answers = self._derive_answers(workload, release.estimate)
             expected = None
-            per_query = None
-            if release.params.is_approximate:
+            per_query_expected = None
+            if per_query and release.params.is_approximate:
                 try:
-                    per_query = per_query_error(workload, strategy, release.params)
-                    expected = float(np.sqrt(np.mean(per_query**2)))
+                    per_query_expected = per_query_error(workload, strategy, release.params)
+                    expected = float(np.sqrt(np.mean(per_query_expected**2)))
                 except (MaterializationError, SingularStrategyError):
-                    per_query = None
+                    per_query_expected = None
             return SessionAnswer(
                 labels=[],
                 answers=answers,
@@ -240,7 +300,7 @@ class Session:
                 mechanism=f"release-reuse[{release.label}]",
                 spent=None,
                 served_from_release=True,
-                per_query_expected=per_query,
+                per_query_expected=per_query_expected,
                 estimate=release.estimate,
             )
         return None
@@ -268,43 +328,60 @@ class Session:
         a reusable one behind (every recorded estimate describes the
         session's own data, so cross-data reuse would silently answer
         about the wrong dataset).
+
+        The budget is **reserved atomically** before anything runs: the
+        accountant's :meth:`~repro.mechanisms.accountant.PrivacyAccountant
+        .charge` checks and debits under one lock (two concurrent requests
+        can never both squeeze through a half-spent budget), raising
+        :class:`BudgetExceededError` with nothing spent and nothing
+        executed.  If planning or the mechanism itself fails after the
+        reservation — no noise was released — the charge is handed back and
+        the session stays usable.
         """
         workload, labels = self._resolve_request(request)
         # Release reuse is only sound against the session's own data: every
         # recorded estimate was computed on it.  A request that brings its
         # own data= must pay its way.
         if data is None:
-            reused = self._serve_from_release(workload)
+            with self._lock:
+                releases = list(self._releases)
+            # Probe + answer derivation run outside the lock: the free path
+            # is the serving hot path and must not serialize the tenant.
+            reused = self._serve_from_release(
+                workload, per_query=per_query, releases=releases
+            )
             if reused is not None:
                 reused.labels = labels
-                self.history.append(reused)
+                with self._lock:
+                    self.history.append(reused)
                 return reused
         params = self._request_params(epsilon, delta)
-        if not self.accountant.can_spend(params):
-            remaining = self.accountant.remaining
-            raise BudgetExceededError(
-                f"request (epsilon={params.epsilon}, delta={params.delta}) exceeds the "
-                f"remaining session budget "
-                f"({'exhausted' if remaining is None else f'epsilon={remaining.epsilon}, delta={remaining.delta}'}); "
-                "nothing was spent"
-            )
         vector = self._resolve_data(data) if data is not None else self._data
         if vector is None:
             raise ReproError(
                 "the Session has no data: pass data= at construction or per request"
             )
-        cache = self.planner.cache
-        hits_before = None if cache is None else cache.hits
-        plan = self.planner.plan(workload, params)
-        cache_hit = cache is not None and hits_before is not None and cache.hits > hits_before
-        rng = self._rng if random_state is None else as_generator(random_state)
-        result = plan.execute(workload, vector, params, random_state=rng)
-        self.accountant.spend(params, label=workload.name or labels[0])
-        answer = self._record(
-            workload, labels, plan, result, params, cache_hit, per_query,
-            reusable=data is None,
-        )
-        return answer
+        label = workload.name or labels[0]
+        # Atomic check-and-debit: the reservation happens before the (noisy)
+        # release, the refusal happens without mutating anything.
+        self.accountant.charge(params, label=label)
+        try:
+            cache = self.planner.cache
+            key = None if cache is None else self.planner.plan_key(workload, params)
+            cache_hit = key is not None and cache.peek(key) is not None
+            plan = self.planner.plan(workload, params, key=key)
+            rng = self._request_rng(random_state)
+            result = plan.execute(workload, vector, params, random_state=rng)
+        except BaseException:
+            # The release did not happen (no noise was drawn for it), so the
+            # reservation goes back — a failed request must not burn budget.
+            self.accountant.refund(params, label=label)
+            raise
+        with self._lock:
+            return self._record(
+                workload, labels, plan, result, params, cache_hit, per_query,
+                reusable=data is None,
+            )
 
     def ask_batch(
         self,
@@ -323,6 +400,11 @@ class Session:
         derives from the same ``x_hat`` — so answers are mutually consistent
         across the whole batch.  Returns one :class:`SessionAnswer` per
         request, each reporting the collective spend and the batch size.
+
+        A batch of **one** request collapses to a plain :meth:`ask` — no
+        union wrapper is built, so the request keeps its own workload
+        identity (and fingerprint) and a shape that is already warm in the
+        plan cache stays warm.
         """
         if not requests:
             raise ReproError("ask_batch needs at least one request")
@@ -330,6 +412,18 @@ class Session:
         cells = resolved[0][0].column_count
         if any(workload.column_count != cells for workload, _ in resolved):
             raise WorkloadError("all batched requests must share the same cells")
+        if len(resolved) == 1:
+            workload, labels = resolved[0]
+            answer = self.ask(
+                workload,
+                epsilon=epsilon,
+                delta=delta,
+                data=data,
+                random_state=random_state,
+                per_query=per_query,
+            )
+            answer.labels = labels
+            return [answer]
         union = Workload.union([workload for workload, _ in resolved], name="session-batch")
         all_labels = [label for _, labels in resolved for label in labels]
         collective = self.ask(
@@ -341,7 +435,6 @@ class Session:
             per_query=per_query,
         )
         collective.labels = all_labels
-        self.history.pop()  # replace the union entry with per-request answers
         answers: list[SessionAnswer] = []
         offset = 0
         for workload, labels in resolved:
@@ -362,8 +455,18 @@ class Session:
                 estimate=collective.estimate,
             )
             answers.append(answer)
-            self.history.append(answer)
             offset = stop
+        with self._lock:
+            # Replace the union's history entry with the per-request answers
+            # by *identity* — under concurrency the collective is not
+            # necessarily the last entry, so a blind pop() could drop some
+            # other thread's answer (and `==` is unusable on answers holding
+            # numpy arrays).
+            for index in range(len(self.history) - 1, -1, -1):
+                if self.history[index] is collective:
+                    del self.history[index]
+                    break
+            self.history.extend(answers)
         return answers
 
     # ---------------------------------------------------------------- record

@@ -418,7 +418,9 @@ def _run_query_engine(
         random_state=seed + 1,
     )
     rows.append(row("warm plan-cache hit", second, second.ask(statements, epsilon=epsilon)))
-    reuse = second.ask("SELECT COUNT(*) FROM users WHERE status = 'gold'")
+    # per_query=True keeps the reuse row's expected_rmse populated: the
+    # serving path skips free-request error analysis unless asked for it.
+    reuse = second.ask("SELECT COUNT(*) FROM users WHERE status = 'gold'", per_query=True)
     rows.append(row("released-estimate reuse", second, reuse))
     third = Session(
         PrivacyParams(epsilon, delta),

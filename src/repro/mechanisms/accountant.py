@@ -5,10 +5,18 @@ single interaction, but applications often run the mechanism several times —
 e.g. once per release period.  The accountant tracks cumulative (epsilon,
 delta) spending under basic sequential composition and refuses to exceed a
 configured budget.
+
+The accountant is **thread-safe**: :meth:`PrivacyAccountant.charge` checks
+and debits under one lock, so concurrent callers can never jointly overspend
+the budget.  The separate :meth:`can_spend` probe remains available but is
+*advisory only* — between a ``can_spend`` and a later ``spend`` another
+thread may debit the budget (the classic time-of-check/time-of-use window),
+which is exactly why budget-mutating callers must go through ``charge``.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.core.privacy import PrivacyParams
@@ -29,6 +37,9 @@ class PrivacyAccountant:
     spent_epsilon: float = 0.0
     spent_delta: float = 0.0
     history: list = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @property
     def remaining(self) -> PrivacyParams | None:
@@ -46,28 +57,72 @@ class PrivacyAccountant:
         absorb float accumulation and are intentionally outside the
         guarantee.)
         """
-        epsilon = self.budget.epsilon - self.spent_epsilon
-        delta = self.budget.delta - self.spent_delta
+        with self._lock:
+            epsilon = self.budget.epsilon - self.spent_epsilon
+            delta = self.budget.delta - self.spent_delta
         if epsilon <= 0 or delta < -1e-15:
             return None
         return PrivacyParams(epsilon, max(delta, 0.0))
 
-    def can_spend(self, request: PrivacyParams) -> bool:
-        """Whether ``request`` fits in the remaining budget."""
+    def _fits(self, request: PrivacyParams) -> bool:
         return (
             self.spent_epsilon + request.epsilon <= self.budget.epsilon + 1e-12
             and self.spent_delta + request.delta <= self.budget.delta + 1e-15
         )
 
-    def spend(self, request: PrivacyParams, *, label: str = "") -> PrivacyParams:
-        """Record a spend of ``request`` and return it; raises if over budget."""
-        if not self.can_spend(request):
-            raise BudgetExceededError(
-                f"spending (epsilon={request.epsilon}, delta={request.delta}) would exceed "
-                f"the remaining budget (spent epsilon={self.spent_epsilon}, delta={self.spent_delta} "
-                f"of epsilon={self.budget.epsilon}, delta={self.budget.delta})"
-            )
-        self.spent_epsilon += request.epsilon
-        self.spent_delta += request.delta
-        self.history.append((label, request))
+    def can_spend(self, request: PrivacyParams) -> bool:
+        """Whether ``request`` fits in the remaining budget.
+
+        Advisory only: the answer can be stale by the time the caller acts on
+        it when other threads share the accountant.  Use :meth:`charge` to
+        check *and* debit atomically.
+        """
+        with self._lock:
+            return self._fits(request)
+
+    def charge(self, request: PrivacyParams, *, label: str = "") -> PrivacyParams:
+        """Atomically check **and** debit ``request``; the only safe mutation.
+
+        The check and the debit happen under one lock, closing the
+        ``can_spend``/``spend`` time-of-check/time-of-use window through
+        which two concurrent callers could both observe an affordable budget
+        and jointly overspend it.  On refusal a
+        :class:`BudgetExceededError` is raised and **no state is mutated** —
+        the accountant (and any session built on it) stays usable.
+        """
+        with self._lock:
+            if not self._fits(request):
+                raise BudgetExceededError(
+                    f"spending (epsilon={request.epsilon}, delta={request.delta}) would exceed "
+                    f"the remaining budget (spent epsilon={self.spent_epsilon}, delta={self.spent_delta} "
+                    f"of epsilon={self.budget.epsilon}, delta={self.budget.delta})"
+                )
+            self.spent_epsilon += request.epsilon
+            self.spent_delta += request.delta
+            self.history.append((label, request))
         return request
+
+    def refund(self, request: PrivacyParams, *, label: str = "") -> None:
+        """Return a previously charged ``request`` to the budget.
+
+        Only sound for a charge whose release provably **did not happen** —
+        e.g. the mechanism raised before drawing any noise.  Callers reserve
+        the budget with :meth:`charge` *before* executing, so a failed
+        execution must hand the reservation back; refunding an actually
+        released spend would violate the configured guarantee.
+        """
+        with self._lock:
+            self.spent_epsilon -= request.epsilon
+            self.spent_delta -= request.delta
+            if self.history and self.history[-1] == (label, request):
+                self.history.pop()
+            else:  # pragma: no cover - concurrent interleaving
+                self.history.append((f"refund:{label}", request))
+
+    def spend(self, request: PrivacyParams, *, label: str = "") -> PrivacyParams:
+        """Record a spend of ``request`` and return it; raises if over budget.
+
+        Kept for callers that already serialized their own check; delegates
+        to the atomic :meth:`charge`.
+        """
+        return self.charge(request, label=label)

@@ -29,6 +29,7 @@ via :func:`within_materialization_budget`.
 from __future__ import annotations
 
 import hashlib
+import threading
 from typing import Sequence
 
 import numpy as np
@@ -223,27 +224,37 @@ def kron_row_block(factors: Sequence[np.ndarray], indices: np.ndarray) -> np.nda
 #: spectral work.  FIFO-evicted against a *byte* budget — per-attribute
 #: factors are tiny, but a sweep over large single-factor Grams must not pin
 #: gigabytes of eigenvector matrices for the process lifetime.  Values are
-#: treated as read-only.
+#: treated as read-only.  The dict and its eviction accounting are guarded
+#: by ``_FACTOR_EIGH_CACHE_LOCK`` (the memo is process-global shared state —
+#: concurrent server sessions would otherwise corrupt the eviction walk);
+#: the ``eigh`` itself runs outside the lock, so at worst a race costs one
+#: duplicated decomposition, never a corrupted cache.
 _FACTOR_EIGH_CACHE: dict = {}
 _FACTOR_EIGH_CACHE_BYTE_BUDGET = 2**27  # 128 MiB
+_FACTOR_EIGH_CACHE_LOCK = threading.Lock()
 
 
 def _cached_factor_eigh(gram: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     gram = symmetrize(gram)
     digest = hashlib.sha1(np.ascontiguousarray(gram).tobytes()).hexdigest()
     key = (gram.shape[0], digest)
-    hit = _FACTOR_EIGH_CACHE.get(key)
+    with _FACTOR_EIGH_CACHE_LOCK:
+        hit = _FACTOR_EIGH_CACHE.get(key)
     if hit is None:
         values, vectors = np.linalg.eigh(gram)
         hit = (values, vectors)
         entry_bytes = values.nbytes + vectors.nbytes
         if entry_bytes <= _FACTOR_EIGH_CACHE_BYTE_BUDGET:
-            used = sum(v.nbytes + m.nbytes for v, m in _FACTOR_EIGH_CACHE.values())
-            while _FACTOR_EIGH_CACHE and used + entry_bytes > _FACTOR_EIGH_CACHE_BYTE_BUDGET:
-                oldest = next(iter(_FACTOR_EIGH_CACHE))
-                old_values, old_vectors = _FACTOR_EIGH_CACHE.pop(oldest)
-                used -= old_values.nbytes + old_vectors.nbytes
-            _FACTOR_EIGH_CACHE[key] = hit
+            with _FACTOR_EIGH_CACHE_LOCK:
+                racing = _FACTOR_EIGH_CACHE.get(key)
+                if racing is not None:
+                    return racing
+                used = sum(v.nbytes + m.nbytes for v, m in _FACTOR_EIGH_CACHE.values())
+                while _FACTOR_EIGH_CACHE and used + entry_bytes > _FACTOR_EIGH_CACHE_BYTE_BUDGET:
+                    oldest = next(iter(_FACTOR_EIGH_CACHE))
+                    old_values, old_vectors = _FACTOR_EIGH_CACHE.pop(oldest)
+                    used -= old_values.nbytes + old_vectors.nbytes
+                _FACTOR_EIGH_CACHE[key] = hit
     return hit
 
 

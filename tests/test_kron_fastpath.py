@@ -8,7 +8,7 @@ and unions of Kronecker products — to tight tolerances.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro import (
@@ -222,6 +222,21 @@ class TestStrategyFastPath:
         assert product.sensitivity_l2 == pytest.approx(
             oracle.sensitivity_l2, rel=1e-9, abs=1e-12
         )
+        # Numerical rank is representation-dependent when a Gram eigenvalue
+        # sits near the zero thresholds (the structured path counts against
+        # the relative SPECTRUM_CUTOFF, the dense fallback against the
+        # machine `top * n * eps` — see the Strategy.rank docstring), so the
+        # rank-agreement property only holds away from that window; reject
+        # borderline spectra rather than assert the unguaranteed.
+        from repro.utils.operators import SPECTRUM_CUTOFF
+
+        values = np.clip(np.linalg.eigvalsh(oracle.gram), 0.0, None)
+        top = float(values.max(initial=0.0))
+        machine = top * oracle.column_count * np.finfo(float).eps
+        cutoff = SPECTRUM_CUTOFF * top
+        lo = 0.25 * min(machine, cutoff)
+        hi = 4.0 * max(machine, cutoff)
+        assume(not np.any((values > lo) & (values < hi)))
         assert product.rank == oracle.rank
         # Cached: second access must hit the stored values.
         assert product.rank == product._rank

@@ -280,3 +280,55 @@ class TestCliQuery:
             out=out,
         )
         assert code == 1
+
+
+class TestCliServe:
+    @pytest.fixture
+    def files(self, tmp_path):
+        schema = tmp_path / "schema.json"
+        schema.write_text(SCHEMA_JSON)
+        data = tmp_path / "people.csv"
+        data.write_text(DATA_CSV + "\n")
+        return schema, data
+
+    def test_serve_line_protocol_end_to_end(self, files, tmp_path):
+        schema, data = files
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            "SELECT COUNT(*) FROM people\n"
+            '{"tenant": "a", "sql": "SELECT COUNT(*) FROM people GROUP BY gender", "epsilon": 0.4}\n'
+            "{\"tenant\": \"a\", \"sql\": \"SELECT COUNT(*) FROM people WHERE gender = 'F'\"}\n"
+            '{"tenant": "b", "sql": "SELECT COUNT(*) FROM people", "epsilon": 9.0}\n'
+            "garbage {\n"
+        )
+        out = io.StringIO()
+        code = main(
+            [
+                "serve", "--schema", str(schema), "--data", str(data),
+                "--requests", str(requests), "--budget-epsilon", "1.0",
+                "--workers", "2", "--seed", "0",
+            ],
+            out=out,
+        )
+        assert code == 0
+        replies = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert len(replies) == 5
+        assert replies[0]["tenant"] == "default" and replies[0]["spent"] is not None
+        # Tenant a's follow-up runs after its marginal: free and consistent.
+        assert replies[2]["served_from_release"] and replies[2]["spent"] is None
+        marginal = dict(zip(replies[1]["labels"], replies[1]["answers"]))
+        assert replies[2]["answers"][0] == pytest.approx(marginal["gender = 'F'"])
+        # Tenant b's oversized request is refused without taking serving down.
+        assert replies[3].get("refused") and "error" in replies[3]
+        assert "error" in replies[4]
+
+    def test_serve_missing_requests_file_errors(self, files, capsys):
+        schema, data = files
+        out = io.StringIO()
+        code = main(
+            ["serve", "--schema", str(schema), "--data", str(data),
+             "--requests", "/nonexistent.jsonl"],
+            out=out,
+        )
+        assert code == 1
+        assert "cannot read requests file" in capsys.readouterr().err
