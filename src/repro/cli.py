@@ -30,7 +30,12 @@ from stdin (or ``--requests FILE``) through a multi-tenant
 "epsilon": ...}``; each reply is one JSON line.  Every tenant gets its own
 budget (``--budget-epsilon`` / ``--budget-delta``), requests are answered
 from a thread pool, and repeated workload shapes across tenants share one
-plan cache.
+plan cache.  ``--execution process`` moves paid answering and cold strategy
+optimization to a worker-process pool (past the GIL); ``--async`` serves
+through the asyncio admission front-end, which bounds the number of
+requests in flight (``--queue-depth``) and rejects the rest with a
+``retry_after`` hint instead of buffering without bound.  SIGINT drains
+in-flight requests before exiting; EOF is the normal shutdown.
 """
 
 from __future__ import annotations
@@ -163,12 +168,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.1,
         help="per-request epsilon when a request does not name its own",
     )
-    serve.add_argument("--workers", type=int, default=4, help="request-pool threads")
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="request-pool workers (threads; worker processes too with --execution process)",
+    )
     serve.add_argument(
         "--shards",
         type=int,
         default=None,
         help="shard-pool parallelism for one large request (default: workers)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        help="admission bound for --async: requests beyond this many in flight "
+        "are rejected with a retry_after hint (default: 16 x workers)",
+    )
+    serve.add_argument(
+        "--execution",
+        choices=("thread", "process"),
+        default="thread",
+        help="execution tier: 'process' moves paid answering and cold strategy "
+        "optimization to a worker-process pool (past the GIL)",
+    )
+    serve.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="serve through the asyncio admission front-end (bounded queue, "
+        "backpressure, streaming stdin)",
     )
     serve.add_argument("--seed", type=int, default=None, help="noise seed (reproducible runs)")
     return parser
@@ -343,6 +374,9 @@ def _command_query(arguments, out) -> int:
 
 def _command_serve(arguments, out) -> int:
     # Imported lazily so `list`/`run` keep their fast startup.
+    import signal
+    import threading
+
     from repro.core.privacy import PrivacyParams
     from repro.engine import Server
     from repro.relational.csvio import read_csv
@@ -363,19 +397,46 @@ def _command_serve(arguments, out) -> int:
                 f"cannot read requests file {arguments.requests!r}: {error}"
             ) from error
     else:
-        lines = [line for line in sys.stdin if line.strip()]
+        # Stream stdin lazily so long-lived sessions answer as requests
+        # arrive; EOF (ctrl-D) is the normal shutdown path.
+        lines = (line for line in sys.stdin if line.strip())
     server = Server(
         PrivacyParams(arguments.budget_epsilon, arguments.budget_delta),
         schema=schema,
         data=relation,
         workers=arguments.workers,
         shards=arguments.shards,
+        execution=arguments.execution,
+        queue_depth=arguments.queue_depth,
         default_epsilon=arguments.default_epsilon,
         random_state=arguments.seed,
     )
+    # SIGINT requests a graceful drain: stop admitting, finish what is in
+    # flight, reject the rest with an explanation. A second ctrl-C falls
+    # through to the default handler (hard exit).
+    stop = threading.Event()
+    previous_handler = None
+
+    def _request_drain(signum, frame):
+        stop.set()
+        signal.signal(signal.SIGINT, previous_handler or signal.default_int_handler)
+        print("[draining in-flight requests; ctrl-C again to force quit]", file=sys.stderr)
+
     try:
-        server.serve(lines, out=out)
+        previous_handler = signal.signal(signal.SIGINT, _request_drain)
+    except ValueError:  # not the main thread (e.g. embedded callers)
+        previous_handler = None
+    try:
+        if arguments.use_async:
+            server.serve_async(lines, out=out, stop=stop)
+        else:
+            server.serve(lines, out=out, stop=stop)
     finally:
+        if previous_handler is not None:
+            try:
+                signal.signal(signal.SIGINT, previous_handler)
+            except ValueError:
+                pass
         server.close()
     stats = server.stats()
     print(

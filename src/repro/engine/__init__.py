@@ -18,7 +18,13 @@ path from a request to consistent private answers:
   released estimates, clean refusal when the budget would be exceeded;
 * :mod:`repro.engine.server` — the multi-tenant :class:`Server`: one shared
   planner/plan cache, per-tenant budgeted sessions, thread-pooled request
-  answering and shard-parallel execution of large requests.
+  answering, shard-parallel execution of large requests, in-flight
+  coalescing of identical ones, and an asyncio admission front-end with
+  bounded queues and backpressure;
+* :mod:`repro.engine.executor` — the process-pool execution tier
+  (:class:`ProcessExecutor`): paid answering and cold strategy optimization
+  past the GIL, content-addressed plan shipping, bit-for-bit deterministic
+  against the in-process path.
 
 Every entry point — the ``python -m repro query`` CLI, the experiment
 registry, library callers — goes through this layer; see the "Engine layer"
@@ -38,6 +44,7 @@ _EXPORTS = {
     "PlanCache": "repro.engine.cache",
     "PlanCandidate": "repro.engine.planner",
     "Planner": "repro.engine.planner",
+    "ProcessExecutor": "repro.engine.executor",
     "PrivacyAccountant": "repro.mechanisms.accountant",
     "Server": "repro.engine.server",
     "Session": "repro.engine.session",

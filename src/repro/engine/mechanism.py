@@ -141,6 +141,25 @@ class StrategyMechanism:
         # this memo together — the LRU bookkeeping must be serialized.
         self._instances_lock = threading.Lock()
 
+    def __getstate__(self) -> dict:
+        """Pickle without the lock or the per-process instance memo.
+
+        Plans cross the process boundary of the execution tier
+        (:mod:`repro.engine.executor`), and neither a ``threading.Lock`` nor
+        the memoised mechanism instances (whose factorisation caches are
+        per-process warm state) belong in the payload — the receiving worker
+        rebuilds both lazily and keeps its own memo warm under its own lock.
+        """
+        state = self.__dict__.copy()
+        state.pop("_instances_lock", None)
+        state["_instances"] = OrderedDict()
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._instances = OrderedDict()
+        self._instances_lock = threading.Lock()
+
     def _instance(self, params: PrivacyParams):
         with self._instances_lock:
             mechanism = self._instances.get(params)

@@ -107,7 +107,23 @@ def workload_fingerprint(workload: Workload) -> str | None:
     the Gram bytes — so structurally identical workloads built by different
     callers collide on purpose, and the plan cache can serve them all from
     one strategy optimization.
+
+    The digest is memoised on the workload object (workloads are immutable —
+    every transformation returns a new one), because the serving layer now
+    fingerprints on two hot paths per request: the plan-cache key and the
+    in-flight coalescing key.  Hashing a dense matrix's bytes is linear in
+    its size; doing it once per workload object instead of once per request
+    is what keeps the coalescing probe O(1) for repeated asks.
     """
+    cached = getattr(workload, "_cached_fingerprint", False)
+    if cached is not False:
+        return cached
+    fingerprint = _workload_fingerprint_uncached(workload)
+    workload._cached_fingerprint = fingerprint
+    return fingerprint
+
+
+def _workload_fingerprint_uncached(workload: Workload) -> str | None:
     h = hashlib.sha1()
     h.update(f"m={workload.query_count};n={workload.column_count};".encode())
     factors = workload._kron_factors
@@ -244,17 +260,35 @@ class Planner:
         require_estimate: bool = True,
         include_baselines: bool = True,
         design_options: dict | None = None,
+        build_offload=None,
     ):
         self.cache = PlanCache() if cache == "default" else cache
         self.require_estimate = require_estimate
         self.include_baselines = include_baselines
         self.design_options = dict(design_options or {})
+        #: Optional hook ``(workload, params, key, config) -> Plan | None``
+        #: that runs the cold build somewhere else — the process-pool
+        #: execution tier (:mod:`repro.engine.executor`) installs its
+        #: ``optimize`` here so strategy optimization escapes the GIL.  A
+        #: ``None`` return (closed pool, unpicklable workload) falls back to
+        #: building inline; either way the plan lands in this planner's
+        #: cache and counts in :attr:`plans_built` exactly once.
+        self.build_offload = build_offload
         self.plans_built = 0
         self.requests = 0
         self._lock = threading.Lock()
         #: Per-fingerprint build gates: one strategy optimization per key,
         #: however many threads miss on it at once.
         self._building: dict[str, threading.Lock] = {}
+
+    def config(self) -> dict:
+        """Constructor kwargs that reproduce this planner's build behaviour
+        (what the execution tier ships to a worker-side throwaway planner)."""
+        return {
+            "require_estimate": self.require_estimate,
+            "include_baselines": self.include_baselines,
+            "design_options": dict(self.design_options),
+        }
 
     # ------------------------------------------------------------------ keys
     def _config_digest(self) -> str:
@@ -357,6 +391,10 @@ class Planner:
         started = time.perf_counter()
         with self._lock:
             self.plans_built += 1
+        if self.build_offload is not None:
+            plan = self.build_offload(workload, params, key, self.config())
+            if plan is not None:
+                return plan
         regime = "gaussian" if params.is_approximate else "laplace"
         reference = REFERENCE_PRIVACY if regime == "gaussian" else REFERENCE_PRIVACY_PURE
         profile = analyze_workload(workload)

@@ -28,20 +28,44 @@ Two shard-parallel paths exploit numpy's GIL release for large requests:
 Request work runs on one pool and shard work on a second, so a request that
 shards never waits on its own siblings for a worker (no pool-within-pool
 starvation).
+
+Three pieces sit above the thread pools (``docs/architecture.md`` §7):
+
+* **process execution** (``execution="process"``) — paid answering and cold
+  strategy optimization move to a :class:`~repro.engine.executor
+  .ProcessExecutor` worker pool, past the GIL; the parent keeps every piece
+  of authoritative state (accountant, plan cache, release pools) and the
+  answers are bit-for-bit what the thread tier would have produced;
+* **in-flight coalescing** — N concurrent *identical* requests (same
+  tenant-visible query, same privacy slice, same release span) execute
+  once: the first becomes the leader, the rest attach to its future and
+  receive the same answer, and the tenant's budget is charged exactly once
+  per burst (the planner's per-fingerprint build gates, extended from
+  planning to answering);
+* **async admission** (:meth:`Server.serve_async`) — an asyncio front-end
+  with a bounded admission queue: requests beyond ``queue_depth`` are
+  rejected immediately with a ``retry_after`` hint instead of buffered
+  without bound, and a ``stop`` event drains in-flight work and rejects the
+  rest (clean shutdown).
 """
 
 from __future__ import annotations
 
+import asyncio
+import hashlib
 import json
 import threading
-from concurrent.futures import ThreadPoolExecutor
+import time
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
 
 import numpy as np
 
 from repro.core.privacy import PrivacyParams
 from repro.core.workload import Workload
 from repro.domain.schema import Schema
-from repro.engine.planner import Planner
+from repro.engine.executor import ProcessExecutor
+from repro.engine.planner import Planner, workload_fingerprint
 from repro.engine.session import Session, SessionAnswer
 from repro.exceptions import ReproError
 from repro.mechanisms.accountant import BudgetExceededError
@@ -53,6 +77,61 @@ __all__ = ["Server"]
 #: Below this many query rows (or relation rows) a request is answered on the
 #: calling thread: the per-shard dispatch overhead would exceed the matmul.
 DEFAULT_SHARD_MIN_ROWS = 4096
+
+#: Default admission bound for :meth:`Server.serve_async`: how many requests
+#: may be admitted-but-unfinished before new ones are rejected with a
+#: ``retry_after`` hint.  Scaled with ``workers`` at construction.
+DEFAULT_QUEUE_DEPTH_PER_WORKER = 16
+
+
+class _StageStats:
+    """Running per-stage latency counters: mean over the lifetime, p95 over a
+    bounded sample window.
+
+    Cheap by construction — one lock, one deque append per record — because
+    it sits on the serving hot path.  The p95 is computed over the last
+    ``window`` samples (a full reservoir would grow without bound on a
+    long-lived server); the mean is exact over the lifetime.
+    """
+
+    def __init__(self, window: int = 512):
+        self._lock = threading.Lock()
+        self._window = int(window)
+        self._stages: dict[str, tuple[int, float, deque]] = {}
+
+    def record(self, stage: str, seconds: float) -> None:
+        with self._lock:
+            entry = self._stages.get(stage)
+            if entry is None:
+                entry = [0, 0.0, deque(maxlen=self._window)]
+                self._stages[stage] = entry
+            entry[0] += 1
+            entry[1] += seconds
+            entry[2].append(seconds)
+
+    def mean(self, stage: str) -> float | None:
+        """Lifetime mean latency of ``stage`` in seconds, or ``None``."""
+        with self._lock:
+            entry = self._stages.get(stage)
+            if entry is None or entry[0] == 0:
+                return None
+            return entry[1] / entry[0]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            entries = {
+                stage: (count, total, sorted(window))
+                for stage, (count, total, window) in self._stages.items()
+            }
+        out = {}
+        for stage, (count, total, window) in entries.items():
+            p95 = window[int(0.95 * (len(window) - 1))] if window else 0.0
+            out[stage] = {
+                "count": count,
+                "mean_ms": 1e3 * total / max(count, 1),
+                "p95_ms": 1e3 * p95,
+            }
+        return out
 
 
 def _row_chunks(total: int, shards: int) -> list[tuple[int, int]]:
@@ -79,12 +158,25 @@ class Server:
         warm cache between them.
     workers:
         Request-pool threads: how many tenant requests execute at once.
+        In process execution mode the worker-*process* pool is sized the
+        same way (request threads block on their process futures, so the
+        smaller pool bounds concurrency).
     shards:
         Shard-pool parallelism for one large request (defaults to
         ``workers``); ``1`` disables sharding.
     shard_min_rows:
         Sharding threshold — requests (or relations) with fewer rows run
         unsharded on the calling thread.
+    execution:
+        ``"thread"`` (default) runs paid plans on the request thread;
+        ``"process"`` moves paid answering *and* cold strategy optimization
+        to a :class:`~repro.engine.executor.ProcessExecutor`, past the GIL.
+        Answers are bit-for-bit identical either way (the request RNG's
+        state crosses the pickle boundary); only the parallelism differs.
+    queue_depth:
+        Admission bound for :meth:`serve_async` (defaults to ``16 x
+        workers``): requests beyond it are rejected with ``retry_after``
+        instead of buffered without bound.
     default_epsilon / default_delta / random_state:
         Forwarded to each opened :class:`Session`; each tenant's noise
         stream is seeded from ``(random_state, tenant name)``, never from
@@ -119,16 +211,28 @@ class Server:
         workers: int = 4,
         shards: int | None = None,
         shard_min_rows: int = DEFAULT_SHARD_MIN_ROWS,
+        execution: str = "thread",
+        queue_depth: int | None = None,
         default_epsilon: float | None = None,
         default_delta: float | None = None,
         random_state=None,
     ):
+        if execution not in ("thread", "process"):
+            raise ReproError(
+                f"execution must be 'thread' or 'process', got {execution!r}"
+            )
         self.budget = budget
         self.schema = schema
         self.planner = planner if planner is not None else Planner()
         self.workers = max(1, int(workers))
         self.shards = self.workers if shards is None else max(1, int(shards))
         self.shard_min_rows = max(1, int(shard_min_rows))
+        self.execution = execution
+        self.queue_depth = (
+            DEFAULT_QUEUE_DEPTH_PER_WORKER * self.workers
+            if queue_depth is None
+            else max(0, int(queue_depth))
+        )
         self.default_epsilon = default_epsilon
         self.default_delta = default_delta
         self._random_state = random_state
@@ -143,15 +247,39 @@ class Server:
             if self.shards > 1
             else None
         )
+        # The process execution tier.  The build offload is installed on the
+        # shared planner only when the planner does not already carry one
+        # (a caller-owned planner may be shared with other servers), and is
+        # uninstalled on close so a shared planner never points at a dead
+        # pool — the executor itself also degrades to inline when closed.
+        self._process_executor: ProcessExecutor | None = None
+        self._offload_installed = False
+        if execution == "process":
+            self._process_executor = ProcessExecutor(self.workers)
+            if self.planner.build_offload is None:
+                self.planner.build_offload = self._process_executor.optimize
+                self._offload_installed = True
         self._lock = threading.RLock()
         self._sessions: dict[str, Session] = {}
         self._answers_served = 0
         self._closed = False
+        self._stage_stats = _StageStats()
+        # In-flight coalescing: one leader executes, followers share its
+        # future.  Keys are content-addressed request identities (see
+        # :meth:`_coalesce_key`); the map only ever holds in-flight bursts.
+        self._inflight: dict[tuple, Future] = {}
+        self._coalesce_lock = threading.Lock()
+        self._coalesce_leaders = 0
+        self._coalesce_followers = 0
         self._data = self._resolve_data(data) if data is not None else None
 
     # ------------------------------------------------------------- lifecycle
     def close(self) -> None:
-        """Shut both pools down (idempotent); sessions stay readable."""
+        """Shut every pool down (idempotent); sessions stay readable.
+
+        Shutdown waits for in-flight work — the pools drain, they do not
+        abandon requests.
+        """
         with self._lock:
             if self._closed:
                 return
@@ -159,6 +287,11 @@ class Server:
         self._pool.shutdown(wait=True)
         if self._shard_pool is not None:
             self._shard_pool.shutdown(wait=True)
+        if self._process_executor is not None:
+            if self._offload_installed:
+                self.planner.build_offload = None
+                self._offload_installed = False
+            self._process_executor.close()
 
     def __enter__(self) -> "Server":
         return self
@@ -234,6 +367,12 @@ class Server:
                 ),
                 random_state=random_state,
                 release_answerer=self.sharded_answers,
+                plan_executor=(
+                    None
+                    if self._process_executor is None
+                    else self._process_executor.execute
+                ),
+                stage_timer=self._stage_stats.record,
             )
             self._sessions[tenant] = session
             return session
@@ -257,14 +396,106 @@ class Server:
         with self._lock:
             return sorted(self._sessions)
 
+    # ---------------------------------------------------------- coalescing
+    def _coalesce_key(self, tenant: str, request, options) -> tuple | None:
+        """The content-addressed identity of a coalescable request.
+
+        Two requests coalesce when a tenant-visible observer could not tell
+        their answers apart: same tenant, same request *content*, same
+        privacy slice, against the same release span (a release landing
+        between two identical asks changes what the second one should see,
+        so the span length is part of the key).  Requests that bring their
+        own ``data=`` or ``random_state=`` are never coalesced — explicit
+        data answers about a different dataset, and an explicit seed is a
+        demand for an *independent* draw.
+        """
+        if options.get("data") is not None or options.get("random_state") is not None:
+            return None
+        if isinstance(request, str):
+            body = ("sql", request)
+        elif isinstance(request, (list, tuple)) and request and all(
+            isinstance(item, str) for item in request
+        ):
+            body = ("sql", tuple(request))
+        elif isinstance(request, Workload):
+            fingerprint = workload_fingerprint(request)
+            if fingerprint is None:
+                return None
+            body = ("workload", fingerprint)
+        elif isinstance(request, np.ndarray):
+            digest = hashlib.sha1()
+            digest.update(str(request.shape).encode())
+            digest.update(np.ascontiguousarray(request, dtype=float).tobytes())
+            body = ("matrix", digest.hexdigest())
+        else:
+            return None
+        session = self.session(tenant)
+        return (
+            tenant,
+            body,
+            options.get("epsilon"),
+            options.get("delta"),
+            bool(options.get("per_query", False)),
+            session.releases,
+        )
+
     # ------------------------------------------------------------ serving API
-    def ask(self, tenant: str, request, **options) -> SessionAnswer:
+    def ask(self, tenant: str, request, *, coalesce: bool = True, **options) -> SessionAnswer:
         """Answer one request for ``tenant`` on the calling thread.
 
         ``options`` are forwarded to :meth:`Session.ask` (``epsilon``,
         ``delta``, ``per_query``, ...).
+
+        Identical concurrent requests **coalesce**: the first in flight
+        becomes the leader and executes; the rest attach to its future and
+        receive the *same* :class:`SessionAnswer` (same estimate, same
+        noise draw), and the tenant's budget is charged exactly once for
+        the burst.  Real traffic is full of such bursts (every viewer of
+        the same dashboard asks the same query), and answering them once is
+        both cheaper and no worse for privacy — one release, post-processed
+        to everyone.  Pass ``coalesce=False`` to force an independent
+        execution (e.g. when measuring per-request throughput).
+
+        No deadlock under a full pool: a follower can only exist once its
+        leader is *running* (the leader registers the in-flight key from
+        its own worker), so followers blocking pool workers always have a
+        progressing leader.
         """
-        answer = self.session(tenant).ask(request, **options)
+        key = self._coalesce_key(tenant, request, options) if coalesce else None
+        if key is None:
+            answer = self.session(tenant).ask(request, **options)
+            with self._lock:
+                self._answers_served += 1
+            return answer
+        with self._coalesce_lock:
+            future = self._inflight.get(key)
+            leader = future is None
+            if leader:
+                future = Future()
+                self._inflight[key] = future
+                self._coalesce_leaders += 1
+            else:
+                self._coalesce_followers += 1
+        if not leader:
+            # The leader's outcome *is* this request's outcome — including a
+            # refusal (same tenant, same budget: the follower would have been
+            # refused identically).
+            answer = future.result()
+            with self._lock:
+                self._answers_served += 1
+            return answer
+        try:
+            answer = self.session(tenant).ask(request, **options)
+        except BaseException as error:
+            with self._coalesce_lock:
+                self._inflight.pop(key, None)
+            future.set_exception(error)
+            raise
+        # Unregister *before* resolving: a request arriving after the result
+        # exists must start a fresh burst (its release span differs anyway).
+        with self._coalesce_lock:
+            self._inflight.pop(key, None)
+        future.set_result(answer)
         with self._lock:
             self._answers_served += 1
         return answer
@@ -274,7 +505,13 @@ class Server:
         with self._lock:
             if self._closed:
                 raise ReproError("the server is closed")
-        return self._pool.submit(self.ask, tenant, request, **options)
+        enqueued = time.perf_counter()
+
+        def run():
+            self._stage_stats.record("queue_wait", time.perf_counter() - enqueued)
+            return self.ask(tenant, request, **options)
+
+        return self._pool.submit(run)
 
     def ask_many(self, requests) -> list[SessionAnswer]:
         """Answer ``(tenant, request)`` (or ``(tenant, request, options)``)
@@ -396,7 +633,7 @@ class Server:
                 pass
         return "default"
 
-    def serve(self, lines, out=None):
+    def serve(self, lines, out=None, *, stop: threading.Event | None = None):
         """Run the line protocol over ``lines``, pipelined through the pool.
 
         Distinct tenants are answered concurrently; each tenant's own
@@ -410,6 +647,12 @@ class Server:
         submitted from the completion callback of the previous one — rather
         than by blocking a pool worker on a predecessor, which could
         deadlock a small pool.
+
+        ``stop`` (a :class:`threading.Event`) makes shutdown clean: once
+        set, requests not yet launched are answered with a ``rejected``
+        reply instead of executing, while everything already in flight
+        drains and replies normally — the SIGINT path of ``python -m repro
+        serve``.
         """
         lines = [line for line in lines if line.strip()]
         total = len(lines)
@@ -430,6 +673,21 @@ class Server:
         def launch(tenant: str) -> None:
             queue = queues[tenant]
             if not queue:
+                return
+            if stop is not None and stop.is_set():
+                # Drain: reject everything this tenant has not yet started.
+                with state_lock:
+                    while queue:
+                        index = queue.pop(0)
+                        replies[index] = {
+                            "tenant": tenant,
+                            "error": "server shutting down; request not admitted",
+                            "rejected": True,
+                        }
+                        state["remaining"] -= 1
+                    flush_ready()
+                    if state["remaining"] == 0:
+                        finished.set()
                 return
             index = queue.pop(0)
             future = self._pool.submit(self.handle_request, lines[index])
@@ -456,18 +714,163 @@ class Server:
         finished.wait()
         return replies
 
+    # ---------------------------------------------------------- async front-end
+    def _retry_after(self, in_flight: int) -> float:
+        """A retry hint for a rejected request: roughly how long the current
+        backlog needs to drain one slot (mean execute latency x queue depth
+        per worker), floored at 50 ms so early rejections are never 0."""
+        mean = self._stage_stats.mean("execute")
+        if mean is None:
+            mean = 0.1
+        return round(max(0.05, mean * max(in_flight, 1) / self.workers), 4)
+
+    def serve_async(
+        self,
+        lines,
+        out=None,
+        *,
+        queue_depth: int | None = None,
+        stop: threading.Event | None = None,
+    ) -> list:
+        """Run the line protocol behind an asyncio admission front-end.
+
+        Same request/reply semantics as :meth:`serve` (per-tenant order,
+        replies in input order), plus **admission control**: at most
+        ``queue_depth`` requests may be admitted-but-unfinished at once.  A
+        request arriving beyond that is rejected *immediately* with
+        ``{"rejected": true, "retry_after": seconds}`` — bounded queues and
+        backpressure, never unbounded buffering.  ``lines`` may be any
+        iterable, including a live stream (e.g. ``sys.stdin``): a
+        non-materialized source is pulled on a thread so the event loop
+        keeps draining completions while waiting for input.
+
+        The event loop bridges to the same request pool (and through it the
+        process execution tier, if configured) via ``run_in_executor`` —
+        the front-end admits and orders; it never computes.
+
+        Setting ``stop`` mid-stream stops admission (subsequent lines get
+        ``rejected`` replies) while admitted work drains normally.
+        """
+        return asyncio.run(self._serve_async(lines, out, queue_depth, stop))
+
+    async def _serve_async(self, lines, out, queue_depth, stop) -> list:
+        loop = asyncio.get_running_loop()
+        depth = self.queue_depth if queue_depth is None else max(0, int(queue_depth))
+        replies: list = []
+        state = {"emitted": 0, "in_flight": 0}
+        tails: dict[str, asyncio.Task] = {}
+        tasks: list[asyncio.Task] = []
+
+        def flush_ready() -> None:
+            while state["emitted"] < len(replies) and replies[state["emitted"]] is not None:
+                if out is not None:
+                    print(json.dumps(replies[state["emitted"]]), file=out, flush=True)
+                state["emitted"] += 1
+
+        def handle_timed(line: str, admitted: float) -> dict:
+            self._stage_stats.record("queue_wait", time.perf_counter() - admitted)
+            return self.handle_request(line)
+
+        async def answer(index: int, line: str, predecessor, admitted: float) -> None:
+            if predecessor is not None:
+                try:
+                    await predecessor
+                except Exception:  # pragma: no cover - predecessors never raise
+                    pass
+            try:
+                reply = await loop.run_in_executor(self._pool, handle_timed, line, admitted)
+            except Exception as error:  # pragma: no cover - handle_request guards
+                reply = {"tenant": self._peek_tenant(line), "error": repr(error)}
+            replies[index] = reply
+            state["in_flight"] -= 1
+            flush_ready()
+
+        materialized = isinstance(lines, (list, tuple))
+        iterator = iter(lines)
+        sentinel = object()
+        while True:
+            if materialized:
+                line = next(iterator, sentinel)
+            else:
+                # A live stream blocks on input; pull it off-loop so
+                # completions keep draining (and rejections keep flowing)
+                # while we wait for the next line.
+                line = await loop.run_in_executor(None, next, iterator, sentinel)
+            if line is sentinel:
+                break
+            if not str(line).strip():
+                continue
+            line = str(line)
+            index = len(replies)
+            replies.append(None)
+            if stop is not None and stop.is_set():
+                replies[index] = {
+                    "tenant": self._peek_tenant(line),
+                    "error": "server shutting down; request not admitted",
+                    "rejected": True,
+                }
+                flush_ready()
+                continue
+            if state["in_flight"] >= depth:
+                replies[index] = {
+                    "tenant": self._peek_tenant(line),
+                    "error": f"server overloaded: admission queue full ({depth})",
+                    "rejected": True,
+                    "retry_after": self._retry_after(state["in_flight"]),
+                }
+                flush_ready()
+                continue
+            state["in_flight"] += 1
+            tenant = self._peek_tenant(line)
+            task = loop.create_task(
+                answer(index, line, tails.get(tenant), time.perf_counter())
+            )
+            tails[tenant] = task
+            tasks.append(task)
+            # Yield so completion callbacks run between admissions — this is
+            # what lets a fast burst free slots instead of tripping the
+            # admission bound spuriously.
+            await asyncio.sleep(0)
+        if tasks:
+            await asyncio.gather(*tasks)
+        flush_ready()
+        return replies
+
     # ------------------------------------------------------------- monitoring
     def stats(self) -> dict:
-        """One snapshot of the serving counters and the shared-cache stats."""
+        """One snapshot of the serving counters and the shared-cache stats.
+
+        ``coalesce`` counts bursts: ``leaders`` is the number of actual
+        executions of coalescable requests, ``followers`` the requests that
+        attached to an in-flight leader (served with zero execution and zero
+        budget) — a burst of N identical requests shows as 1 leader + N-1
+        followers.  ``stages`` carries per-stage latency accounting (running
+        mean and windowed p95, milliseconds) for ``queue_wait``,
+        ``plan_lookup``, ``execute`` and ``derive``.
+        """
         with self._lock:
             sessions = dict(self._sessions)
             answers_served = self._answers_served
+        with self._coalesce_lock:
+            coalesce = {
+                "leaders": self._coalesce_leaders,
+                "followers": self._coalesce_followers,
+            }
         cache = self.planner.cache
         return {
             "tenants": len(sessions),
             "answers_served": answers_served,
             "workers": self.workers,
             "shards": self.shards,
+            "execution": self.execution,
+            "queue_depth": self.queue_depth,
+            "process_executor": (
+                None
+                if self._process_executor is None
+                else self._process_executor.stats()
+            ),
+            "coalesce": coalesce,
+            "stages": self._stage_stats.snapshot(),
             "plans_built": self.planner.plans_built,
             "plan_requests": self.planner.requests,
             "plan_cache": None if cache is None else cache.stats,

@@ -34,6 +34,7 @@ planning and mechanism execution run outside it.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -144,6 +145,19 @@ class Session:
         answers from a released estimate — a
         :class:`~repro.engine.server.Server` injects its shard-parallel
         answerer here.  Defaults to ``workload.answer(estimate)``.
+    plan_executor:
+        Optional hook ``(plan, workload, data, params, random_state, key) ->
+        EngineResult`` that runs a paid plan somewhere other than the
+        calling thread — a server in process execution mode injects its
+        :meth:`~repro.engine.executor.ProcessExecutor.execute` here so noise
+        + inference escape the GIL.  The session's own state (accountant,
+        releases, history) never crosses that boundary; only the plan, the
+        data vector and the request's RNG do.  Defaults to
+        ``plan.execute(...)`` inline.
+    stage_timer:
+        Optional hook ``(stage, seconds)`` fed per-request stage latencies
+        (``"plan_lookup"``, ``"execute"``, ``"derive"``) — the server's
+        per-stage accounting.  Must be cheap and non-raising.
     """
 
     def __init__(
@@ -157,6 +171,8 @@ class Session:
         default_delta: float | None = None,
         random_state=None,
         release_answerer=None,
+        plan_executor=None,
+        stage_timer=None,
     ):
         self.budget = budget
         self.accountant = PrivacyAccountant(budget)
@@ -166,6 +182,8 @@ class Session:
         self.default_delta = default_delta
         self._rng = as_generator(random_state)
         self._release_answerer = release_answerer
+        self._plan_executor = plan_executor
+        self._stage_timer = stage_timer
         self._data = self._resolve_data(data) if data is not None else None
         self._releases: list[_Release] = []
         self.history: list[SessionAnswer] = []
@@ -247,10 +265,18 @@ class Session:
         with self._lock:
             return self._rng.spawn(1)[0]
 
+    def _record_stage(self, stage: str, seconds: float) -> None:
+        if self._stage_timer is not None:
+            self._stage_timer(stage, seconds)
+
     def _derive_answers(self, workload: Workload, estimate: np.ndarray) -> np.ndarray:
+        started = time.perf_counter()
         if self._release_answerer is not None:
-            return self._release_answerer(workload, estimate)
-        return workload.answer(estimate)
+            answers = self._release_answerer(workload, estimate)
+        else:
+            answers = workload.answer(estimate)
+        self._record_stage("derive", time.perf_counter() - started)
+        return answers
 
     # --------------------------------------------------------- free reuse path
     def _serve_from_release(
@@ -366,12 +392,19 @@ class Session:
         # release, the refusal happens without mutating anything.
         self.accountant.charge(params, label=label)
         try:
+            lookup_started = time.perf_counter()
             cache = self.planner.cache
             key = None if cache is None else self.planner.plan_key(workload, params)
             cache_hit = key is not None and cache.peek(key) is not None
             plan = self.planner.plan(workload, params, key=key)
+            self._record_stage("plan_lookup", time.perf_counter() - lookup_started)
             rng = self._request_rng(random_state)
-            result = plan.execute(workload, vector, params, random_state=rng)
+            execute_started = time.perf_counter()
+            if self._plan_executor is not None:
+                result = self._plan_executor(plan, workload, vector, params, rng, key)
+            else:
+                result = plan.execute(workload, vector, params, random_state=rng)
+            self._record_stage("execute", time.perf_counter() - execute_started)
         except BaseException:
             # The release did not happen (no noise was drawn for it), so the
             # reservation goes back — a failed request must not burn budget.

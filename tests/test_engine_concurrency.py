@@ -34,6 +34,11 @@ PRIVACY = PrivacyParams(epsilon=0.5, delta=1e-4)
 
 THREADS = 8
 
+# A wedged lock or a lost wakeup in this module means a hang, not a failure;
+# the timeout marker (pytest-timeout in CI, the conftest SIGALRM fallback
+# locally) turns that into a diagnosable error.
+pytestmark = pytest.mark.timeout(120)
+
 
 def _run_threads(count, work):
     """Run ``work(index)`` on ``count`` threads after a common barrier."""

@@ -1,0 +1,369 @@
+"""The execution tier (PR 6): process pool, coalescing, async admission.
+
+What horizontal scale-out must *not* change:
+
+* **bit-for-bit determinism** — the same seeded request produces the same
+  answer whether it ran inline, on a worker process, or via the async
+  front-end; plans survive the pickle boundary exactly;
+* **budget integrity** — N racing identical requests charge the tenant
+  exactly once (coalescing), and a rejected request (backpressure, drain)
+  charges nothing at all;
+* **bounded queues** — the admission front-end rejects with a
+  ``retry_after`` hint instead of buffering without bound.
+"""
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.privacy import PrivacyParams
+from repro.core.workload import Workload
+from repro.engine import Planner, ProcessExecutor, Server
+from repro.workloads import all_range_queries_1d
+
+PRIVACY = PrivacyParams(epsilon=0.5, delta=1e-4)
+
+# Worker-process spawn plus a wedged future would hang, not fail; the
+# timeout marker (pytest-timeout in CI, conftest SIGALRM fallback locally)
+# keeps this module diagnosable.
+pytestmark = pytest.mark.timeout(300)
+
+CELLS = 16
+
+
+def _data(cells=CELLS):
+    return np.arange(cells, dtype=float) * 2.0
+
+
+# --------------------------------------------------------- pickle boundary
+class TestPickleBoundary:
+    def test_plan_roundtrips_and_executes_identically(self):
+        planner = Planner()
+        workload = all_range_queries_1d(CELLS)
+        plan = planner.plan(workload, PRIVACY)
+        clone = pickle.loads(pickle.dumps(plan))
+        data = _data()
+        original = plan.execute(
+            workload, data, PRIVACY, random_state=np.random.default_rng(7)
+        )
+        copied = clone.execute(
+            workload, data, PRIVACY, random_state=np.random.default_rng(7)
+        )
+        np.testing.assert_array_equal(original.answers, copied.answers)
+        np.testing.assert_array_equal(original.estimate, copied.estimate)
+
+    def test_unpickled_mechanism_still_thread_safe(self):
+        # __setstate__ must rebuild the dropped lock, not leave None behind.
+        planner = Planner()
+        plan = planner.plan(all_range_queries_1d(8), PRIVACY)
+        clone = pickle.loads(pickle.dumps(plan))
+        data = np.ones(8)
+
+        def work():
+            clone.execute(
+                all_range_queries_1d(8),
+                data,
+                PRIVACY,
+                random_state=np.random.default_rng(0),
+            )
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+
+# ------------------------------------------------------------ process pool
+class TestProcessExecutor:
+    @pytest.fixture(scope="class")
+    def executor(self):
+        with ProcessExecutor(workers=2) as executor:
+            yield executor
+
+    def test_worker_answers_match_inline_oracle_bitwise(self, executor):
+        planner = Planner()
+        workload = all_range_queries_1d(CELLS)
+        params = PRIVACY
+        plan = planner.plan(workload, params)
+        key = planner.plan_key(workload, params)
+        data = _data()
+        oracle = plan.execute(
+            workload, data, params, random_state=np.random.default_rng(11)
+        )
+        result = executor.execute(
+            plan, workload, data, params, np.random.default_rng(11), key=key
+        )
+        np.testing.assert_array_equal(result.answers, oracle.answers)
+        np.testing.assert_array_equal(result.estimate, oracle.estimate)
+        stats = executor.stats()
+        assert stats["executed"] >= 1
+        assert stats["inline_fallbacks"] == 0
+
+    def test_plan_ships_once_per_worker_per_key(self, executor):
+        planner = Planner()
+        workload = all_range_queries_1d(12)
+        plan = planner.plan(workload, PRIVACY)
+        key = planner.plan_key(workload, PRIVACY)
+        data = np.ones(12)
+        before = executor.stats()
+        for seed in range(4):
+            executor.execute(
+                plan, workload, data, PRIVACY, np.random.default_rng(seed), key=key
+            )
+        after = executor.stats()
+        assert after["executed"] - before["executed"] == 4
+        # Content-addressing: the full payload crossed at most once per
+        # worker (2 workers); the rest ran against the memoised warm plan.
+        assert after["plans_offloaded"] - before["plans_offloaded"] <= 2
+
+    def test_offloaded_optimization_builds_the_same_plan(self, executor):
+        planner = Planner()
+        workload = all_range_queries_1d(CELLS)
+        key = planner.plan_key(workload, PRIVACY)
+        offloaded = executor.optimize(workload, PRIVACY, key, planner.config())
+        assert offloaded is not None
+        inline = planner.plan(workload, PRIVACY)
+        data = _data()
+        a = offloaded.execute(
+            workload, data, PRIVACY, random_state=np.random.default_rng(3)
+        )
+        b = inline.execute(
+            workload, data, PRIVACY, random_state=np.random.default_rng(3)
+        )
+        np.testing.assert_allclose(a.answers, b.answers)
+        assert offloaded.expected_error(PRIVACY) == pytest.approx(
+            inline.expected_error(PRIVACY)
+        )
+
+    def test_closed_executor_degrades_to_inline(self):
+        executor = ProcessExecutor(workers=1)
+        executor.close()
+        planner = Planner()
+        workload = Workload.identity(8)
+        plan = planner.plan(workload, PRIVACY)
+        result = executor.execute(
+            plan, workload, np.ones(8), PRIVACY, np.random.default_rng(0)
+        )
+        assert result.answers.shape == (8,)
+        assert executor.stats()["inline_fallbacks"] == 1
+
+
+class TestProcessServer:
+    def test_process_server_matches_thread_oracle_bitwise(self):
+        data = _data()
+        shapes = [all_range_queries_1d(CELLS), Workload.identity(CELLS)]
+        requests = [
+            (f"tenant-{i % 3}", shapes[i % len(shapes)], 100 + i) for i in range(8)
+        ]
+
+        def run_server(execution):
+            server = Server(
+                PrivacyParams(10.0, 1e-3),
+                data=data,
+                workers=2,
+                execution=execution,
+                random_state=0,
+            )
+            entries = [
+                (tenant, workload, {"epsilon": 0.2, "data": data, "random_state": seed})
+                for tenant, workload, seed in requests
+            ]
+            answers = server.ask_many(entries)
+            stats = server.stats()
+            server.close()
+            return [answer.answers for answer in answers], stats
+
+        process, process_stats = run_server("process")
+        thread, _ = run_server("thread")
+        for got, expected in zip(process, thread):
+            np.testing.assert_array_equal(got, expected)
+        executor_stats = process_stats["process_executor"]
+        assert executor_stats is not None
+        assert executor_stats["executed"] == len(requests)
+        assert executor_stats["inline_fallbacks"] == 0
+        assert process_stats["execution"] == "process"
+
+    def test_offload_hook_installed_and_uninstalled(self):
+        planner = Planner()
+        server = Server(
+            PrivacyParams(1.0, 1e-4),
+            data=np.ones(8),
+            planner=planner,
+            workers=1,
+            execution="process",
+        )
+        assert planner.build_offload is not None
+        server.close()
+        assert planner.build_offload is None
+
+    def test_invalid_execution_rejected(self):
+        with pytest.raises(Exception):
+            Server(PrivacyParams(1.0, 1e-4), data=np.ones(4), execution="gpu")
+
+
+# -------------------------------------------------------------- coalescing
+class TestCoalescing:
+    def test_racing_identical_requests_charge_once(self):
+        burst = 8
+        server = Server(
+            PrivacyParams(1.0, 1e-4), data=_data(), workers=burst, random_state=0
+        )
+        session = server.open_session("t")
+        real_ask = session.ask
+        leader_entered = threading.Event()
+        release_leader = threading.Event()
+
+        def gated_ask(request, **options):
+            leader_entered.set()
+            assert release_leader.wait(timeout=60)
+            return real_ask(request, **options)
+
+        session.ask = gated_ask
+        workload = all_range_queries_1d(CELLS)
+        answers = [None] * burst
+        threads = [
+            threading.Thread(
+                target=lambda i=i: answers.__setitem__(
+                    i, server.ask("t", workload, epsilon=0.4)
+                )
+            )
+            for i in range(burst)
+        ]
+        for thread in threads:
+            thread.start()
+        assert leader_entered.wait(timeout=60)
+        # Hold the leader until every other request has attached to it.
+        deadline = threading.Event()
+        for _ in range(600):
+            if server.stats()["coalesce"]["followers"] == burst - 1:
+                break
+            deadline.wait(0.05)
+        release_leader.set()
+        for thread in threads:
+            thread.join()
+        server.close()
+        stats = server.stats()
+        assert stats["coalesce"] == {"leaders": 1, "followers": burst - 1}
+        # One execution, one release, one debit — fanned out to the burst.
+        assert session.accountant.spent_epsilon == pytest.approx(0.4)
+        assert session.releases == 1
+        reference = answers[0]
+        for answer in answers[1:]:
+            assert answer is reference
+
+    def test_explicit_seed_or_data_never_coalesces(self):
+        server = Server(
+            PrivacyParams(5.0, 1e-3), data=_data(), workers=2, random_state=0
+        )
+        workload = Workload.identity(CELLS)
+        first = server.ask("t", workload, epsilon=0.5, data=_data(), random_state=1)
+        second = server.ask("t", workload, epsilon=0.5, data=_data(), random_state=2)
+        server.close()
+        stats = server.stats()
+        assert stats["coalesce"] == {"leaders": 0, "followers": 0}
+        # Independent draws were demanded and delivered.
+        assert not np.array_equal(first.answers, second.answers)
+
+    def test_coalesce_false_forces_independent_execution(self):
+        server = Server(
+            PrivacyParams(5.0, 1e-3), data=_data(), workers=2, random_state=0
+        )
+        server.ask("t", Workload.identity(CELLS), epsilon=0.5, coalesce=False)
+        server.close()
+        assert server.stats()["coalesce"]["leaders"] == 0
+
+
+# ------------------------------------------------- backpressure and draining
+class TestAdmissionControl:
+    LINES = [
+        '{"tenant": "a", "sql": "SELECT COUNT(*) FROM t GROUP BY color"}',
+        '{"tenant": "b", "sql": "SELECT COUNT(*) FROM t GROUP BY color"}',
+        '{"tenant": "c", "sql": "SELECT COUNT(*) FROM t GROUP BY color"}',
+    ]
+
+    @staticmethod
+    def _server(**overrides):
+        from repro.relational.relation import Relation
+        from repro.relational.vectorize import infer_schema, sample_relation
+
+        schema = infer_schema(
+            Relation({"color": ["red", "blue"] * 8}), {"color": "categorical"}
+        )
+        relation = sample_relation(schema, 200, random_state=0)
+        options = dict(
+            schema=schema,
+            data=relation,
+            workers=2,
+            default_epsilon=0.5,
+            random_state=0,
+        )
+        options.update(overrides)
+        return Server(PrivacyParams(2.0, 1e-4), **options)
+
+    def test_backpressure_rejects_and_charges_nothing(self):
+        server = self._server()
+        replies = server.serve_async(self.LINES, queue_depth=0)
+        server.close()
+        assert len(replies) == 3
+        for reply in replies:
+            assert reply["rejected"] is True
+            assert reply["retry_after"] > 0
+        # No session was opened, no budget touched, nothing executed.
+        assert server.stats()["spent"] == {}
+        assert server.stats()["answers_served"] == 0
+
+    def test_admitted_requests_serve_normally(self):
+        server = self._server()
+        replies = server.serve_async(self.LINES, queue_depth=16)
+        server.close()
+        assert len(replies) == 3
+        for reply in replies:
+            assert "rejected" not in reply
+            assert reply["spent"] is not None
+        assert set(server.stats()["spent"]) == {"a", "b", "c"}
+
+    def test_async_replies_match_sync_replies(self):
+        lines = [
+            '{"tenant": "a", "sql": "SELECT COUNT(*) FROM t GROUP BY color"}',
+            "{\"tenant\": \"a\", \"sql\": \"SELECT COUNT(*) FROM t WHERE color = 'red'\"}",
+        ]
+        sync_server = self._server()
+        sync = sync_server.serve(lines)
+        sync_server.close()
+        async_server = self._server()
+        concurrent = async_server.serve_async(lines, queue_depth=8)
+        async_server.close()
+        for a, b in zip(sync, concurrent):
+            assert a["answers"] == b["answers"]
+        # Per-tenant ordering held: the follow-up reused the release.
+        assert concurrent[1]["served_from_release"]
+
+    def test_stop_drains_without_executing(self):
+        stop = threading.Event()
+        stop.set()
+        server = self._server()
+        sync = server.serve(self.LINES, stop=stop)
+        concurrent = server.serve_async(self.LINES, stop=stop)
+        server.close()
+        for reply in list(sync) + list(concurrent):
+            assert reply["rejected"] is True
+            assert "shutting down" in reply["error"]
+        assert server.stats()["spent"] == {}
+
+    def test_stage_stats_populated(self):
+        server = self._server()
+        # The follow-up reuses tenant a's release, exercising the derive stage.
+        lines = self.LINES + [
+            "{\"tenant\": \"a\", \"sql\": \"SELECT COUNT(*) FROM t WHERE color = 'red'\"}",
+        ]
+        server.serve_async(lines, queue_depth=8)
+        server.close()
+        stages = server.stats()["stages"]
+        for stage in ("queue_wait", "plan_lookup", "execute", "derive"):
+            assert stage in stages, stages
+            assert stages[stage]["count"] >= 1
+            assert stages[stage]["mean_ms"] >= 0.0
+            assert stages[stage]["p95_ms"] >= 0.0
