@@ -30,7 +30,11 @@ Emits an ``engine_throughput`` section into ``BENCH_kron_fastpath.json``
 (read-modify-write: the other sections are preserved) with one row per
 (execution, workers) pair: answers/sec on both paths, the plan-cache hit
 rate, speedups over the 1-worker thread row, and the server's per-stage
-latency snapshot.  ``cpu_count`` is recorded alongside — scaling is
+latency snapshot.  A second ``engine_store`` section (:func:`run_store`)
+measures the durable state tier: cold-boot vs warm-reboot first-answer
+latency (the warmed plan cache must skip strategy optimization entirely)
+and the per-answer cost of the write-ahead budget ledger, asserted below
+10% of a paid answer.  ``cpu_count`` is recorded alongside — scaling is
 physically bounded by it, so the accompanying test only asserts the
 four-worker speedup bars when four cores exist.
 
@@ -58,6 +62,7 @@ for _var in (
 
 import argparse
 import json
+import tempfile
 import time
 from pathlib import Path
 
@@ -65,7 +70,7 @@ import numpy as np
 
 from repro.core.privacy import PrivacyParams
 from repro.core.workload import Workload
-from repro.engine import Planner, Server
+from repro.engine import Planner, Server, StateStore
 
 QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 
@@ -233,6 +238,110 @@ def _coalescing_burst(planner: Planner, workload: Workload) -> dict:
     }
 
 
+#: Write-ahead roundtrips timed for the ledger-overhead microbench.
+LEDGER_ROUNDS = 20 if QUICK else 100
+
+#: Warm paid answers averaged for the per-answer denominator.
+STORE_PAID_ANSWERS = 4 if QUICK else 12
+
+#: Domain size for the store section.  A ledger roundtrip is two SQLite
+#: transactions (~0.1-0.3 ms even on WAL + synchronous=NORMAL), a fixed
+#: per-answer cost — so the overhead *fraction* is only meaningful against
+#: a realistically sized paid answer, not a toy one.  512 cells keeps the
+#: quick run in seconds while the paid answer (noise + inference on an
+#: n x n prefix workload) stays in the milliseconds.
+STORE_CELLS = 512 if QUICK else 2048
+
+
+def run_store() -> dict:
+    """Benchmark the durable state tier: warm reboots and ledger overhead.
+
+    Two questions, each answered against a real on-disk store:
+
+    * **what does a restart cost?** — the first answer on a cold (empty)
+      store pays strategy optimization; the first answer after a *reboot*
+      (fresh server + fresh planner over the same file) must ride the
+      warmed plan cache, so the ratio is roughly the optimization time
+      saved per restart.  ``warm_plans_built`` is asserted to be zero.
+    * **what does crash-safety cost per answer?** — the write-ahead ledger
+      adds one ``BEGIN IMMEDIATE``/``INSERT``/``COMMIT`` plus one settle
+      ``UPDATE`` per paid answer.  The microbenched roundtrip is compared
+      against a whole warm paid answer; WAL with ``synchronous=NORMAL``
+      keeps the fraction far under the 10% budget the test asserts.
+    """
+    workload = _prefix_workload(STORE_CELLS)
+    data = _data_vector(STORE_CELLS)
+    path = os.path.join(tempfile.mkdtemp(prefix="repro-bench-store-"), "state.db")
+
+    store = StateStore(path)
+    cold_started = time.perf_counter()
+    with Server(
+        TENANT_BUDGET, data=data, workers=1, store=store, random_state=0
+    ) as server:
+        server.ask("tenant-0", workload, epsilon=REQUEST_EPSILON, data=data)
+        cold_seconds = time.perf_counter() - cold_started
+
+        # Warm paid answers: per-request data forces the full paid pipeline
+        # (plan-cache hit, mechanism run, durable charge) on every ask.
+        def paid_round():
+            for _ in range(STORE_PAID_ANSWERS):
+                server.ask("tenant-0", workload, epsilon=REQUEST_EPSILON, data=data)
+
+        paid_per_sec = _measure(paid_round, STORE_PAID_ANSWERS)
+        paid_answer_seconds = 1.0 / paid_per_sec
+
+    # Ledger microbench on the same live store: one full write-ahead
+    # roundtrip (PENDING commit + settle to SPENT) per paid answer.  A
+    # short warmup absorbs first-touch page allocation in the WAL.
+    for _ in range(min(10, LEDGER_ROUNDS)):
+        entry = store.ledger_begin("bench", PrivacyParams(1e-6, 0.0), "bench")
+        store.ledger_settle(entry, "SPENT")
+    started = time.perf_counter()
+    for _ in range(LEDGER_ROUNDS):
+        entry = store.ledger_begin("bench", PrivacyParams(1e-6, 0.0), "bench")
+        store.ledger_settle(entry, "SPENT")
+    ledger_roundtrip_seconds = (time.perf_counter() - started) / LEDGER_ROUNDS
+    store.close()
+
+    # Warm reboot: a fresh planner and cache over the same file — the
+    # persisted plan must serve the first answer with zero optimizations.
+    reboot_started = time.perf_counter()
+    with Server(
+        TENANT_BUDGET,
+        data=data,
+        workers=1,
+        store=path,
+        planner=Planner(),
+        random_state=0,
+    ) as server:
+        server.ask("tenant-1", workload, epsilon=REQUEST_EPSILON, data=data)
+        warm_seconds = time.perf_counter() - reboot_started
+        stats = server.stats()
+        warm_plans_built = server.planner.plans_built
+        plans_warmed = stats["store"]["plans_warmed"]
+
+    section = {
+        "workload": f"1-D prefix ranges ({STORE_CELLS} x {STORE_CELLS} lower-triangular)",
+        "cells": STORE_CELLS,
+        "cold_first_answer_seconds": cold_seconds,
+        "warm_reboot_first_answer_seconds": warm_seconds,
+        "warm_reboot_speedup": cold_seconds / max(warm_seconds, 1e-9),
+        "plans_warmed": plans_warmed,
+        "warm_plans_built": warm_plans_built,
+        "paid_answer_seconds": paid_answer_seconds,
+        "ledger_rounds": LEDGER_ROUNDS,
+        "ledger_roundtrip_seconds": ledger_roundtrip_seconds,
+        "ledger_overhead_fraction": ledger_roundtrip_seconds / paid_answer_seconds,
+    }
+    if not QUICK:
+        report = {}
+        if RESULT_PATH.exists():
+            report = json.loads(RESULT_PATH.read_text())
+        report["engine_store"] = section
+        RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return section
+
+
 def run(worker_counts=WORKER_COUNTS) -> dict:
     planner = Planner()
     workload = _prefix_workload(CELLS)
@@ -272,6 +381,21 @@ def run(worker_counts=WORKER_COUNTS) -> dict:
         report["engine_throughput"] = section
         RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     return section
+
+
+def test_engine_store():
+    """Durable-tier overheads: warm reboots skip optimization, the ledger
+    costs well under 10% of a paid answer."""
+    section = run_store()
+    assert section["warm_plans_built"] == 0, (
+        "a warm reboot must never rerun strategy optimization: "
+        f"{section['warm_plans_built']} cold builds"
+    )
+    assert section["plans_warmed"] >= 1
+    assert section["ledger_overhead_fraction"] < 0.10, (
+        "the write-ahead ledger must stay under 10% of a paid answer: "
+        f"{section['ledger_overhead_fraction']:.3f}"
+    )
 
 
 def test_engine_throughput():
@@ -318,5 +442,7 @@ if __name__ == "__main__":
         counts = tuple(sorted({1, max(1, arguments.workers)}))
     section = run(counts)
     print(json.dumps(section, indent=2))
+    store_section = run_store()
+    print(json.dumps(store_section, indent=2))
     if not QUICK:
-        print(f"\n[engine_throughput section written into {RESULT_PATH}]")
+        print(f"\n[engine_throughput + engine_store sections written into {RESULT_PATH}]")

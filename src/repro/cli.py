@@ -201,6 +201,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve through the asyncio admission front-end (bounded queue, "
         "backpressure, streaming stdin)",
     )
+    serve.add_argument(
+        "--state",
+        default=None,
+        help="SQLite file for the durable state tier: crash-safe per-tenant "
+        "budget ledger, persisted plans (warm reboots) and releases "
+        "(default: in-memory only)",
+    )
     serve.add_argument("--seed", type=int, default=None, help="noise seed (reproducible runs)")
     return parser
 
@@ -410,6 +417,7 @@ def _command_serve(arguments, out) -> int:
         queue_depth=arguments.queue_depth,
         default_epsilon=arguments.default_epsilon,
         random_state=arguments.seed,
+        store=arguments.state,
     )
     # SIGINT requests a graceful drain: stop admitting, finish what is in
     # flight, reject the rest with an explanation. A second ctrl-C falls

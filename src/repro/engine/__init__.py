@@ -21,6 +21,12 @@ path from a request to consistent private answers:
   answering, shard-parallel execution of large requests, in-flight
   coalescing of identical ones, and an asyncio admission front-end with
   bounded queues and backpressure;
+* :mod:`repro.engine.store` — the durable state tier (:class:`StateStore`):
+  a crash-safe SQLite file holding the write-ahead budget ledger, persisted
+  plans (warm reboots) and released estimates (free reuse across restarts);
+* :mod:`repro.engine.faults` — named fault points on the
+  charge→execute→persist path, armable in tests (raise or SIGKILL) to prove
+  the crash-recovery invariants;
 * :mod:`repro.engine.executor` — the process-pool execution tier
   (:class:`ProcessExecutor`): paid answering and cold strategy optimization
   past the GIL, content-addressed plan shipping, bit-for-bit deterministic
@@ -49,6 +55,9 @@ _EXPORTS = {
     "Server": "repro.engine.server",
     "Session": "repro.engine.session",
     "SessionAnswer": "repro.engine.session",
+    "StateStore": "repro.engine.store",
+    "StoreError": "repro.exceptions",
+    "StoreUnavailableError": "repro.exceptions",
     "StrategyMechanism": "repro.engine.mechanism",
     "WorkloadProfile": "repro.engine.planner",
     "analyze_workload": "repro.engine.planner",

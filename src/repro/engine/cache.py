@@ -57,6 +57,31 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.warmed = 0
+
+    def warm(self, entries) -> int:
+        """Bulk-load ``(key, plan)`` pairs — the boot-time path from a
+        :class:`~repro.engine.store.StateStore`.
+
+        Unlike :meth:`put`, warming counts separately (``warmed``) so hit /
+        miss accounting still describes live traffic only, and a key that is
+        already present is left alone (the live entry is at least as fresh).
+        Overflow beyond ``max_entries`` evicts LRU as usual.  Returns the
+        number of entries actually loaded.
+        """
+        loaded = 0
+        with self._lock:
+            for key, plan in entries:
+                if key in self._entries:
+                    continue
+                self._entries[key] = plan
+                self._entries.move_to_end(key)
+                loaded += 1
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+            self.warmed += loaded
+        return loaded
 
     def get(self, key: str):
         """The cached plan for ``key``, or ``None`` (recorded as a miss)."""
@@ -104,7 +129,7 @@ class PlanCache:
 
     @property
     def stats(self) -> dict:
-        """Lifetime counters: ``entries``, ``hits``, ``misses``, ``evictions``.
+        """Lifetime counters: ``entries``, ``hits``, ``misses``, ``evictions``, ``warmed``.
 
         Read lock-free (each counter is a single atomic attribute read), so
         monitoring a busy server never blocks the serving path; the snapshot
@@ -116,4 +141,5 @@ class PlanCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "warmed": self.warmed,
         }

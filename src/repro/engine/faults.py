@@ -1,0 +1,133 @@
+"""Fault-injection seams for the durable serving stack.
+
+Crash-safety claims are only as good as the crashes they were tested
+against, so the charge -> execute -> persist-release path is threaded with
+named **fault points**: no-ops in production, but a test can arm any of them
+to either
+
+* **raise** (:func:`failing` / :func:`inject`) — models an execution failure
+  at that point inside the current process, exercising the refund path; or
+* **SIGKILL the process** (the ``REPRO_FAULT_KILL`` environment variable,
+  honoured by :func:`trip`) — a *real* uncatchable kill of a real
+  subprocess, exercising crash recovery against the on-disk state the
+  process left behind.  ``tests/test_engine_durability.py`` drives the full
+  matrix.
+
+The points, in path order (see ``docs/architecture.md`` §8 for the ledger
+state machine each one lands in):
+
+========================  =====================================================
+``LEDGER_MID_COMMIT``     inside the store, after the ``PENDING`` ledger row is
+                          written but before its transaction commits — a crash
+                          here must roll back (no noise was drawn yet)
+``AFTER_CHARGE``          the ``PENDING`` row is committed, the noise draw has
+                          not happened — recovery must count it as spent
+                          (conservative: the budget may be stranded, never
+                          double-spent)
+``AFTER_EXECUTE``         the noise **was** drawn, the row is still
+                          ``PENDING`` — recovery must count it (a lost row
+                          here would be a privacy violation)
+``AFTER_COMMIT``          the row was promoted to ``SPENT``, the release is
+                          not yet persisted — budget correct, warmth lost
+``AFTER_PERSIST``         everything durable: spend and release both survive
+========================  =====================================================
+
+A raising injection at ``AFTER_EXECUTE`` is interpreted by the session as an
+execution *failure* (budget refunded) — only the SIGKILL form models a crash
+after the noise draw.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from contextlib import contextmanager
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "AFTER_CHARGE",
+    "AFTER_COMMIT",
+    "AFTER_EXECUTE",
+    "AFTER_PERSIST",
+    "FAULT_ENV",
+    "FAULT_POINTS",
+    "FaultInjected",
+    "LEDGER_MID_COMMIT",
+    "clear",
+    "failing",
+    "inject",
+    "trip",
+]
+
+#: Comma-separated fault-point names; a process that trips one of them
+#: SIGKILLs itself (uncatchable — no ``finally``, no ``atexit``, no flush).
+FAULT_ENV = "REPRO_FAULT_KILL"
+
+LEDGER_MID_COMMIT = "store.ledger.midcommit"
+AFTER_CHARGE = "session.charged"
+AFTER_EXECUTE = "session.executed"
+AFTER_COMMIT = "session.committed"
+AFTER_PERSIST = "session.persisted"
+
+#: The canonical charge -> execute -> persist-release matrix, in path order.
+FAULT_POINTS = (
+    LEDGER_MID_COMMIT,
+    AFTER_CHARGE,
+    AFTER_EXECUTE,
+    AFTER_COMMIT,
+    AFTER_PERSIST,
+)
+
+
+class FaultInjected(ReproError):
+    """The error a raising fault-point injection throws."""
+
+
+_lock = threading.Lock()
+_handlers: dict[str, object] = {}
+
+
+def trip(point: str) -> None:
+    """Hit fault point ``point``: a no-op unless a test armed it.
+
+    Checked in order: an injected in-process handler first (it may raise),
+    then the ``REPRO_FAULT_KILL`` environment variable — a listed point
+    SIGKILLs the current process, the real crash the recovery tests need.
+    """
+    with _lock:
+        handler = _handlers.get(point)
+    if handler is not None:
+        handler()
+    targets = os.environ.get(FAULT_ENV)
+    if targets and point in {name.strip() for name in targets.split(",")}:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def inject(point: str, handler=None) -> None:
+    """Arm ``point`` with ``handler`` (default: raise :class:`FaultInjected`)."""
+    if handler is None:
+        def handler(point=point):
+            raise FaultInjected(f"injected fault at {point!r}")
+    with _lock:
+        _handlers[point] = handler
+
+
+def clear(point: str | None = None) -> None:
+    """Disarm one fault point, or every one when ``point`` is ``None``."""
+    with _lock:
+        if point is None:
+            _handlers.clear()
+        else:
+            _handlers.pop(point, None)
+
+
+@contextmanager
+def failing(point: str):
+    """Context manager: ``point`` raises :class:`FaultInjected` inside it."""
+    inject(point)
+    try:
+        yield
+    finally:
+        clear(point)

@@ -274,6 +274,13 @@ class Planner:
         #: building inline; either way the plan lands in this planner's
         #: cache and counts in :attr:`plans_built` exactly once.
         self.build_offload = build_offload
+        #: Optional :class:`~repro.engine.store.StateStore`: every cold build
+        #: is persisted under its cache key (best-effort — ``save_plan``
+        #: never raises) so the *next* process boots with a warm cache.  Set
+        #: by the serving layer in the parent process only; :meth:`config`
+        #: deliberately excludes it, so worker-side throwaway planners never
+        #: write the store (the §7 single-writer rule).
+        self.plan_store = None
         self.plans_built = 0
         self.requests = 0
         self._lock = threading.Lock()
@@ -380,6 +387,11 @@ class Planner:
                 if plan is None:
                     plan = self._build_plan(workload, params, key)
                     self.cache.put(key, plan)
+                    if self.plan_store is not None:
+                        # Persist the freshly optimized plan (wherever it was
+                        # built — inline or offloaded) so a restarted server
+                        # reboots warm.  Best-effort: never fails the request.
+                        self.plan_store.save_plan(key, plan)
         finally:
             with self._lock:
                 self._building.pop(key, None)

@@ -67,6 +67,7 @@ from repro.domain.schema import Schema
 from repro.engine.executor import ProcessExecutor
 from repro.engine.planner import Planner, workload_fingerprint
 from repro.engine.session import Session, SessionAnswer
+from repro.engine.store import StateStore
 from repro.exceptions import ReproError
 from repro.mechanisms.accountant import BudgetExceededError
 from repro.relational.relation import Relation
@@ -177,6 +178,14 @@ class Server:
         Admission bound for :meth:`serve_async` (defaults to ``16 x
         workers``): requests beyond it are rejected with ``retry_after``
         instead of buffered without bound.
+    store:
+        The durable state tier (``docs/architecture.md`` §8): a
+        :class:`~repro.engine.store.StateStore`, or a path (the server opens
+        — and then owns and closes — a store there).  On boot the plan cache
+        is warmed from every persisted plan, and each tenant session binds
+        the store: budgets gain the crash-safe write-ahead ledger (durable
+        spend recovered on open), releases survive restarts.  Default
+        ``None``: fully in-memory, prior behaviour unchanged.
     default_epsilon / default_delta / random_state:
         Forwarded to each opened :class:`Session`; each tenant's noise
         stream is seeded from ``(random_state, tenant name)``, never from
@@ -216,6 +225,7 @@ class Server:
         default_epsilon: float | None = None,
         default_delta: float | None = None,
         random_state=None,
+        store: StateStore | str | None = None,
     ):
         if execution not in ("thread", "process"):
             raise ReproError(
@@ -259,6 +269,30 @@ class Server:
             if self.planner.build_offload is None:
                 self.planner.build_offload = self._process_executor.optimize
                 self._offload_installed = True
+        # The durable state tier.  A path means this server owns (and
+        # closes) the store; an existing StateStore is caller-owned and may
+        # be shared.  The planner's plan_store follows the build_offload
+        # install/uninstall discipline — installed only when absent,
+        # uninstalled on close — so a shared planner never points at a
+        # closed store.
+        self._store: StateStore | None = None
+        self._store_owned = False
+        self._plan_store_installed = False
+        self._plans_warmed = 0
+        if store is not None:
+            if isinstance(store, StateStore):
+                self._store = store
+            else:
+                self._store = StateStore(store)
+                self._store_owned = True
+            if self.planner.plan_store is None:
+                self.planner.plan_store = self._store
+                self._plan_store_installed = True
+            if self.planner.cache is not None:
+                # Boot warm: every persisted plan lands in the shared cache,
+                # so previously-planned shapes skip strategy optimization
+                # entirely after a restart.
+                self._plans_warmed = self.planner.cache.warm(self._store.load_plans())
         self._lock = threading.RLock()
         self._sessions: dict[str, Session] = {}
         self._answers_served = 0
@@ -292,6 +326,12 @@ class Server:
                 self.planner.build_offload = None
                 self._offload_installed = False
             self._process_executor.close()
+        if self._store is not None:
+            if self._plan_store_installed:
+                self.planner.plan_store = None
+                self._plan_store_installed = False
+            if self._store_owned:
+                self._store.close()
 
     def __enter__(self) -> "Server":
         return self
@@ -373,6 +413,8 @@ class Server:
                     else self._process_executor.execute
                 ),
                 stage_timer=self._stage_stats.record,
+                store=self._store,
+                tenant=tenant,
             )
             self._sessions[tenant] = session
             return session
@@ -847,6 +889,14 @@ class Server:
         followers.  ``stages`` carries per-stage latency accounting (running
         mean and windowed p95, milliseconds) for ``queue_wait``,
         ``plan_lookup``, ``execute`` and ``derive``.
+
+        With a durable state tier attached, ``store`` carries the store's
+        own counters (row counts, ``busy_retries``, ``persist_failures``,
+        ``available`` — the degradation signal) plus ``plans_warmed``, and
+        each tenant's ``spent`` entry gains ``by_label`` — per-request-kind
+        attribution from the accountant's history (the ledger's
+        :meth:`~repro.engine.store.StateStore.ledger_by_label` is the
+        durable, restart-surviving equivalent).
         """
         with self._lock:
             sessions = dict(self._sessions)
@@ -874,10 +924,16 @@ class Server:
             "plans_built": self.planner.plans_built,
             "plan_requests": self.planner.requests,
             "plan_cache": None if cache is None else cache.stats,
+            "store": (
+                None
+                if self._store is None
+                else {**self._store.stats(), "plans_warmed": self._plans_warmed}
+            ),
             "spent": {
                 tenant: {
                     "epsilon": session.accountant.spent_epsilon,
                     "delta": session.accountant.spent_delta,
+                    "by_label": session.accountant.spent_by_label(),
                 }
                 for tenant, session in sorted(sessions.items())
             },

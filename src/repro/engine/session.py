@@ -43,6 +43,7 @@ from repro.core.error import per_query_error
 from repro.core.privacy import PrivacyParams
 from repro.core.workload import Workload
 from repro.domain.schema import Schema
+from repro.engine import faults
 from repro.engine.mechanism import EngineResult, StrategyMechanism
 from repro.engine.planner import Plan, Planner
 from repro.exceptions import MaterializationError, ReproError, SingularStrategyError, WorkloadError
@@ -158,6 +159,17 @@ class Session:
         Optional hook ``(stage, seconds)`` fed per-request stage latencies
         (``"plan_lookup"``, ``"execute"``, ``"derive"``) — the server's
         per-stage accounting.  Must be cheap and non-raising.
+    store / tenant:
+        Optional durable state tier (a :class:`~repro.engine.store.StateStore`)
+        and the tenant key this session's state lives under.  With a store
+        bound, the accountant gains a write-ahead budget ledger (recovering
+        the tenant's durable spend on construction — a ``PENDING`` row a
+        crashed process left behind is conservatively counted), releases
+        are persisted so free-reuse spans survive restarts, and the
+        crash-matrix fault points of :mod:`repro.engine.faults` arm the
+        paid path.  Ledger writes **fail closed** (a paid request that
+        cannot be durably reserved is refused); release persistence is
+        best-effort warmth.
     """
 
     def __init__(
@@ -173,6 +185,8 @@ class Session:
         release_answerer=None,
         plan_executor=None,
         stage_timer=None,
+        store=None,
+        tenant: str = "default",
     ):
         self.budget = budget
         self.accountant = PrivacyAccountant(budget)
@@ -184,8 +198,25 @@ class Session:
         self._release_answerer = release_answerer
         self._plan_executor = plan_executor
         self._stage_timer = stage_timer
+        self._store = store
+        self._tenant = tenant
         self._data = self._resolve_data(data) if data is not None else None
         self._releases: list[_Release] = []
+        if store is not None:
+            # Recover durable spend first (fail-closed: an unreachable
+            # ledger refuses the session rather than risk a double-spend),
+            # then rebuild the free-reuse pool from persisted releases
+            # (best-effort: load_releases never raises).
+            self.accountant.bind_ledger(store, tenant)
+            for entry in store.load_releases(tenant):
+                self._releases.append(
+                    _Release(
+                        strategy=entry["strategy"],
+                        estimate=entry["estimate"],
+                        params=entry["params"],
+                        label=entry["label"],
+                    )
+                )
         self.history: list[SessionAnswer] = []
         #: Guards session-local mutable state: the release pool, the answer
         #: history, and the seed stream.  Planning and mechanism execution
@@ -389,9 +420,15 @@ class Session:
             )
         label = workload.name or labels[0]
         # Atomic check-and-debit: the reservation happens before the (noisy)
-        # release, the refusal happens without mutating anything.
+        # release, the refusal happens without mutating anything.  With a
+        # durable ledger the write-ahead PENDING row commits inside charge,
+        # *before* any noise exists for it to account.
         self.accountant.charge(params, label=label)
         try:
+            # Crash here (PENDING durable, no noise drawn): recovery counts
+            # the row — budget stranded, never double-spent.  A *raising*
+            # injection models a pre-noise failure and exercises the refund.
+            faults.trip(faults.AFTER_CHARGE)
             lookup_started = time.perf_counter()
             cache = self.planner.cache
             key = None if cache is None else self.planner.plan_key(workload, params)
@@ -405,16 +442,29 @@ class Session:
             else:
                 result = plan.execute(workload, vector, params, random_state=rng)
             self._record_stage("execute", time.perf_counter() - execute_started)
+            # Crash here (noise drawn, row still PENDING): recovery *must*
+            # count it — losing this row would be a privacy violation.
+            faults.trip(faults.AFTER_EXECUTE)
         except BaseException:
             # The release did not happen (no noise was drawn for it), so the
             # reservation goes back — a failed request must not burn budget.
+            # The matching ledger row is VOIDED (or, if that write fails,
+            # left PENDING: durably stranded, never double-spent).
             self.accountant.refund(params, label=label)
             raise
+        # The release happened: promote the write-ahead row to SPENT.  From
+        # here on nothing may refund — the noise is out.
+        self.accountant.commit(params, label=label)
+        faults.trip(faults.AFTER_COMMIT)
         with self._lock:
-            return self._record(
+            answer = self._record(
                 workload, labels, plan, result, params, cache_hit, per_query,
                 reusable=data is None,
             )
+        # Crash between COMMIT and here loses only warmth (the persisted
+        # release), never budget correctness.
+        faults.trip(faults.AFTER_PERSIST)
+        return answer
 
     def ask_batch(
         self,
@@ -528,14 +578,20 @@ class Session:
         # Only estimates computed on the session's own data may serve future
         # (session-data) requests for free.
         if reusable and result.estimate is not None and strategy is not None:
-            self._releases.append(
-                _Release(
-                    strategy=strategy,
-                    estimate=result.estimate,
-                    params=params,
-                    label=workload.name or labels[0],
-                )
+            release = _Release(
+                strategy=strategy,
+                estimate=result.estimate,
+                params=params,
+                label=workload.name or labels[0],
             )
+            self._releases.append(release)
+            if self._store is not None:
+                # Best-effort: a failed persist degrades this release to
+                # in-memory-only (counted in the store's persist_failures),
+                # it never fails the already-paid answer.
+                self._store.save_release(
+                    self._tenant, release.label, params, strategy, release.estimate
+                )
         answer = SessionAnswer(
             labels=labels,
             answers=result.answers,

@@ -55,6 +55,20 @@ class ConvergenceWarning(UserWarning):
     """Warning issued when a solver stops before reaching its tolerance."""
 
 
+class StoreError(ReproError):
+    """Raised when the durable state store cannot complete an operation."""
+
+
+class StoreUnavailableError(StoreError):
+    """Raised when the durable state store is unreachable.
+
+    Budget-ledger operations **fail closed** on this error: a paid request
+    that cannot write its write-ahead ledger row is refused rather than
+    served with an unaccounted spend.  Warmth persistence (plans, releases)
+    degrades to in-memory instead of raising.
+    """
+
+
 class DatasetError(ReproError):
     """Raised when a dataset cannot be generated or does not match a domain."""
 

@@ -12,6 +12,16 @@ the budget.  The separate :meth:`can_spend` probe remains available but is
 *advisory only* — between a ``can_spend`` and a later ``spend`` another
 thread may debit the budget (the classic time-of-check/time-of-use window),
 which is exactly why budget-mutating callers must go through ``charge``.
+
+The accountant can optionally be **durable**: :meth:`PrivacyAccountant.bind_ledger`
+attaches a :class:`~repro.engine.store.StateStore` budget ledger, after which
+every charge commits a write-ahead ``PENDING`` row *before* the in-memory
+debit (so a crash after the row exists is conservatively counted on
+recovery), :meth:`commit` promotes it to ``SPENT`` once the release actually
+happened, and :meth:`refund` voids it.  Ledger failures during ``charge``
+**fail closed** — the request is refused with nothing debited — while
+settle failures degrade conservatively: the row stays ``PENDING`` and keeps
+counting as spent.
 """
 
 from __future__ import annotations
@@ -20,7 +30,7 @@ import threading
 from dataclasses import dataclass, field
 
 from repro.core.privacy import PrivacyParams
-from repro.exceptions import PrivacyError
+from repro.exceptions import PrivacyError, StoreError
 
 __all__ = ["PrivacyAccountant", "BudgetExceededError"]
 
@@ -40,6 +50,32 @@ class PrivacyAccountant:
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
+    _ledger: object = field(default=None, repr=False, compare=False)
+    _tenant: str = field(default="default", repr=False, compare=False)
+    _open_charges: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def bind_ledger(self, store, tenant: str = "default", *, recover: bool = True):
+        """Attach a durable budget ledger (a :class:`~repro.engine.store.StateStore`).
+
+        With ``recover=True`` (the default) the tenant's durable spend —
+        ``SPENT`` rows plus, conservatively, any ``PENDING`` rows a previous
+        process left behind when it crashed — is added to the in-memory
+        counters first, so a rebooted accountant resumes exactly where the
+        ledger says the tenant is.  Returns the recovered ``(epsilon,
+        delta)`` pair.
+        """
+        recovered = (0.0, 0.0)
+        with self._lock:
+            if recover:
+                recovered = store.ledger_spent(tenant)
+                epsilon, delta = recovered
+                self.spent_epsilon += epsilon
+                self.spent_delta += delta
+                if epsilon > 0:
+                    self.history.append(("recovered", PrivacyParams(epsilon, delta)))
+            self._ledger = store
+            self._tenant = tenant
+        return recovered
 
     @property
     def remaining(self) -> PrivacyParams | None:
@@ -89,6 +125,12 @@ class PrivacyAccountant:
         and jointly overspend it.  On refusal a
         :class:`BudgetExceededError` is raised and **no state is mutated** —
         the accountant (and any session built on it) stays usable.
+
+        With a bound ledger (:meth:`bind_ledger`) the write-ahead ``PENDING``
+        row is committed *before* the in-memory debit, still under the lock:
+        if the store refuses, the charge raises with nothing debited (paid
+        requests fail closed), and if this process dies any instant after
+        this method debits, the durable row already accounts for the spend.
         """
         with self._lock:
             if not self._fits(request):
@@ -97,10 +139,48 @@ class PrivacyAccountant:
                     f"the remaining budget (spent epsilon={self.spent_epsilon}, delta={self.spent_delta} "
                     f"of epsilon={self.budget.epsilon}, delta={self.budget.delta})"
                 )
+            if self._ledger is not None:
+                entry = self._ledger.ledger_begin(self._tenant, request, label)
+                key = (label, request.epsilon, request.delta)
+                self._open_charges.setdefault(key, []).append(entry)
             self.spent_epsilon += request.epsilon
             self.spent_delta += request.delta
             self.history.append((label, request))
         return request
+
+    def _pop_open_charge(self, request: PrivacyParams, label: str):
+        """Pop the oldest open ledger row matching ``(label, request)``.
+
+        Identical concurrent charges are interchangeable — their rows carry
+        the same tenant, label, and cost — so oldest-first resolution is
+        sound even when settles arrive out of order.
+        """
+        key = (label, request.epsilon, request.delta)
+        entries = self._open_charges.get(key)
+        if not entries:
+            return None
+        entry = entries.pop(0)
+        if not entries:
+            del self._open_charges[key]
+        return entry
+
+    def commit(self, request: PrivacyParams, *, label: str = "") -> None:
+        """Promote the matching write-ahead ledger row to ``SPENT``.
+
+        Called once the release actually happened (the noise was drawn and
+        returned).  Without a bound ledger this is a no-op.  A settle
+        failure is swallowed: the row stays ``PENDING``, which recovery
+        already counts as spent — conservative, never a double-spend.
+        """
+        if self._ledger is None:
+            return
+        with self._lock:
+            entry = self._pop_open_charge(request, label)
+        if entry is not None:
+            try:
+                self._ledger.ledger_settle(entry, "SPENT")
+            except StoreError:  # stays PENDING: still counted on recovery
+                pass
 
     def refund(self, request: PrivacyParams, *, label: str = "") -> None:
         """Return a previously charged ``request`` to the budget.
@@ -110,6 +190,11 @@ class PrivacyAccountant:
         the budget with :meth:`charge` *before* executing, so a failed
         execution must hand the reservation back; refunding an actually
         released spend would violate the configured guarantee.
+
+        With a bound ledger the matching write-ahead row is settled to
+        ``VOIDED``.  If that settle fails the row stays ``PENDING`` and a
+        later recovery counts it as spent — the budget is stranded durably
+        even though this process got it back, which errs on the safe side.
         """
         with self._lock:
             self.spent_epsilon -= request.epsilon
@@ -118,6 +203,33 @@ class PrivacyAccountant:
                 self.history.pop()
             else:  # pragma: no cover - concurrent interleaving
                 self.history.append((f"refund:{label}", request))
+            entry = (
+                self._pop_open_charge(request, label)
+                if self._ledger is not None
+                else None
+            )
+        if entry is not None:
+            try:
+                self._ledger.ledger_settle(entry, "VOIDED")
+            except StoreError:  # stays PENDING: stranded, never double-spent
+                pass
+
+    def spent_by_label(self) -> dict:
+        """In-memory spend attribution: ``{label: {epsilon, delta, count}}``.
+
+        Aggregated from :attr:`history`, so refunded charges are excluded.
+        The durable, restart-surviving equivalent is
+        :meth:`~repro.engine.store.StateStore.ledger_by_label`.
+        """
+        out: dict = {}
+        with self._lock:
+            entries = list(self.history)
+        for label, request in entries:
+            bucket = out.setdefault(label, {"epsilon": 0.0, "delta": 0.0, "count": 0})
+            bucket["epsilon"] += request.epsilon
+            bucket["delta"] += request.delta
+            bucket["count"] += 1
+        return out
 
     def spend(self, request: PrivacyParams, *, label: str = "") -> PrivacyParams:
         """Record a spend of ``request`` and return it; raises if over budget.

@@ -194,7 +194,13 @@ class TestPlanCache:
         assert cache.get("a") == 1  # refreshes "a"
         cache.put("c", 3)  # evicts "b"
         assert cache.get("b") is None
-        assert cache.stats == {"entries": 2, "hits": 1, "misses": 1, "evictions": 1}
+        assert cache.stats == {
+            "entries": 2,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 1,
+            "warmed": 0,
+        }
         assert len(cache) == 2 and "c" in cache
         cache.clear()
         assert len(cache) == 0

@@ -322,6 +322,46 @@ class TestCliServe:
         assert replies[3].get("refused") and "error" in replies[3]
         assert "error" in replies[4]
 
+    def test_serve_state_roundtrip(self, files, tmp_path):
+        """--state makes budgets and releases survive a server restart.
+
+        Run 1 spends against the durable store; run 2 — a fresh process-like
+        server over the same file — answers the same query free from the
+        persisted release, and refuses a request the recovered spend no
+        longer affords.
+        """
+        schema, data = files
+        state = tmp_path / "state.db"
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            '{"tenant": "a", "sql": "SELECT COUNT(*) FROM people GROUP BY gender", "epsilon": 0.8}\n'
+        )
+        out = io.StringIO()
+        base = [
+            "serve", "--schema", str(schema), "--data", str(data),
+            "--budget-epsilon", "1.0", "--workers", "2", "--seed", "0",
+            "--state", str(state),
+        ]
+        assert main(base + ["--requests", str(requests)], out=out) == 0
+        [first] = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert first["spent"] is not None
+        assert state.exists()
+
+        rerun = tmp_path / "requests2.jsonl"
+        rerun.write_text(
+            '{"tenant": "a", "sql": "SELECT COUNT(*) FROM people GROUP BY gender"}\n'
+            '{"tenant": "a", "sql": "SELECT COUNT(*) FROM people WHERE gpa >= 3.5", "epsilon": 0.5}\n'
+        )
+        out = io.StringIO()
+        assert main(base + ["--requests", str(rerun)], out=out) == 0
+        replies = [json.loads(line) for line in out.getvalue().splitlines()]
+        # The release survived the restart: same query, zero marginal cost,
+        # and the answers are bit-identical to run 1's release.
+        assert replies[0]["served_from_release"] and replies[0]["spent"] is None
+        assert replies[0]["answers"] == pytest.approx(first["answers"])
+        # The 0.8 spend survived too: 0.5 more does not fit in 1.0.
+        assert replies[1].get("refused") and "error" in replies[1]
+
     def test_serve_missing_requests_file_errors(self, files, capsys):
         schema, data = files
         out = io.StringIO()
