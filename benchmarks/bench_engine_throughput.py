@@ -34,9 +34,15 @@ latency snapshot.  A second ``engine_store`` section (:func:`run_store`)
 measures the durable state tier: cold-boot vs warm-reboot first-answer
 latency (the warmed plan cache must skip strategy optimization entirely)
 and the per-answer cost of the write-ahead budget ledger, asserted below
-10% of a paid answer.  ``cpu_count`` is recorded alongside — scaling is
-physically bounded by it, so the accompanying test only asserts the
-four-worker speedup bars when four cores exist.
+10% of a paid answer.  A third ``engine_forecast`` section
+(:func:`run_forecast`) measures the forecasting tier: the first answer on a
+correctly-forecast shape (plan pre-warmed from last epoch's arrivals)
+against the reactive cold start that pays strategy optimization inline —
+with the answers asserted bit-for-bit identical, since pre-planning moves
+*when* the plan is built, never *what* is answered.  ``cpu_count`` is
+recorded alongside — scaling is physically bounded by it, so the
+accompanying test only asserts the four-worker speedup bars when four
+cores exist.
 
 BLAS pools are pinned to one thread (before numpy loads) so the sweep
 measures *engine* concurrency, not the BLAS library's internal pool — when
@@ -70,7 +76,8 @@ import numpy as np
 
 from repro.core.privacy import PrivacyParams
 from repro.core.workload import Workload
-from repro.engine import Planner, Server, StateStore
+from repro.engine import ForecastEngine, Planner, Server, StateStore
+from repro.engine.planner import REFERENCE_PRIVACY
 
 QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 
@@ -342,6 +349,84 @@ def run_store() -> dict:
     return section
 
 
+def run_forecast() -> dict:
+    """Benchmark the forecasting tier: pre-planned vs reactive cold start.
+
+    The scenario the forecaster exists for: a shape arrived last epoch, the
+    forecaster predicted it would arrive again, and the pre-planner warmed
+    the plan cache on idle capacity before the request showed up.  Measured
+    head-to-head on fresh servers with identical seeds:
+
+    * **reactive** — a cold server answers the first request, paying the
+      whole strategy optimization inline;
+    * **pre-planned** — a forecast engine records one arrival, ``tick()``
+      re-forecasts and pre-warms (that cost is reported separately as
+      ``preplan_seconds`` — it runs on background capacity, not on the
+      request), and the first request rides the warm cache.
+
+    Both answers must be bit-for-bit identical (same tenant seed, same
+    plan), with identical expected workload error — asserted here, because
+    a forecast tier that changed an answer would be a correctness bug
+    dressed up as a latency win.
+    """
+    workload = _prefix_workload(CELLS)
+    data = _data_vector(CELLS)
+
+    with Server(TENANT_BUDGET, data=data, workers=1, random_state=0) as server:
+        started = time.perf_counter()
+        reactive = server.ask("tenant-0", workload, epsilon=REQUEST_EPSILON)
+        reactive_seconds = time.perf_counter() - started
+        reactive_built = server.planner.plans_built
+
+    planner = Planner()
+    engine = ForecastEngine(
+        planner, params=REFERENCE_PRIVACY, epoch_seconds=60.0, background=False
+    )
+    engine.record("tenant-0", workload)
+    preplan_started = time.perf_counter()
+    prewarmed = engine.tick()
+    preplan_seconds = time.perf_counter() - preplan_started
+    with Server(
+        TENANT_BUDGET,
+        data=data,
+        workers=1,
+        planner=planner,
+        forecast=engine,
+        random_state=0,
+    ) as server:
+        built_before = planner.plans_built
+        started = time.perf_counter()
+        preplanned = server.ask("tenant-0", workload, epsilon=REQUEST_EPSILON)
+        preplanned_seconds = time.perf_counter() - started
+        request_builds = planner.plans_built - built_before
+        forecast_stats = server.stats()["forecast"]
+
+    np.testing.assert_array_equal(preplanned.answers, reactive.answers)
+    section = {
+        "workload": f"1-D prefix ranges ({CELLS} x {CELLS} lower-triangular)",
+        "cells": CELLS,
+        "reactive_first_answer_seconds": reactive_seconds,
+        "preplanned_first_answer_seconds": preplanned_seconds,
+        "first_answer_speedup": reactive_seconds / max(preplanned_seconds, 1e-9),
+        "preplan_seconds": preplan_seconds,
+        "prewarmed_plans": prewarmed,
+        "reactive_plans_built": reactive_built,
+        "request_plans_built": request_builds,
+        "answers_equal": True,  # np.testing above raised otherwise
+        "expected_workload_error": preplanned.expected_error,
+        "reactive_expected_workload_error": reactive.expected_error,
+        "forecast_hits": forecast_stats["hits"],
+        "forecast_misses": forecast_stats["misses"],
+    }
+    if not QUICK:
+        report = {}
+        if RESULT_PATH.exists():
+            report = json.loads(RESULT_PATH.read_text())
+        report["engine_forecast"] = section
+        RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return section
+
+
 def run(worker_counts=WORKER_COUNTS) -> dict:
     planner = Planner()
     workload = _prefix_workload(CELLS)
@@ -398,6 +483,31 @@ def test_engine_store():
     )
 
 
+def test_engine_forecast():
+    """A correct forecast beats the reactive cold start without touching the
+    answer: zero builds at request time, bit-for-bit equality, lower first-
+    answer latency."""
+    section = run_forecast()
+    assert section["request_plans_built"] == 0, (
+        "a correctly-forecast request must never build cold: "
+        f"{section['request_plans_built']} builds"
+    )
+    assert section["answers_equal"]
+    assert (
+        section["expected_workload_error"]
+        == section["reactive_expected_workload_error"]
+    )
+    assert section["forecast_hits"] == 1 and section["forecast_misses"] == 0
+    assert (
+        section["preplanned_first_answer_seconds"]
+        < section["reactive_first_answer_seconds"]
+    ), (
+        "pre-planned first answer must beat the reactive cold start: "
+        f"{section['preplanned_first_answer_seconds']:.4f}s vs "
+        f"{section['reactive_first_answer_seconds']:.4f}s"
+    )
+
+
 def test_engine_throughput():
     """Consistency always; the 4-worker speedup bars only on >= 4 cores."""
     section = run()
@@ -444,5 +554,10 @@ if __name__ == "__main__":
     print(json.dumps(section, indent=2))
     store_section = run_store()
     print(json.dumps(store_section, indent=2))
+    forecast_section = run_forecast()
+    print(json.dumps(forecast_section, indent=2))
     if not QUICK:
-        print(f"\n[engine_throughput + engine_store sections written into {RESULT_PATH}]")
+        print(
+            "\n[engine_throughput + engine_store + engine_forecast sections "
+            f"written into {RESULT_PATH}]"
+        )

@@ -34,8 +34,12 @@ plan cache.  ``--execution process`` moves paid answering and cold strategy
 optimization to a worker-process pool (past the GIL); ``--async`` serves
 through the asyncio admission front-end, which bounds the number of
 requests in flight (``--queue-depth``) and rejects the rest with a
-``retry_after`` hint instead of buffering without bound.  SIGINT drains
-in-flight requests before exiting; EOF is the normal shutdown.
+``retry_after`` hint instead of buffering without bound.  ``--forecast``
+turns on workload forecasting and adaptive pre-planning (epoch length via
+``--forecast-epoch``, forecast width via ``--forecast-top-k``): predicted-hot
+shapes are pre-warmed in the plan cache before they arrive, without changing
+any answer.  SIGINT drains in-flight requests before exiting; EOF is the
+normal shutdown.
 """
 
 from __future__ import annotations
@@ -207,6 +211,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="SQLite file for the durable state tier: crash-safe per-tenant "
         "budget ledger, persisted plans (warm reboots) and releases "
         "(default: in-memory only)",
+    )
+    serve.add_argument(
+        "--forecast",
+        action="store_true",
+        help="forecast the workload and pre-plan for the predicted mix: record "
+        "per-tenant arrivals per epoch, pre-warm the plan cache for the "
+        "predicted-hot shapes on a background thread, and design one "
+        "strategy for their union (answers are unchanged, only plan-build "
+        "timing moves)",
+    )
+    serve.add_argument(
+        "--forecast-epoch",
+        type=float,
+        default=60.0,
+        help="forecast epoch length in seconds (default: 60)",
+    )
+    serve.add_argument(
+        "--forecast-top-k",
+        type=int,
+        default=8,
+        help="how many predicted-hot shapes each forecast pre-plans (default: 8)",
     )
     serve.add_argument("--seed", type=int, default=None, help="noise seed (reproducible runs)")
     return parser
@@ -418,6 +443,9 @@ def _command_serve(arguments, out) -> int:
         default_epsilon=arguments.default_epsilon,
         random_state=arguments.seed,
         store=arguments.state,
+        forecast=arguments.forecast,
+        forecast_epoch_seconds=arguments.forecast_epoch,
+        forecast_top_k=arguments.forecast_top_k,
     )
     # SIGINT requests a graceful drain: stop admitting, finish what is in
     # flight, reject the rest with an explanation. A second ctrl-C falls

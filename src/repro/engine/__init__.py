@@ -30,7 +30,12 @@ path from a request to consistent private answers:
 * :mod:`repro.engine.executor` — the process-pool execution tier
   (:class:`ProcessExecutor`): paid answering and cold strategy optimization
   past the GIL, content-addressed plan shipping, bit-for-bit deterministic
-  against the in-process path.
+  against the in-process path;
+* :mod:`repro.engine.forecast` — workload forecasting and adaptive
+  pre-planning (:class:`ForecastEngine`): per-tenant arrival history,
+  exponentially-weighted next-epoch mix, plan-cache pre-warming and
+  union strategy design for the predicted-hot shapes — changes when plans
+  are built, never what is answered.
 
 Every entry point — the ``python -m repro query`` CLI, the experiment
 registry, library callers — goes through this layer; see the "Engine layer"
@@ -42,11 +47,15 @@ section of ``docs/architecture.md``.
 # drag in the whole executor stack — the Session pulls the relational front
 # end, which entry points like `python -m repro list` never need.
 _EXPORTS = {
+    "ArrivalRecorder": "repro.engine.forecast",
     "BudgetExceededError": "repro.mechanisms.accountant",
     "DirectMechanism": "repro.engine.mechanism",
     "EngineResult": "repro.engine.mechanism",
+    "ForecastEngine": "repro.engine.forecast",
+    "Forecaster": "repro.engine.forecast",
     "Mechanism": "repro.engine.mechanism",
     "Plan": "repro.engine.planner",
+    "PrePlanner": "repro.engine.forecast",
     "PlanCache": "repro.engine.cache",
     "PlanCandidate": "repro.engine.planner",
     "Planner": "repro.engine.planner",

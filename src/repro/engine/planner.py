@@ -397,6 +397,40 @@ class Planner:
                 self._building.pop(key, None)
         return plan
 
+    def preplan_union(
+        self,
+        workloads,
+        params: PrivacyParams,
+        *,
+        name: str = "forecast-union",
+    ) -> Plan:
+        """Plan the **union** of several workloads ahead of any request.
+
+        The adaptive pre-planner's entry point (:mod:`repro.engine.forecast`):
+        given the forecast's predicted-hot workloads over one set of cells,
+        design a single strategy for their union — the paper's premise,
+        operationalized: one strategy tuned to the predicted *mix* instead of
+        one optimization per shape as it arrives.  The union plan lands in
+        the plan cache under the union's own content-addressed key, so a
+        batch of the predicted mix (``Session.ask_batch`` unions its members
+        the same way) skips strategy optimization entirely.
+
+        Goes through :meth:`plan`, so the per-fingerprint build gates,
+        counters, and plan-store persistence all apply; a racing reactive
+        request for the same union never duplicates the optimization.  No
+        accountant is involved anywhere on this path — pre-planning spends
+        compute, never budget.
+        """
+        workloads = list(workloads)
+        if not workloads:
+            raise ReproError("preplan_union needs at least one workload")
+        union = (
+            workloads[0]
+            if len(workloads) == 1
+            else Workload.union(workloads, name=name)
+        )
+        return self.plan(union, params)
+
     def _build_plan(
         self, workload: Workload, params: PrivacyParams, key: str | None
     ) -> Plan:

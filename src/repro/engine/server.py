@@ -65,7 +65,13 @@ from repro.core.privacy import PrivacyParams
 from repro.core.workload import Workload
 from repro.domain.schema import Schema
 from repro.engine.executor import ProcessExecutor
-from repro.engine.planner import Planner, workload_fingerprint
+from repro.engine.forecast import ForecastEngine
+from repro.engine.planner import (
+    REFERENCE_PRIVACY,
+    REFERENCE_PRIVACY_PURE,
+    Planner,
+    workload_fingerprint,
+)
 from repro.engine.session import Session, SessionAnswer
 from repro.engine.store import StateStore
 from repro.exceptions import ReproError
@@ -226,6 +232,9 @@ class Server:
         default_delta: float | None = None,
         random_state=None,
         store: StateStore | str | None = None,
+        forecast: bool | ForecastEngine = False,
+        forecast_epoch_seconds: float = 60.0,
+        forecast_top_k: int = 8,
     ):
         if execution not in ("thread", "process"):
             raise ReproError(
@@ -293,6 +302,29 @@ class Server:
                 # so previously-planned shapes skip strategy optimization
                 # entirely after a restart.
                 self._plans_warmed = self.planner.cache.warm(self._store.load_plans())
+        # The forecasting tier (docs/architecture.md §10).  ``forecast=True``
+        # builds an engine against the shared planner (and the store, when
+        # present, so arrival history survives restarts); a caller-provided
+        # :class:`~repro.engine.forecast.ForecastEngine` is used as-is and
+        # stays caller-owned (tests pass one with an injected clock and
+        # ``background=False``).  Plans are privacy-level agnostic per
+        # regime, so the pre-planner plans at the reference privacy of the
+        # server budget's regime — exactly the key reactive requests hit.
+        self._forecast: ForecastEngine | None = None
+        self._forecast_owned = False
+        if isinstance(forecast, ForecastEngine):
+            self._forecast = forecast
+        elif forecast:
+            self._forecast = ForecastEngine(
+                self.planner,
+                params=(
+                    REFERENCE_PRIVACY if budget.delta > 0 else REFERENCE_PRIVACY_PURE
+                ),
+                epoch_seconds=forecast_epoch_seconds,
+                top_k=forecast_top_k,
+                store=self._store,
+            )
+            self._forecast_owned = True
         self._lock = threading.RLock()
         self._sessions: dict[str, Session] = {}
         self._answers_served = 0
@@ -326,6 +358,10 @@ class Server:
                 self.planner.build_offload = None
                 self._offload_installed = False
             self._process_executor.close()
+        if self._forecast is not None and self._forecast_owned:
+            # Before the store goes away: close() flushes pending arrival
+            # deltas so the next boot forecasts from this process's history.
+            self._forecast.close()
         if self._store is not None:
             if self._plan_store_installed:
                 self.planner.plan_store = None
@@ -415,6 +451,15 @@ class Server:
                 stage_timer=self._stage_stats.record,
                 store=self._store,
                 tenant=tenant,
+                arrival_recorder=(
+                    None
+                    if self._forecast is None
+                    else (
+                        lambda workload, _tenant=tenant: self._forecast.record(
+                            _tenant, workload
+                        )
+                    )
+                ),
             )
             self._sessions[tenant] = session
             return session
@@ -432,6 +477,27 @@ class Server:
         except ReproError:
             # Two threads raced to open the same tenant: reuse the winner's.
             return self.session(tenant, create=False)
+
+    @property
+    def forecast(self) -> ForecastEngine | None:
+        """The forecasting tier, or ``None`` when ``forecast=False``."""
+        return self._forecast
+
+    def budget_advice(self, tenant: str, *, epochs: int = 1) -> dict[str, float]:
+        """Forecast-weighted per-query epsilon suggestions for ``tenant``.
+
+        The tenant accountant's
+        :meth:`~repro.mechanisms.accountant.PrivacyAccountant.epsilon_advice`
+        fed with the forecaster's current predicted mix: hot fingerprints
+        get a larger share of one epoch's remaining-epsilon slice.  Purely
+        advisory — nothing is debited and charge semantics are unchanged.
+        Returns ``{}`` with forecasting off, no prediction yet, or an
+        exhausted budget.
+        """
+        if self._forecast is None:
+            return {}
+        session = self.session(tenant, create=False)
+        return self._forecast.budget_advice(session.accountant, epochs=epochs)
 
     def tenants(self) -> list[str]:
         """Names of the open tenants (snapshot)."""
@@ -897,6 +963,11 @@ class Server:
         attribution from the accountant's history (the ledger's
         :meth:`~repro.engine.store.StateStore.ledger_by_label` is the
         durable, restart-surviving equivalent).
+
+        With forecasting on, ``forecast`` carries the forecast engine's
+        counters (``hits`` / ``misses`` against the predicted mix,
+        ``prewarm_planned`` / ``prewarm_already_warm``, ``union_preplans``,
+        ``epochs_rolled``, ...); it is ``None`` when ``forecast=False``.
         """
         with self._lock:
             sessions = dict(self._sessions)
@@ -928,6 +999,9 @@ class Server:
                 None
                 if self._store is None
                 else {**self._store.stats(), "plans_warmed": self._plans_warmed}
+            ),
+            "forecast": (
+                None if self._forecast is None else self._forecast.stats()
             ),
             "spent": {
                 tenant: {

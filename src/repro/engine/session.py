@@ -187,6 +187,7 @@ class Session:
         stage_timer=None,
         store=None,
         tenant: str = "default",
+        arrival_recorder=None,
     ):
         self.budget = budget
         self.accountant = PrivacyAccountant(budget)
@@ -200,6 +201,12 @@ class Session:
         self._stage_timer = stage_timer
         self._store = store
         self._tenant = tenant
+        #: Optional hook ``(workload) -> None`` called for every resolved
+        #: request, paid and free alike — the workload forecaster's arrival
+        #: feed (:mod:`repro.engine.forecast`).  Observational only: it runs
+        #: non-raising, before any budget or planner work, so it can never
+        #: change what a request answers or costs.
+        self._arrival_recorder = arrival_recorder
         self._data = self._resolve_data(data) if data is not None else None
         self._releases: list[_Release] = []
         if store is not None:
@@ -396,6 +403,13 @@ class Session:
         the session stays usable.
         """
         workload, labels = self._resolve_request(request)
+        if self._arrival_recorder is not None:
+            try:
+                self._arrival_recorder(workload)
+            except Exception:
+                # Forecasting is strictly observational; a broken recorder
+                # must never take down the request it was watching.
+                pass
         # Release reuse is only sound against the session's own data: every
         # recorded estimate was computed on it.  A request that brings its
         # own data= must pay its way.

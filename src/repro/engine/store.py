@@ -19,7 +19,12 @@ tenant's budget survives **crashes**:
   promoted to ``SPENT`` on success and ``VOIDED`` on refund.  Recovery
   conservatively counts ``PENDING`` as spent, so a crash at any point can
   strand budget but can never double-spend it, and a spend whose noise was
-  released is never lost (the row was durable before the draw).
+  released is never lost (the row was durable before the draw);
+* **arrival history** — per-tenant ``fingerprint x epoch`` request counts
+  (and one pickled exemplar workload per fingerprint), the input of the
+  workload forecaster (:mod:`repro.engine.forecast`): a rebooted server
+  resumes forecasting from the history the previous process recorded
+  instead of starting blind.
 
 Durability model (the Paper-Scanner WAL idiom): ``journal_mode=WAL`` for
 concurrent readers, ``synchronous=NORMAL`` (WAL commits need no fsync, so a
@@ -90,6 +95,18 @@ CREATE TABLE IF NOT EXISTS ledger (
     resolved TEXT
 );
 CREATE INDEX IF NOT EXISTS ledger_tenant_state ON ledger(tenant, state);
+CREATE TABLE IF NOT EXISTS arrivals (
+    tenant      TEXT NOT NULL,
+    fingerprint TEXT NOT NULL,
+    epoch       INTEGER NOT NULL,
+    count       INTEGER NOT NULL,
+    PRIMARY KEY (tenant, fingerprint, epoch)
+);
+CREATE TABLE IF NOT EXISTS shapes (
+    fingerprint TEXT PRIMARY KEY,
+    payload     BLOB NOT NULL,
+    created     TEXT NOT NULL
+);
 """
 
 
@@ -450,6 +467,120 @@ class StateStore:
             ).fetchone()[0]
         )
 
+    # -------------------------------------------------------------- arrivals
+    def add_arrivals(self, tenant: str, epoch: int, counts) -> bool:
+        """Fold ``{fingerprint: count}`` deltas into one epoch's arrival rows.
+
+        Additive upsert, so the recorder may flush an epoch incrementally
+        (e.g. a partial flush at shutdown after an earlier roll) without
+        double-counting or losing arrivals.  Best-effort: forecast history
+        is warmth, not correctness, so failures degrade silently and count.
+        """
+        try:
+            with self._lock:
+                self._execute("BEGIN IMMEDIATE")
+                try:
+                    for fingerprint, count in counts.items():
+                        self._execute(
+                            "INSERT INTO arrivals (tenant, fingerprint, epoch, count)"
+                            " VALUES (?, ?, ?, ?)"
+                            " ON CONFLICT(tenant, fingerprint, epoch)"
+                            " DO UPDATE SET count = count + excluded.count",
+                            (tenant, fingerprint, int(epoch), int(count)),
+                        )
+                    self._execute("COMMIT")
+                except BaseException:
+                    self._rollback()
+                    raise
+            return True
+        except (StoreError, TypeError, ValueError):
+            with self._lock:
+                self.persist_failures += 1
+            return False
+
+    def load_arrivals(self, tenant: str, *, last_epochs: int | None = None) -> dict:
+        """The tenant's persisted ``{epoch: {fingerprint: count}}`` history.
+
+        ``last_epochs`` keeps only the most recent epochs (the recorder's
+        ring-buffer bound).  Best-effort: an unreachable store returns ``{}``
+        and corrupt rows (non-integer epochs/counts, negative counts) are
+        skipped and counted in ``load_failures`` — a poisoned history row
+        must not take forecasting down.
+        """
+        try:
+            rows = self._execute(
+                "SELECT epoch, fingerprint, count FROM arrivals WHERE tenant = ?"
+                " ORDER BY epoch",
+                (tenant,),
+            ).fetchall()
+        except StoreError:
+            with self._lock:
+                self.load_failures += 1
+            return {}
+        history: dict = {}
+        for epoch, fingerprint, count in rows:
+            try:
+                epoch = int(epoch)
+                count = int(count)
+                if count < 0:
+                    raise ValueError("negative arrival count")
+            except (TypeError, ValueError):
+                with self._lock:
+                    self.load_failures += 1
+                continue
+            history.setdefault(epoch, {})[str(fingerprint)] = count
+        if last_epochs is not None and len(history) > last_epochs:
+            for epoch in sorted(history)[:-last_epochs]:
+                del history[epoch]
+        return history
+
+    def arrival_count(self) -> int:
+        return int(self._execute("SELECT COUNT(*) FROM arrivals").fetchone()[0])
+
+    # ---------------------------------------------------------------- shapes
+    def save_shape(self, fingerprint: str, workload) -> bool:
+        """Persist one exemplar workload under its fingerprint; best-effort.
+
+        The forecaster's arrival history is keyed by content-addressed
+        fingerprints; the exemplar is what lets a *rebooted* pre-planner
+        turn a predicted-hot fingerprint back into a plannable workload.
+        """
+        try:
+            payload = pickle.dumps(workload, protocol=pickle.HIGHEST_PROTOCOL)
+            self._execute(
+                "INSERT OR REPLACE INTO shapes (fingerprint, payload, created)"
+                " VALUES (?, ?, ?)",
+                (fingerprint, sqlite3.Binary(payload), _now()),
+            )
+            return True
+        except (pickle.PicklingError, TypeError, AttributeError, StoreError):
+            with self._lock:
+                self.persist_failures += 1
+            return False
+
+    def load_shapes(self) -> list[tuple[str, object]]:
+        """Every persisted ``(fingerprint, workload)`` pair, skipping corrupt
+        rows (counted in ``load_failures``); never raises."""
+        try:
+            rows = self._execute(
+                "SELECT fingerprint, payload FROM shapes ORDER BY fingerprint"
+            ).fetchall()
+        except StoreError:
+            with self._lock:
+                self.load_failures += 1
+            return []
+        shapes = []
+        for fingerprint, payload in rows:
+            try:
+                shapes.append((str(fingerprint), pickle.loads(payload)))
+            except Exception:  # a corrupt exemplar must not poison the boot
+                with self._lock:
+                    self.load_failures += 1
+        return shapes
+
+    def shape_count(self) -> int:
+        return int(self._execute("SELECT COUNT(*) FROM shapes").fetchone()[0])
+
     # ------------------------------------------------------------- monitoring
     def stats(self) -> dict:
         """One snapshot: path, availability, row counts, failure counters."""
@@ -467,6 +598,8 @@ class StateStore:
                 out["ledger_rows"] = int(
                     self._execute("SELECT COUNT(*) FROM ledger").fetchone()[0]
                 )
+                out["arrival_rows"] = self.arrival_count()
+                out["shapes"] = self.shape_count()
             except StoreError:  # pragma: no cover - raced with a failure
                 out["available"] = self._available
         return out
