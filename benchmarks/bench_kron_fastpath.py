@@ -69,10 +69,13 @@ FACTORIZED_ONLY_SHAPES = ((32, 32, 16), (32, 32, 32), (64, 64, 32))
 COMPLETED_CASES = (((16, 16, 4), 64), ((16, 16, 16), None))
 COMPLETED_CASES_QUICK = (((8, 8, 8), 16),)
 
-#: Reduction (principal-vector) comparison shape.  Note the factorized path's
-#: win is memory/feasibility (no dense eigen-query matrix, no O(n^3) eigh),
-#: not wall-clock at dense-feasible sizes — beyond the budget it is the only
-#: path (tested in tests/test_woodbury_completion.py).
+#: Reduction comparison shape (also the acceptance shape for the speedup
+#: assertion below).  The factorized path's headline win is
+#: memory/feasibility (no dense eigen-query matrix, no O(n^3) eigh; beyond
+#: the budget it is the *only* path, tested in
+#: tests/test_woodbury_completion.py) — but since the batched dual-ascent
+#: solver and the under-budget slice densification landed it also wins
+#: wall-clock at dense-feasible sizes, and the rows assert it stays that way.
 REDUCTION_DENSE_SHAPE = (16, 16, 8)
 
 #: Recycled-trace shapes: the stochastic completed-design trace evaluated
@@ -205,31 +208,50 @@ def _completed_trace_rows(cases) -> list[dict]:
     return rows
 
 
-def _reduction_rows(shape=REDUCTION_DENSE_SHAPE) -> list[dict]:
-    rows = []
-    workload = all_range_queries(list(shape))
-    group_size = max(2, workload.column_count // 16)
+def _reduction_rows(shape=REDUCTION_DENSE_SHAPE, repeats=3) -> list[dict]:
+    """Sec. 4.2 reductions, dense vs factorized, min-of-``repeats`` timing.
+
+    Every timed run gets a *fresh* workload object and a cold factor-eigh
+    memo: both the per-instance eigen-decomposition cache and the
+    content-addressed ``_FACTOR_EIGH_CACHE`` would otherwise hand later runs
+    warm spectra and distort the ratio.  Taking the minimum over repeats
+    suppresses scheduler noise, which matters because the factorized win at
+    dense-feasible sizes is structural but modest.
+    """
+    cells = int(np.prod(shape))
+    group_size = max(2, cells // 16)
     cases = (
         (
             "principal-vectors (5%)",
-            lambda factorized: principal_vectors(workload, fraction=0.05, factorized=factorized),
+            lambda workload, factorized: principal_vectors(
+                workload, fraction=0.05, factorized=factorized
+            ),
         ),
         (
             "eigen-separation (stage-2 operator)",
-            lambda factorized: eigen_query_separation(
+            lambda workload, factorized: eigen_query_separation(
                 workload, group_size=group_size, factorized=factorized
             ),
         ),
     )
+    rows = []
     for method, run_reduction in cases:
-        dense_seconds, dense_result = _time(lambda: run_reduction(False))
-        factorized_seconds, factorized_result = _time(lambda: run_reduction(True))
+        dense_seconds = factorized_seconds = float("inf")
+        for _ in range(max(1, repeats)):
+            workload = all_range_queries(list(shape))
+            _clear_eigh_cache()
+            seconds, dense_result = _time(lambda: run_reduction(workload, False))
+            dense_seconds = min(dense_seconds, seconds)
+            workload = all_range_queries(list(shape))
+            _clear_eigh_cache()
+            seconds, factorized_result = _time(lambda: run_reduction(workload, True))
+            factorized_seconds = min(factorized_seconds, seconds)
         dense_error = workload_strategy_trace(workload, dense_result.strategy)
         factorized_error = workload_strategy_trace(workload, factorized_result.strategy)
         rows.append(
             {
                 "shape": list(shape),
-                "cells": workload.column_count,
+                "cells": cells,
                 "method": method,
                 "dense_seconds": dense_seconds,
                 "factorized_seconds": factorized_seconds,
@@ -342,7 +364,10 @@ def run() -> dict:
     if QUICK:
         eigh_rows = _eigh_rows(DENSE_SHAPES[:1], FACTORIZED_ONLY_SHAPES[:1])
         completed_rows = _completed_trace_rows(COMPLETED_CASES_QUICK)
-        reduction_rows = _reduction_rows((8, 8, 4))
+        # The reductions smoke runs at the full acceptance shape (not a
+        # scaled-down one): the factorized-vs-dense ratio is what the row
+        # asserts, and at toy sizes it is pure timing noise.
+        reduction_rows = _reduction_rows()
         recycled_rows = _recycled_trace_rows(RECYCLED_SHAPES_QUICK)
         engine_rows = _engine_rows(ENGINE_SHAPES_QUICK)
     else:
@@ -352,11 +377,26 @@ def run() -> dict:
         recycled_rows = _recycled_trace_rows(RECYCLED_SHAPES)
         engine_rows = _engine_rows(ENGINE_SHAPES)
 
+    from repro.utils.backend import get_backend
+
+    backend_name = get_backend().name
+    for section in (eigh_rows, completed_rows, reduction_rows, recycled_rows, engine_rows):
+        for row in section:
+            row["backend"] = backend_name
+
+    slow = [row for row in reduction_rows if row["speedup"] < 1.0]
+    assert not slow, (
+        "factorized Sec. 4.2 reductions regressed below dense at the "
+        "acceptance shape: "
+        + "; ".join(f"{row['method']}: {row['speedup']:.3f}x" for row in slow)
+    )
+
     largest_eigh = _largest_dense(eigh_rows)
     largest_completed = _largest_dense(completed_rows)
     report = {
         "benchmark": "kron_fastpath",
         "workload": "all multi-dimensional range queries",
+        "backend": backend_name,
         "target_speedup": TARGET_SPEEDUP,
         "largest_dense_cells": largest_eigh["cells"],
         "speedup_at_largest_dense": largest_eigh["speedup"],
@@ -393,6 +433,10 @@ def test_kron_fastpath_speedup():
     for row in report["reductions"]["rows"]:
         if row["relative_trace_deviation"] is not None:
             assert row["relative_trace_deviation"] <= 1e-6
+        # The factorized path must beat (or at worst match) the dense path
+        # even at dense-feasible sizes — the small-domain regression the
+        # batched solver work retired must stay retired.
+        assert row["speedup"] >= 1.0, f"{row['method']}: {row['speedup']:.3f}x"
     for row in report["recycled_trace"]["rows"]:
         # The recycled second evaluation must use measurably fewer PCG
         # iterations (the Galerkin guess restarts it essentially converged).

@@ -41,7 +41,7 @@ from repro.core.query_weighting import (
 )
 from repro.core.workload import Workload
 from repro.exceptions import MaterializationError, OptimizationError
-from repro.optimize import WeightingProblem, solve_weighting
+from repro.optimize import WeightingProblem, solve_weighting, solve_weighting_batch
 from repro.utils.operators import (
     HARD_MATERIALIZATION_LIMIT,
     ColumnBlockConstraints,
@@ -79,9 +79,22 @@ class _DesignSpace:
             self.constraints = (self.queries ** 2).T
 
     def slice_columns(self, indexes: np.ndarray):
-        """Constraint columns for the given eigen-queries (dense or operator)."""
+        """Constraint columns for the given eigen-queries (dense or operator).
+
+        On the factorized path a slice that fits the materialization budget
+        is densified via one batched structured pass
+        (:meth:`KroneckerConstraints.to_dense`): the reduction solvers then
+        run at BLAS matrix-vector granularity instead of paying one
+        ``kron_apply`` per solver step, which is what retires the
+        small-domain regression of the factorized Sec. 4.2 reductions.
+        Slices beyond the budget stay lazy operator views.
+        """
+        indexes = np.asarray(indexes, dtype=int)
         if self.factorized:
-            return self.constraints.restrict(indexes)
+            sliced = self.constraints.restrict(indexes)
+            if within_materialization_budget(sliced.shape[0], sliced.shape[1]):
+                return sliced.to_dense()
+            return sliced
         return self.constraints[:, indexes]
 
     def tail_column(self, start: int) -> np.ndarray:
@@ -150,19 +163,27 @@ def eigen_query_separation(
             "the hard materialization cap; increase group_size or pass "
             "factorized=True for the matrix-free stage 2"
         )
-    problems: list[WeightingProblem] = []
     group_weights: list[np.ndarray] = []
     scaled_weights: list[np.ndarray] = []
     group_costs = np.zeros(len(groups))
+    # Collect the dense stage-2 matrix whenever it fits the budget — on the
+    # dense path always (guarded above), on the factorized path exactly when
+    # the crossover densified the stage-1 slices anyway.  Past the budget the
+    # factorized path serves the same columns lazily (GroupColumnOperator).
     group_columns = None
-    if not factorized:
+    if not factorized or within_materialization_budget(workload.column_count, len(groups)):
         group_columns = np.zeros((workload.column_count, len(groups)))
+    # The per-group solves share their constraint rows (one per cell), so
+    # when the slices are dense they run in lockstep as stacked backend
+    # contractions instead of one skinny solve at a time.
+    problems = [
+        WeightingProblem(costs=values[indexes], constraints=space.slice_columns(indexes))
+        for indexes in groups
+    ]
+    solutions = solve_weighting_batch(problems, solver=solver, **solver_options)
     iterations = 0
-    for position, indexes in enumerate(groups):
-        problem = WeightingProblem(costs=values[indexes], constraints=space.slice_columns(indexes))
-        solution = solve_weighting(problem, solver=solver, **solver_options)
+    for position, (problem, solution) in enumerate(zip(problems, solutions)):
         iterations += solution.iterations
-        problems.append(problem)
         group_weights.append(solution.weights)
         scaled = problem.scale_to_feasible(solution.weights)
         scaled_weights.append(scaled)
@@ -179,14 +200,14 @@ def eigen_query_separation(
         combined = np.ones(1)
         combine_solution = None
     else:
-        if factorized:
+        if group_columns is not None:
+            stage2_constraints = group_columns
+        else:
             stage2_constraints = GroupColumnOperator(
                 space.basis,
                 [space.constraints.columns[indexes] for indexes in groups],
                 scaled_weights,
             )
-        else:
-            stage2_constraints = group_columns
         combine_problem = WeightingProblem(costs=group_costs, constraints=stage2_constraints)
         combine_solution = solve_weighting(combine_problem, solver=solver, **solver_options)
         iterations += combine_solution.iterations
@@ -254,14 +275,20 @@ def principal_vectors(
     if count == total:
         reduced_costs = values
         reduced_constraints = space.constraints
+        if factorized and within_materialization_budget(*space.constraints.shape):
+            reduced_constraints = space.constraints.to_dense()
     else:
         tail_cost = float(np.sum(values[count:]))
         tail_column = space.tail_column(count)[:, None]
         reduced_costs = np.concatenate([values[:count], [tail_cost]])
         top_columns = space.slice_columns(np.arange(count))
-        if factorized:
+        if factorized and not isinstance(top_columns, np.ndarray):
             reduced_constraints = ColumnBlockConstraints([top_columns, tail_column])
         else:
+            # The budget crossover densified the top-column slice, so the
+            # whole reduced problem is a small dense matrix — stack it and
+            # let the dense solver stack (including the second-order
+            # fallback) run at BLAS granularity.
             reduced_constraints = np.hstack([top_columns, tail_column])
 
     problem = WeightingProblem(costs=reduced_costs, constraints=reduced_constraints)

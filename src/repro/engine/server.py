@@ -76,6 +76,7 @@ from repro.engine.session import Session, SessionAnswer
 from repro.engine.store import StateStore
 from repro.exceptions import ReproError
 from repro.mechanisms.accountant import BudgetExceededError
+from repro.utils.backend import resolve_backend
 from repro.relational.relation import Relation
 from repro.relational.vectorize import data_vector
 
@@ -235,11 +236,16 @@ class Server:
         forecast: bool | ForecastEngine = False,
         forecast_epoch_seconds: float = 60.0,
         forecast_top_k: int = 8,
+        backend: str | None = None,
     ):
         if execution not in ("thread", "process"):
             raise ReproError(
                 f"execution must be 'thread' or 'process', got {execution!r}"
             )
+        # Resolve the array backend up front: an unavailable request fails
+        # here (as a ReproError subclass) rather than mid-request.  ``None``
+        # inherits the process-wide active backend.
+        self.backend = resolve_backend(backend)
         self.budget = budget
         self.schema = schema
         self.planner = planner if planner is not None else Planner()
@@ -666,12 +672,18 @@ class Server:
         if source is None:
             return workload.answer(estimate)
 
+        backend = self.backend
+
         def shard(lo: int, hi: int) -> np.ndarray:
             if isinstance(source, np.ndarray):
                 block = source[lo:hi]
             else:
                 block = source.row_block(lo, hi)
-            return block @ estimate
+            if backend.is_default:
+                return block @ estimate
+            return backend.to_numpy(
+                backend.matmul(backend.asarray(block), backend.asarray(estimate))
+            )
 
         futures = [
             self._shard_pool.submit(shard, lo, hi)
@@ -984,6 +996,7 @@ class Server:
             "workers": self.workers,
             "shards": self.shards,
             "execution": self.execution,
+            "backend": self.backend.name,
             "queue_depth": self.queue_depth,
             "process_executor": (
                 None

@@ -14,7 +14,7 @@ from __future__ import annotations
 import warnings
 
 from repro.exceptions import ConvergenceWarning, OptimizationError
-from repro.optimize.dual_ascent import solve_dual_ascent
+from repro.optimize.dual_ascent import solve_dual_ascent, solve_dual_ascent_batch
 from repro.optimize.exact_gram import (
     GramDescentResult,
     optimal_gram_strategy,
@@ -33,10 +33,12 @@ __all__ = [
     "l1_weighting_problem",
     "optimal_gram_strategy",
     "solve_dual_ascent",
+    "solve_dual_ascent_batch",
     "solve_dual_newton",
     "solve_l1_weights",
     "solve_scipy",
     "solve_weighting",
+    "solve_weighting_batch",
     "strategy_from_gram",
 ]
 
@@ -95,3 +97,72 @@ def solve_weighting(
             stacklevel=2,
         )
     return solution
+
+
+def solve_weighting_batch(
+    problems,
+    *,
+    solver: str = "auto",
+    warn_on_no_convergence: bool = True,
+    **options,
+) -> "list[WeightingSolution]":
+    """Solve a family of weighting problems, batching where the shape allows.
+
+    When the problems are all dense with a shared constraint row count (the
+    Sec. 4.2 stage-1 per-group solves), the first-order phase runs as one
+    :func:`solve_dual_ascent_batch` lockstep — a single stacked backend
+    contraction per gradient/line-search step instead of one skinny
+    matrix-vector product per problem per step.  Under ``solver="auto"`` any
+    problem that fails to converge then escalates to the second-order
+    fallback individually, exactly as :func:`solve_weighting` would.  Any
+    shape mismatch (structured operators, differing row counts or powers) or
+    an explicit non-first-order ``solver`` falls back to sequential
+    :func:`solve_weighting` calls, so results never depend on whether
+    batching was possible in kind — only in speed.
+    """
+    problems = list(problems)
+    if solver in ("auto", "dual-ascent") and len(problems) > 1:
+        batchable = (
+            all(not problem.structured for problem in problems)
+            and len({problem.constraint_count for problem in problems}) == 1
+            and len({float(problem.power) for problem in problems}) == 1
+        )
+        if batchable:
+            first_order = {
+                k: v
+                for k, v in options.items()
+                if k in ("tolerance", "max_iterations", "initial_step")
+            }
+            solutions = solve_dual_ascent_batch(problems, **first_order)
+            results = []
+            for problem, solution in zip(problems, solutions):
+                if (
+                    solver == "auto"
+                    and not solution.converged
+                    and problem.constraint_count <= NEWTON_CONSTRAINT_LIMIT
+                ):
+                    shared = {
+                        k: v for k, v in options.items() if k in ("tolerance", "max_iterations")
+                    }
+                    newton = solve_dual_newton(problem, **shared)
+                    if newton.objective_value <= solution.objective_value or newton.converged:
+                        solution = newton
+                if warn_on_no_convergence and not solution.converged:
+                    warnings.warn(
+                        f"weighting solver {solution.solver!r} stopped after "
+                        f"{solution.iterations} iterations with relative gap "
+                        f"{solution.relative_gap:.2e}",
+                        ConvergenceWarning,
+                        stacklevel=2,
+                    )
+                results.append(solution)
+            return results
+    return [
+        solve_weighting(
+            problem,
+            solver=solver,
+            warn_on_no_convergence=warn_on_no_convergence,
+            **options,
+        )
+        for problem in problems
+    ]

@@ -9,12 +9,15 @@ to thousands of design queries.  Every iterate yields a feasible primal point
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
+from repro.exceptions import OptimizationError
 from repro.optimize.result import WeightingSolution
-from repro.optimize.weighting_problem import WeightingProblem
+from repro.optimize.weighting_problem import WeightingProblem, _DENOMINATOR_FLOOR
 
-__all__ = ["solve_dual_ascent"]
+__all__ = ["solve_dual_ascent", "solve_dual_ascent_batch"]
 
 
 def solve_dual_ascent(
@@ -37,7 +40,9 @@ def solve_dual_ascent(
         line-search success.
     """
     dual = problem.initial_dual()
-    value = problem.dual_value(dual)
+    # ``primal`` tracks u(mu) for the current dual so the gradient never
+    # repeats the C^T mu product the line search already paid for.
+    value, primal_at_dual = problem.dual_value_and_primal(dual)
     step_scale = max(float(dual[0]), 1e-12)
     step = float(initial_step) * step_scale
 
@@ -50,7 +55,7 @@ def solve_dual_ascent(
 
     for iteration in range(1, max_iterations + 1):
         iterations = iteration
-        gradient = problem.dual_gradient(dual)
+        gradient = problem.constraint_values(primal_at_dual) - 1.0
 
         # Line search on the (concave) dual value: first try to expand the
         # step while it keeps helping, otherwise backtrack.  The step size is
@@ -60,22 +65,23 @@ def solve_dual_ascent(
         improved = False
         trial_step = step
         candidate = np.maximum(dual + trial_step * gradient, 0.0)
-        candidate_value = problem.dual_value(candidate)
+        candidate_value, candidate_primal = problem.dual_value_and_primal(candidate)
         if candidate_value > value:
             improved = True
             for _ in range(30):
                 wider = np.maximum(dual + 2.0 * trial_step * gradient, 0.0)
-                wider_value = problem.dual_value(wider)
+                wider_value, wider_primal = problem.dual_value_and_primal(wider)
                 if wider_value <= candidate_value:
                     break
                 trial_step *= 2.0
                 candidate, candidate_value = wider, wider_value
+                candidate_primal = wider_primal
         else:
             for _ in range(60):
                 trial_step *= 0.5
                 backtracks += 1
                 candidate = np.maximum(dual + trial_step * gradient, 0.0)
-                candidate_value = problem.dual_value(candidate)
+                candidate_value, candidate_primal = problem.dual_value_and_primal(candidate)
                 if candidate_value > value:
                     improved = True
                     break
@@ -87,13 +93,14 @@ def solve_dual_ascent(
         else:
             dual = candidate
             value = candidate_value
+            primal_at_dual = candidate_primal
             step = trial_step
 
         best_dual_value = max(best_dual_value, value)
 
         check_now = stalled or iteration % 10 == 0 or iteration == max_iterations
         if check_now:
-            weights = problem.scale_to_feasible(problem.primal_from_dual(dual))
+            weights = problem.scale_to_feasible(primal_at_dual)
             primal = problem.objective(weights)
             if primal < best_primal:
                 best_primal = primal
@@ -118,3 +125,263 @@ def solve_dual_ascent(
         solver="dual-ascent",
         diagnostics={"backtracks": backtracks, "final_step": step},
     )
+
+
+def solve_dual_ascent_batch(
+    problems: Sequence[WeightingProblem],
+    *,
+    tolerance: float = 1e-6,
+    max_iterations: int = 20_000,
+    initial_step: float = 1.0,
+) -> list[WeightingSolution]:
+    """Solve several dense weighting problems in lockstep.
+
+    The Sec. 4.2 stage-1 solves are many *small* problems over the *same*
+    constraint rows (one per cell): run sequentially, each gradient step is a
+    skinny matrix-vector product too small to saturate BLAS, and the Python
+    line-search overhead is paid ``sum_p iterations_p`` times.  Here every
+    problem advances together — each step of each phase (gradient, expand,
+    backtrack, feasibility check) is one batched matmul over the stacked
+    ``(P, k, r)`` constraint tensor on the active array backend — so the
+    Python overhead is paid ``max_p iterations_p`` times and the contractions
+    run at batched-BLAS granularity.
+
+    Each problem follows exactly the :func:`solve_dual_ascent` control flow
+    (per-problem step sizes, line-search masks, stall detection, best-point
+    tracking).  Problems that converge or stall are *compacted out* of the
+    stack (the same trick the batched PCG plays with converged columns), so
+    a few slow stragglers never pay the contraction cost of the whole batch
+    — total work tracks ``sum_p iterations_p``, not
+    ``max_p iterations_p * P``.  Problems are zero-padded to the widest
+    variable count — padded columns carry zero cost and zero constraint
+    entries, so they get zero weight and change nothing.
+
+    Parameters
+    ----------
+    problems:
+        Dense-constraint problems sharing one constraint row count and one
+        objective ``power``.  (Structured operators have no stacked tensor
+        to contract; solve those sequentially.)
+    tolerance, max_iterations, initial_step:
+        As in :func:`solve_dual_ascent`, applied per problem.
+    """
+    from repro.utils.backend import get_backend
+
+    if not problems:
+        return []
+    for problem in problems:
+        if problem.structured:
+            raise OptimizationError(
+                "solve_dual_ascent_batch requires dense constraints; solve "
+                "structured problems with solve_dual_ascent"
+            )
+    rows = {problem.constraint_count for problem in problems}
+    powers = {float(problem.power) for problem in problems}
+    if len(rows) != 1 or len(powers) != 1:
+        raise OptimizationError(
+            "batched dual ascent needs a shared constraint row count and power; "
+            f"got rows={sorted(rows)}, powers={sorted(powers)}"
+        )
+
+    backend = get_backend()
+    xp = backend.xp
+    count = len(problems)
+    k = rows.pop()
+    power = powers.pop()
+    widths = [problem.variable_count for problem in problems]
+    rmax = max(widths)
+    stacked = np.zeros((count, k, rmax))
+    costs = np.zeros((count, rmax))
+    upper = np.full((count, rmax), np.inf)
+    for index, problem in enumerate(problems):
+        stacked[index, :, : widths[index]] = problem.constraints
+        costs[index, : widths[index]] = problem.costs
+        upper[index, : widths[index]] = problem._upper_bounds
+    # A contiguous pre-transposed copy keeps both contraction directions on
+    # the batched-BLAS fast path (matmul over strided views copies per call).
+    transposed = np.ascontiguousarray(stacked.transpose(0, 2, 1))
+    if not backend.is_default:
+        stacked = backend.asarray(stacked)
+        transposed = backend.asarray(transposed)
+        costs = backend.asarray(costs)
+        upper = backend.asarray(upper)
+    positive = costs > 0
+    exponent = 1.0 / (power + 1.0)
+
+    # The helpers close over the live-subset arrays by *name*: compaction
+    # below rebinds ``stacked``/``transposed``/``costs``/``upper``/
+    # ``positive`` to the surviving rows and every later call sees the
+    # smaller stack.
+
+    def apply(u):
+        return backend.matmul(stacked, u[:, :, None])[:, :, 0]
+
+    def apply_transpose(mu):
+        return backend.matmul(transposed, mu[:, :, None])[:, :, 0]
+
+    def primal_from_dual(dual):
+        denominator = xp.maximum(apply_transpose(dual), _DENOMINATOR_FLOOR)
+        weights = (power * costs / denominator) ** exponent
+        return xp.minimum(weights, upper)
+
+    def masked_objective_terms(weights):
+        # 0-cost (and padded) columns sit at weight 0; mask before the
+        # negative power so they contribute exactly 0 instead of 0**-p.
+        safe = xp.where(positive, weights, 1.0)
+        return xp.sum(xp.where(positive, costs * safe ** (-power), 0.0), axis=1)
+
+    def dual_value_and_primal(dual):
+        # One stacked contraction serves both the inner minimiser and the
+        # linear term (primal_from_dual would recompute the same C^T mu).
+        linear = apply_transpose(dual)
+        denominator = xp.maximum(linear, _DENOMINATOR_FLOOR)
+        weights = xp.minimum((power * costs / denominator) ** exponent, upper)
+        value = (
+            masked_objective_terms(weights)
+            + xp.sum(xp.where(positive, linear * weights, 0.0), axis=1)
+            - xp.sum(dual, axis=1)
+        )
+        return value, weights
+
+    def objective(weights):
+        bad = xp.any(positive & (weights <= 0), axis=1)
+        return xp.where(bad, xp.inf, masked_objective_terms(weights))
+
+    def scale_to_feasible(weights):
+        top = xp.max(apply(weights), axis=1)
+        if np.any(np.asarray(top) <= 0):
+            raise OptimizationError("cannot scale a zero weight vector to feasibility")
+        return weights / top[:, None]
+
+    # Initial points, exactly as the sequential solver computes them.
+    row_load = xp.sum(stacked, axis=2)
+    load_top = xp.max(row_load, axis=1)
+    if np.any(np.asarray(load_top) <= 0):
+        raise OptimizationError("constraint matrix is identically zero")
+    initial_weights = xp.broadcast_to((0.9 / load_top)[:, None], (count, rmax))
+    reference = xp.max(apply(primal_from_dual(xp.ones((count, k)))), axis=1)
+    usable = xp.isfinite(reference) & (reference > 0)
+    alpha = xp.where(usable, xp.maximum(reference ** (power + 1.0), 1e-12), 1.0)
+    dual = xp.broadcast_to(alpha[:, None], (count, k)) + xp.zeros((count, k))
+    value, primal_at_dual = dual_value_and_primal(dual)
+    step_scale = xp.maximum(dual[:, 0], 1e-12)
+    step = float(initial_step) * step_scale
+
+    best_weights = scale_to_feasible(initial_weights)
+    best_primal = objective(best_weights)
+    best_dual_value = value
+
+    # Full-size result buffers; ``alive`` maps live-stack rows to problems.
+    alive = np.arange(count)
+    out_weights = np.zeros((count, rmax))
+    out_primal = np.zeros(count)
+    out_dual_value = np.zeros(count)
+    out_step = np.zeros(count)
+    iterations = np.zeros(count, dtype=int)
+    converged = np.zeros(count, dtype=bool)
+    backtracks = np.zeros(count, dtype=int)
+
+    def flush(exiting: np.ndarray) -> None:
+        indices = alive[exiting]
+        out_weights[indices] = backend.to_numpy(best_weights[exiting])
+        out_primal[indices] = backend.to_numpy(best_primal[exiting])
+        out_dual_value[indices] = backend.to_numpy(best_dual_value[exiting])
+        out_step[indices] = backend.to_numpy(step[exiting])
+
+    for iteration in range(1, max_iterations + 1):
+        if alive.size == 0:
+            break
+        iterations[alive] = iteration
+        gradient = apply(primal_at_dual) - 1.0
+
+        step = xp.maximum(step, 1e-12 * step_scale)
+        trial = step
+        candidate = xp.maximum(dual + trial[:, None] * gradient, 0.0)
+        candidate_value, candidate_primal = dual_value_and_primal(candidate)
+        improved = np.asarray(candidate_value > value)
+        expanding = improved.copy()
+        for _ in range(30):
+            if not expanding.any():
+                break
+            wider = xp.maximum(dual + (2.0 * trial)[:, None] * gradient, 0.0)
+            wider_value, wider_primal = dual_value_and_primal(wider)
+            grow = expanding & np.asarray(wider_value > candidate_value)
+            trial = xp.where(grow, 2.0 * trial, trial)
+            candidate = xp.where(grow[:, None], wider, candidate)
+            candidate_value = xp.where(grow, wider_value, candidate_value)
+            candidate_primal = xp.where(grow[:, None], wider_primal, candidate_primal)
+            expanding = grow
+        backing = ~improved
+        for _ in range(60):
+            if not backing.any():
+                break
+            trial = xp.where(backing, 0.5 * trial, trial)
+            backtracks[alive] += backing
+            retry = xp.maximum(dual + trial[:, None] * gradient, 0.0)
+            retry_value, retry_primal = dual_value_and_primal(retry)
+            success = backing & np.asarray(retry_value > value)
+            candidate = xp.where(backing[:, None], retry, candidate)
+            candidate_value = xp.where(backing, retry_value, candidate_value)
+            candidate_primal = xp.where(backing[:, None], retry_primal, candidate_primal)
+            improved = improved | success
+            backing = backing & ~success
+
+        stalled = ~improved
+        dual = xp.where(improved[:, None], candidate, dual)
+        value = xp.where(improved, candidate_value, value)
+        primal_at_dual = xp.where(improved[:, None], candidate_primal, primal_at_dual)
+        step = xp.where(improved, trial, step)
+        best_dual_value = xp.maximum(best_dual_value, value)
+
+        check_now = stalled | (iteration % 10 == 0) | (iteration == max_iterations)
+        if check_now.any():
+            weights = scale_to_feasible(primal_at_dual)
+            primal = objective(weights)
+            better = check_now & np.asarray(primal < best_primal)
+            best_primal = xp.where(better, primal, best_primal)
+            best_weights = xp.where(better[:, None], weights, best_weights)
+            gap = best_primal - best_dual_value
+            positive_primal = np.asarray(best_primal > 0)
+            tight = positive_primal & np.asarray(gap <= tolerance * best_primal)
+            loose = positive_primal & np.asarray(gap <= np.sqrt(tolerance) * best_primal)
+            converged[alive] |= check_now & (tight | (stalled & loose))
+            exiting = check_now & (tight | stalled)
+            if exiting.any():
+                flush(exiting)
+                keep = ~exiting
+                alive = alive[keep]
+                stacked = stacked[keep]
+                transposed = transposed[keep]
+                costs = costs[keep]
+                upper = upper[keep]
+                positive = positive[keep]
+                dual = dual[keep]
+                value = value[keep]
+                primal_at_dual = primal_at_dual[keep]
+                step = step[keep]
+                step_scale = step_scale[keep]
+                best_weights = best_weights[keep]
+                best_primal = best_primal[keep]
+                best_dual_value = best_dual_value[keep]
+
+    if alive.size:
+        # Iteration budget exhausted: record the stragglers' best points.
+        flush(np.ones(alive.size, dtype=bool))
+
+    return [
+        WeightingSolution(
+            weights=out_weights[index, : widths[index]].copy(),
+            objective_value=float(out_primal[index]),
+            dual_value=float(out_dual_value[index]),
+            duality_gap=float(out_primal[index] - out_dual_value[index]),
+            iterations=int(iterations[index]),
+            converged=bool(converged[index]),
+            solver="dual-ascent",
+            diagnostics={
+                "backtracks": int(backtracks[index]),
+                "final_step": float(out_step[index]),
+                "batched": count,
+            },
+        )
+        for index in range(count)
+    ]

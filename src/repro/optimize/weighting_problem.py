@@ -203,16 +203,30 @@ class WeightingProblem:
 
     def dual_value(self, dual: np.ndarray) -> float:
         """Lagrangian dual function ``g(mu)`` (a lower bound on the optimum)."""
+        return self.dual_value_and_primal(dual)[0]
+
+    def dual_value_and_primal(self, dual: np.ndarray) -> tuple[float, np.ndarray]:
+        """Return ``(g(mu), u(mu))`` from a single constraint pass.
+
+        The dual value and the inner minimiser share the expensive
+        ``C^T mu`` product; solvers that need both (every line-search trial
+        whose accepted point seeds the next gradient step) should call this
+        instead of ``dual_value`` + ``primal_from_dual``.
+        """
         dual = np.asarray(dual, dtype=float)
-        weights = self.primal_from_dual(dual)
         linear = self._apply_transpose(dual)
+        denominator = np.maximum(linear, _DENOMINATOR_FLOOR)
+        exponent = 1.0 / (self.power + 1.0)
+        weights = np.minimum(
+            (self.power * self.costs / denominator) ** exponent, self._upper_bounds
+        )
         positive = self.costs > 0
         value = float(
             np.sum(self.costs[positive] * weights[positive] ** (-self.power))
             + np.sum(linear[positive] * weights[positive])
             - np.sum(dual)
         )
-        return value
+        return value, weights
 
     def dual_gradient(self, dual: np.ndarray) -> np.ndarray:
         """Gradient of the dual function: ``C u(mu) - 1``."""

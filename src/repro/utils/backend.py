@@ -1,0 +1,301 @@
+"""Pluggable array backend for the operator/linalg hot path.
+
+Every hot kernel of the structured fast path — the Kronecker contractions
+behind ``matvec``/``rmatvec``/``row_block``, the batched Jacobi-PCG, the
+Hutch++ probe batches, the server's sharded ``W @ x_hat`` derivation — is a
+fixed-shape batched numerical loop.  This module puts one seam under all of
+them: an :class:`ArrayBackend` exposing the array namespace (``xp``) plus the
+capabilities the kernels need (``asarray``/``matmul``/``einsum``/
+``solve_psd``/``jit``/``vmap``/``index_add``, and ``to_numpy`` at the
+boundary), with
+
+* a **zero-overhead NumPy default** — ``jit``/``vmap`` are identities,
+  ``xp`` *is* :mod:`numpy`, and the default-dispatch checks in the kernels
+  are a single attribute read, so the NumPy path stays bit-for-bit what it
+  was before the seam existed;
+* an optional **JAX backend** (``REPRO_BACKEND=jax`` or
+  :func:`set_backend`), import-guarded so NumPy-only installs never touch
+  it.  It enables x64 by default (the mechanism's dense oracles are float64;
+  float32 would fail the documented tolerances) and serves the same ``xp``
+  namespace through :mod:`jax.numpy`, with real ``jit``/``vmap``.
+
+Kernels written against the seam follow two conventions: they read arrays
+through ``backend.asarray`` and hand results back through
+``backend.to_numpy`` (the package's public dtype is numpy float64
+everywhere), and they never mutate in place — functional updates go through
+``backend.index_add`` so the same code runs on JAX's immutable arrays.
+
+Examples
+--------
+>>> get_backend().name
+'numpy'
+>>> available_backends()[0]
+'numpy'
+>>> with backend_scope("numpy"):
+...     get_backend().is_default
+True
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "ArrayBackend",
+    "BackendUnavailableError",
+    "JaxBackend",
+    "NumpyBackend",
+    "available_backends",
+    "backend_scope",
+    "get_backend",
+    "resolve_backend",
+    "set_backend",
+]
+
+#: Environment variable consulted on first use (lazy, so importing the
+#: package never pays a JAX import): ``REPRO_BACKEND=jax`` selects the JAX
+#: backend process-wide, anything else (or unset) keeps the NumPy default.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+class BackendUnavailableError(ReproError):
+    """Raised when a requested backend's runtime is not importable."""
+
+
+class ArrayBackend:
+    """The capability protocol every backend implements.
+
+    ``name`` identifies the backend (folded into content-addressed cache
+    keys so recycled state never crosses backends), ``is_default`` marks
+    the zero-overhead NumPy path (kernels skip all conversion when true),
+    and ``xp`` is the array namespace (``numpy`` or ``jax.numpy`` — the
+    APIs the kernels use are identical).
+    """
+
+    name: str = "abstract"
+    is_default: bool = False
+
+    @property
+    def dtype_name(self) -> str:
+        """The backend's working float dtype (part of cache identity)."""
+        return str(self.asarray(np.zeros(1)).dtype)
+
+    # -------------------------------------------------------------- transfer
+    def asarray(self, array):
+        """Bring ``array`` onto this backend (float dtype)."""
+        raise NotImplementedError
+
+    def to_numpy(self, array) -> np.ndarray:
+        """Return ``array`` as a numpy float64 array (the package boundary)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- capabilities
+    def matmul(self, a, b):
+        """``a @ b`` on backend arrays."""
+        return self.xp.matmul(a, b)
+
+    def einsum(self, subscripts: str, *operands):
+        """``einsum`` on backend arrays (the batched-contraction workhorse)."""
+        return self.xp.einsum(subscripts, *operands)
+
+    def solve_psd(self, gram, rhs):
+        """Solve ``gram @ x = rhs`` for symmetric PSD ``gram``."""
+        raise NotImplementedError
+
+    def jit(self, fn, **kwargs):
+        """Compile ``fn`` (identity on backends without a compiler)."""
+        return fn
+
+    def vmap(self, fn, **kwargs):
+        """Vectorize ``fn`` over a leading axis (batched loop by default)."""
+        raise NotImplementedError
+
+    def index_add(self, array, columns, update):
+        """Return ``array`` with ``update`` added at ``[:, columns]``.
+
+        The one mutation the PCG loop needs, expressed functionally so the
+        same loop runs on immutable JAX arrays.  Backends may update in
+        place when their arrays allow it (the caller owns ``array``).
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class NumpyBackend(ArrayBackend):
+    """The default backend: plain numpy, no conversions, identity ``jit``."""
+
+    name = "numpy"
+    is_default = True
+    xp = np
+
+    def asarray(self, array):
+        return np.asarray(array, dtype=float)
+
+    def to_numpy(self, array) -> np.ndarray:
+        return np.asarray(array, dtype=float)
+
+    def solve_psd(self, gram, rhs):
+        # Imported lazily: linalg imports this module for its backend seam.
+        from repro.utils.linalg import solve_psd
+
+        return solve_psd(np.asarray(gram, dtype=float), np.asarray(rhs, dtype=float))
+
+    def vmap(self, fn, **kwargs):
+        def batched(stack):
+            return np.stack([fn(item) for item in stack])
+
+        return batched
+
+    def index_add(self, array, columns, update):
+        array[:, columns] += update
+        return array
+
+
+class JaxBackend(ArrayBackend):
+    """The JAX backend: ``jax.numpy`` namespace, real ``jit``/``vmap``.
+
+    Import-guarded — constructing one raises
+    :class:`BackendUnavailableError` when :mod:`jax` is not installed, so
+    NumPy-only installs never pay (or see) the dependency.  x64 is enabled
+    by default: the mechanism's oracles are float64 and the documented
+    cross-backend tolerances assume it.
+    """
+
+    name = "jax"
+    is_default = False
+
+    def __init__(self, *, enable_x64: bool = True):
+        try:
+            import jax
+            import jax.numpy as jnp
+        except ImportError as error:  # pragma: no cover - exercised sans jax
+            raise BackendUnavailableError(
+                "the 'jax' backend requires the jax package (pip install jax); "
+                "it is optional — the default numpy backend needs nothing extra"
+            ) from error
+        if enable_x64:
+            jax.config.update("jax_enable_x64", True)
+        self._jax = jax
+        self.xp = jnp
+        self._dtype = jnp.float64 if enable_x64 else jnp.float32
+
+    def asarray(self, array):
+        return self.xp.asarray(array, dtype=self._dtype)
+
+    def to_numpy(self, array) -> np.ndarray:
+        return np.asarray(array, dtype=float)
+
+    def solve_psd(self, gram, rhs):
+        # cho_factor raises on indefinite input under numpy/scipy; jax's
+        # cholesky yields NaNs instead, so detect and fall back to the
+        # (sign-aware) eigh pseudo-inverse exactly like the numpy path.
+        xp = self.xp
+        gram = (gram + gram.T) / 2.0
+        factor = self._jax.scipy.linalg.cholesky(gram, lower=True)
+        solved = self._jax.scipy.linalg.cho_solve((factor, True), rhs)
+        if bool(xp.all(xp.isfinite(solved))):
+            return solved
+        values, vectors = xp.linalg.eigh(gram)
+        top = xp.max(xp.abs(values))
+        keep = values > 1e-12 * top
+        inverse_values = xp.where(keep, 1.0 / xp.where(keep, values, 1.0), 0.0)
+        return vectors @ (inverse_values[:, None] * (vectors.T @ rhs))
+
+    def jit(self, fn, **kwargs):
+        return self._jax.jit(fn, **kwargs)
+
+    def vmap(self, fn, **kwargs):
+        return self._jax.vmap(fn, **kwargs)
+
+    def index_add(self, array, columns, update):
+        return array.at[:, columns].add(update)
+
+
+_BACKENDS = {"numpy": NumpyBackend, "jax": JaxBackend}
+
+_active_backend: ArrayBackend | None = None
+_backend_lock = threading.Lock()
+
+
+def available_backends() -> list[str]:
+    """Backend names usable in this process (``numpy`` always; ``jax`` when importable)."""
+    names = ["numpy"]
+    try:
+        import jax  # noqa: F401
+
+        names.append("jax")
+    except ImportError:
+        pass
+    return names
+
+
+def _instantiate(name: str) -> ArrayBackend:
+    try:
+        factory = _BACKENDS[name]
+    except KeyError:
+        raise BackendUnavailableError(
+            f"unknown backend {name!r}; choose from {sorted(_BACKENDS)}"
+        ) from None
+    return factory()
+
+
+def get_backend() -> ArrayBackend:
+    """The process-wide active backend (lazy-initialised from the environment).
+
+    The first call reads :data:`BACKEND_ENV_VAR`; afterwards the choice is
+    stable until :func:`set_backend` changes it.  A bad environment value
+    raises :class:`BackendUnavailableError` with the fix spelled out rather
+    than silently falling back — a silently-ignored ``REPRO_BACKEND=jax``
+    would fake a speedup.
+    """
+    global _active_backend
+    backend = _active_backend
+    if backend is None:
+        with _backend_lock:
+            if _active_backend is None:
+                requested = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
+                _active_backend = _instantiate(requested) if requested else NumpyBackend()
+            backend = _active_backend
+    return backend
+
+
+def set_backend(backend: "str | ArrayBackend") -> ArrayBackend:
+    """Select the process-wide backend by name (or instance); returns it.
+
+    Raises :class:`BackendUnavailableError` when the runtime is missing, so
+    callers (e.g. the CLI's ``--backend`` flag) can validate availability
+    up front instead of crashing mid-request.
+    """
+    global _active_backend
+    instance = backend if isinstance(backend, ArrayBackend) else _instantiate(backend)
+    with _backend_lock:
+        _active_backend = instance
+    return instance
+
+
+def resolve_backend(backend: "str | ArrayBackend | None") -> ArrayBackend:
+    """Normalise an optional per-call override to a live backend instance."""
+    if backend is None:
+        return get_backend()
+    if isinstance(backend, ArrayBackend):
+        return backend
+    return _instantiate(backend)
+
+
+@contextlib.contextmanager
+def backend_scope(backend: "str | ArrayBackend"):
+    """Temporarily switch the active backend (tests, benchmark sweeps)."""
+    previous = get_backend()
+    set_backend(backend)
+    try:
+        yield get_backend()
+    finally:
+        set_backend(previous)

@@ -41,6 +41,12 @@ from repro.utils.operators import (
 )
 from repro.workloads import all_range_queries
 
+# Every test in this module runs once per available array backend: the
+# numpy case is the default bit-for-bit path, the jax case exercises the
+# optional backend against the same dense oracles (auto-skipped when jax
+# is not installed).
+pytestmark = pytest.mark.usefixtures("backend")
+
 PRIVACY = PrivacyParams(0.5, 1e-4)
 
 
@@ -129,9 +135,33 @@ class TestGroupColumnOperator:
         e_fact = expected_workload_error(workload, fact.strategy, PRIVACY)
         assert e_fact == pytest.approx(e_dense, rel=1e-6)
 
-    def test_no_group_column_densification_at_scale(self, monkeypatch):
-        # Acceptance bar: eigen_query_separation(..., factorized=True) at
-        # n = 4096 allocates nothing of size Θ(n · groups) — every dense
+    def test_factorized_stage2_densifies_within_budget(self, monkeypatch):
+        # The factorized/dense crossover: when the stage-2 group-column
+        # matrix fits the materialisation budget the factorized path
+        # densifies it, so stage 2 runs on the dense solver fast path
+        # instead of a per-matvec GroupColumnOperator.
+        import repro.core.reductions as reductions_module
+
+        stage2_constraints = []
+        real_solve = solve_weighting
+
+        def recording_solve(problem, **kwargs):
+            stage2_constraints.append(problem.constraints)
+            return real_solve(problem, **kwargs)
+
+        monkeypatch.setattr(reductions_module, "solve_weighting", recording_solve)
+        workload = all_range_queries([16, 16, 16])
+        result = eigen_query_separation(workload, group_size=512)
+        assert result.method == "eigen-separation-factorized"
+        assert result.diagnostics["groups"] > 1
+        # Stage 2 must have run against the densified group-column matrix.
+        assert any(isinstance(c, np.ndarray) and c.ndim == 2 for c in stage2_constraints)
+        error = expected_workload_error(workload, result.strategy, PRIVACY)
+        assert np.isfinite(error) and error > 0
+
+    def test_no_group_column_densification_beyond_budget(self, monkeypatch):
+        # Acceptance bar: beyond the materialisation budget the factorized
+        # path allocates nothing of size Θ(n · groups) — every dense
         # materialisation entry point is patched to fail, and the stage-2
         # problem must be solved against a GroupColumnOperator.
         import repro.core.reductions as reductions_module
@@ -142,7 +172,10 @@ class TestGroupColumnOperator:
 
         monkeypatch.setattr(ops.KroneckerOperator, "to_dense", forbidden)
         monkeypatch.setattr(ops.EigenDiagOperator, "to_dense", forbidden)
+        monkeypatch.setattr(ops.KroneckerConstraints, "to_dense", forbidden)
         monkeypatch.setattr(ops.KroneckerEigenbasis, "queries_dense", forbidden)
+        # Shrink the budget so n = 4096 sits beyond it, as 10**7 used to.
+        monkeypatch.setattr(ops, "MATERIALIZATION_LIMIT", 1)
         stage2_constraints = []
         real_solve = solve_weighting
 
