@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import time
 from pathlib import Path
 
@@ -90,6 +91,22 @@ TARGET_SPEEDUP = 10.0
 QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_kron_fastpath.json"
+
+
+def _lint_metadata() -> dict:
+    """Which enforcement regime produced this row: repro-lint version and
+    rule count (``tools/repro_lint``), stamped into the report metadata."""
+    tools_dir = str(Path(__file__).resolve().parent.parent / "tools")
+    if tools_dir not in sys.path:
+        sys.path.insert(0, tools_dir)
+    try:
+        import repro_lint
+    except ImportError:  # running outside a repository checkout
+        return {"version": None, "rules": 0}
+    return {
+        "version": repro_lint.__version__,
+        "rules": len(repro_lint.ALL_CHECKERS),
+    }
 
 
 def _factor_grams(shape: tuple[int, ...]) -> list[np.ndarray]:
@@ -397,6 +414,7 @@ def run() -> dict:
         "benchmark": "kron_fastpath",
         "workload": "all multi-dimensional range queries",
         "backend": backend_name,
+        "lint": _lint_metadata(),
         "target_speedup": TARGET_SPEEDUP,
         "largest_dense_cells": largest_eigh["cells"],
         "speedup_at_largest_dense": largest_eigh["speedup"],

@@ -11,6 +11,7 @@ Usage (after ``pip install -e .``)::
         --sql "SELECT COUNT(*) FROM people GROUP BY gender" --epsilon 0.5
     python -m repro serve --schema schema.json --data people.csv \
         --budget-epsilon 1.0 --workers 4 < requests.jsonl
+    python -m repro lint
 
 ``run`` prints the experiment's rows as an aligned table (or CSV/JSON) and can
 persist them with ``--output``; ``--set key=value`` overrides any default
@@ -40,6 +41,12 @@ turns on workload forecasting and adaptive pre-planning (epoch length via
 shapes are pre-warmed in the plan cache before they arrive, without changing
 any answer.  SIGINT drains in-flight requests before exiting; EOF is the
 normal shutdown.
+
+``lint`` runs the repro-lint invariant checkers (``tools/repro_lint``,
+documented in ``docs/linting.md``) over ``src/`` (or the given paths) —
+the same battery the CI ``lint`` job enforces.  It requires a repository
+checkout; the tool package is located by walking up from the current
+directory.
 """
 
 from __future__ import annotations
@@ -249,6 +256,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="array backend for the numerical hot path (default: numpy, or "
         "$REPRO_BACKEND); 'jax' requires the optional jax install",
     )
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the repro-lint invariant checkers (see docs/linting.md)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=[],
+        help="files or directories to lint (default: the repository's src/)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "github"),
+        default="text",
+        help="finding output format ('github' emits ::error annotations)",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
     return parser
 
 
@@ -431,6 +460,65 @@ def _command_query(arguments, out) -> int:
     return 0
 
 
+def _find_lint_tools() -> "Path | None":
+    """Locate ``tools/repro_lint`` by walking up from cwd (repo checkouts).
+
+    The linter is repository tooling, not part of the installed package —
+    a pip-installed ``repro`` without the repo checkout reports a clean
+    error instead of crashing.
+    """
+    from pathlib import Path
+
+    for base in [Path.cwd(), *Path.cwd().parents]:
+        candidate = base / "tools" / "repro_lint" / "__init__.py"
+        if candidate.is_file():
+            return candidate.parent.parent
+    return None
+
+
+def _command_lint(arguments, out) -> int:
+    tools_dir = _find_lint_tools()
+    if tools_dir is None:
+        raise ReproError(
+            "cannot find tools/repro_lint above the current directory — "
+            "`python -m repro lint` runs from a repository checkout "
+            "(see docs/linting.md)"
+        )
+    if str(tools_dir) not in sys.path:
+        sys.path.insert(0, str(tools_dir))
+    import repro_lint
+
+    rules = None
+    if arguments.rules:
+        rules = [rule.strip() for rule in arguments.rules.split(",") if rule.strip()]
+        unknown = set(rules) - set(repro_lint.RULE_IDS)
+        if unknown:
+            raise ReproError(f"unknown lint rules: {', '.join(sorted(unknown))}")
+    paths = list(arguments.paths)
+    if not paths:
+        default_src = tools_dir.parent / "src"
+        if not default_src.is_dir():
+            raise ReproError(
+                "no paths given and no src/ directory next to tools/ — "
+                "pass the files or directories to lint"
+            )
+        paths = [str(default_src)]
+    try:
+        findings = repro_lint.lint(paths, rules=rules)
+    except FileNotFoundError as error:
+        raise ReproError(str(error)) from error
+    if findings:
+        print(repro_lint.FORMATTERS[arguments.format](findings), file=out)
+        print(f"repro-lint: {len(findings)} finding(s)", file=out)
+        return 1
+    print(
+        f"repro-lint {repro_lint.__version__}: clean "
+        f"({len(repro_lint.ALL_CHECKERS)} rules)",
+        file=out,
+    )
+    return 0
+
+
 def _command_serve(arguments, out) -> int:
     # Imported lazily so `list`/`run` keep their fast startup.
     import signal
@@ -529,6 +617,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _command_query(arguments, out)
         if arguments.command == "serve":
             return _command_serve(arguments, out)
+        if arguments.command == "lint":
+            return _command_lint(arguments, out)
         return _command_run(arguments, out)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

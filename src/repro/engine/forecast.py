@@ -287,6 +287,10 @@ class PrePlanner:
         self.planner = planner
         self.params = params
         self.union = bool(union)
+        # The counters race: the background forecast thread pre-plans while
+        # tests/benchmarks drive synchronous ticks, so increments take the
+        # lock (reads stay lock-free, like every stats surface here).
+        self._lock = threading.Lock()
         self.prewarm_planned = 0
         self.prewarm_already_warm = 0
         self.prewarm_failures = 0
@@ -314,16 +318,19 @@ class PrePlanner:
                     self.planner.preplan_union(
                         [workload for _, workload, _ in dominant], self.params
                     )
-                    self.union_preplans += 1
+                    with self._lock:
+                        self.union_preplans += 1
                 except ReproError:
-                    self.prewarm_failures += 1
+                    with self._lock:
+                        self.prewarm_failures += 1
         return built
 
     def _prewarm(self, workload: Workload) -> int:
         cache = self.planner.cache
         key = self.planner.plan_key(workload, self.params)
         if cache is not None and key is not None and cache.peek(key) is not None:
-            self.prewarm_already_warm += 1
+            with self._lock:
+                self.prewarm_already_warm += 1
             return 0
         try:
             self.planner.plan(workload, self.params, key=key)
@@ -331,9 +338,11 @@ class PrePlanner:
             # An unplannable shape (e.g. uncacheable, or optimization
             # failed) is the reactive path's problem when it actually
             # arrives; pre-warming must never take the engine down.
-            self.prewarm_failures += 1
+            with self._lock:
+                self.prewarm_failures += 1
             return 0
-        self.prewarm_planned += 1
+        with self._lock:
+            self.prewarm_planned += 1
         return 1
 
 
@@ -430,6 +439,7 @@ class ForecastEngine:
             return None
         self.recorder(tenant).record(fingerprint)
         schedule = False
+        persist = False
         with self._lock:
             if fingerprint not in self._shapes:
                 self._shapes[fingerprint] = workload
@@ -443,11 +453,21 @@ class ForecastEngine:
                 self._epoch = epoch
                 self.epochs_rolled += 1
                 schedule = True
-        if self._store is not None and fingerprint not in self._shapes_persisted:
+            if self._store is not None and fingerprint not in self._shapes_persisted:
+                # Claim the persist slot under the lock, so two racing
+                # arrivals of a brand-new shape write the exemplar once.
+                self._shapes_persisted.add(fingerprint)
+                persist = True
+        if persist:
             # Persist the exemplar once (best-effort) so a rebooted engine
-            # can pre-plan this fingerprint straight from history.
-            self._store.save_shape(fingerprint, workload)
-            self._shapes_persisted.add(fingerprint)
+            # can pre-plan this fingerprint straight from history; the store
+            # write itself runs outside the lock (it may do I/O).
+            try:
+                self._store.save_shape(fingerprint, workload)
+            except BaseException:
+                with self._lock:
+                    self._shapes_persisted.discard(fingerprint)
+                raise
         if schedule:
             if self._pool is not None and not self._closed:
                 self._pool.submit(self._safe_preplan)

@@ -161,6 +161,7 @@ class PrivacyAccountant:
             return None
         entry = entries.pop(0)
         if not entries:
+            # repro-lint: allow[lock-discipline] reason=private helper; commit/refund enter it holding self._lock
             del self._open_charges[key]
         return entry
 

@@ -19,6 +19,7 @@ _spec.loader.exec_module(check_docs)
 def test_docs_exist_and_are_linked():
     assert (ROOT / "docs" / "architecture.md").exists()
     assert (ROOT / "docs" / "performance.md").exists()
+    assert (ROOT / "docs" / "linting.md").exists()
     assert check_docs.DOC_FILES, "docs/*.md not discovered"
 
 
@@ -28,3 +29,7 @@ def test_docs_code_blocks_execute():
 
 def test_internal_links_resolve():
     assert check_docs.check_links() == []
+
+
+def test_lock_table_matches_the_manifest():
+    assert check_docs.check_lock_table() == []

@@ -30,6 +30,8 @@ import sqlite3
 import subprocess
 import sys
 import textwrap
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -655,3 +657,69 @@ class TestForecastPersistence:
             engine = forecast_engine(Planner(), FakeClock(), store=store)
             engine.recorder("alice")
             assert engine.mix() == [("good", pytest.approx(2 * 0.3))]
+
+
+# -------------------------------------------- satellite: locked shared state
+class TestForecastLockDiscipline:
+    """Regressions for the two races ``repro-lint`` surfaced in bring-up
+    (see ``docs/linting.md``): the exemplar-persist membership check ran
+    outside the engine lock (two racing first arrivals of a new shape both
+    persisted it), and the ``PrePlanner`` counters were bare ``+=``,
+    raced by the background pre-plan thread against synchronous ticks."""
+
+    def test_concurrent_first_arrivals_persist_the_exemplar_once(self):
+        class CountingStore:
+            def __init__(self):
+                self.saved = []
+                self._lock = threading.Lock()
+
+            def load_shapes(self):
+                return []
+
+            def load_arrivals(self, tenant, last_epochs):
+                return {}
+
+            def save_shape(self, fingerprint, workload):
+                time.sleep(0.01)  # widen the claim-then-write window
+                with self._lock:
+                    self.saved.append(fingerprint)
+
+        store = CountingStore()
+        engine = forecast_engine(Planner(), FakeClock(), store=store)
+        workload = prefix_workload()
+        barrier = threading.Barrier(8)
+
+        def arrive():
+            barrier.wait()
+            engine.record("tenant", workload)
+
+        threads = [threading.Thread(target=arrive) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # The persist slot is claimed under the engine lock: exactly one
+        # writer, no matter how the eight arrivals interleave.
+        assert store.saved == [workload_fingerprint(workload)]
+
+    def test_preplanner_counters_are_exact_under_concurrent_prewarms(self):
+        planner = Planner()
+        preplanner = PrePlanner(planner, REFERENCE_PRIVACY)
+        workload = prefix_workload()
+        planner.plan(workload, REFERENCE_PRIVACY)  # warm the shared cache
+        barrier = threading.Barrier(8)
+
+        def prewarm():
+            barrier.wait()
+            for _ in range(50):
+                preplanner._prewarm(workload)
+
+        threads = [threading.Thread(target=prewarm) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Locked increments lose no updates: 8 threads x 50 warm hits.
+        assert preplanner.prewarm_already_warm == 400
+        assert preplanner.prewarm_planned == 0
+        assert preplanner.prewarm_failures == 0

@@ -6,8 +6,12 @@ Two checks, both run by the CI ``docs`` job and by ``tests/test_docs.py``:
 * every ``>>>`` example in ``docs/*.md`` executes (via :mod:`doctest`, one
   shared namespace per file — so the docs cannot drift from the code);
 * every relative markdown link in ``README.md``, ``ROADMAP.md`` and
-  ``docs/*.md`` points at a file that exists, and the README links the two
-  operator-subsystem documents.
+  ``docs/*.md`` points at a file that exists, and the README links the
+  operator-subsystem and linting documents;
+* the lock-ownership table in ``docs/architecture.md`` §6 matches the
+  manifest in ``tools/repro_lint/manifest.py`` verbatim — the table is
+  generated from the manifest the ``lock-discipline`` checker enforces,
+  so documentation and enforcement cannot drift apart.
 
 Run with:  PYTHONPATH=src python tools/check_docs.py
 """
@@ -27,8 +31,13 @@ DOC_FILES = sorted((ROOT / "docs").glob("*.md"))
 #: Files whose relative markdown links must resolve.
 LINK_FILES = [ROOT / "README.md", ROOT / "ROADMAP.md"]
 
-#: Links the README is required to carry (the operator-subsystem docs).
-REQUIRED_README_LINKS = ("docs/architecture.md", "docs/performance.md")
+#: Links the README is required to carry (the operator-subsystem docs and
+#: the lint rule catalog).
+REQUIRED_README_LINKS = (
+    "docs/architecture.md",
+    "docs/performance.md",
+    "docs/linting.md",
+)
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
@@ -73,15 +82,34 @@ def check_links() -> list[str]:
     return problems
 
 
+def check_lock_table() -> list[str]:
+    """The architecture doc's §6 lock table must equal the rendered manifest."""
+    sys.path.insert(0, str(ROOT / "tools"))
+    from repro_lint.manifest import render_lock_table
+
+    expected = render_lock_table()
+    text = (ROOT / "docs" / "architecture.md").read_text()
+    if expected not in text:
+        return [
+            "docs/architecture.md: the §6 lock table does not match "
+            "tools/repro_lint/manifest.py — regenerate it with "
+            "repro_lint.manifest.render_lock_table()"
+        ]
+    return []
+
+
 def main() -> int:
     failures = run_doctests()
-    problems = check_links()
+    problems = check_links() + check_lock_table()
     for problem in problems:
         print(problem)
     if failures or problems:
         print(f"FAILED: {failures} doctest failures, {len(problems)} link problems")
         return 1
-    print("docs OK: all code blocks execute, all internal links resolve")
+    print(
+        "docs OK: all code blocks execute, all internal links resolve, "
+        "the lock table matches the manifest"
+    )
     return 0
 
 

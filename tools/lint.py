@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Run repro-lint over the tree: ``python tools/lint.py [paths...]``.
+
+Exit status 0 when clean, 1 when findings remain, 2 on usage errors.
+``--format github`` emits GitHub Actions ``::error`` annotations (what the
+CI ``lint`` job uses so findings land on the PR diff); ``--list-rules``
+prints the rule catalog.  Needs nothing beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import repro_lint  # noqa: E402  (path set up above)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/lint.py",
+        description="AST invariant checks for the repro engine (see docs/linting.md).",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
+    parser.add_argument(
+        "--format", choices=sorted(repro_lint.FORMATTERS), default="text"
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    arguments = parser.parse_args(argv)
+
+    if arguments.list_rules:
+        for checker in repro_lint.ALL_CHECKERS:
+            print(f"{checker.rule_id}: {checker.description} [{checker.doc_section}]")
+        return 0
+
+    rules = None
+    if arguments.rules:
+        rules = [rule.strip() for rule in arguments.rules.split(",") if rule.strip()]
+        unknown = set(rules) - set(repro_lint.RULE_IDS)
+        if unknown:
+            print(f"unknown rules: {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+
+    paths = arguments.paths or ["src"]
+    try:
+        findings = repro_lint.lint(paths, rules=rules)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if findings:
+        print(repro_lint.FORMATTERS[arguments.format](findings))
+        print(
+            f"repro-lint {repro_lint.__version__}: {len(findings)} finding(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"repro-lint {repro_lint.__version__}: clean "
+        f"({len(repro_lint.ALL_CHECKERS)} rules)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

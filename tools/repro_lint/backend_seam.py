@@ -1,0 +1,229 @@
+"""BackendSeam: backend-threaded functions keep numpy behind the seam.
+
+The PR-9 seam contract (performance doc, ``repro.utils.backend``): a
+function threaded through the array backend — it calls ``get_backend`` /
+``resolve_backend``, takes a ``backend`` parameter, or branches on
+``backend.is_default`` — may run *heavy* numpy kernels (``np.matmul``,
+``np.einsum``, ``np.dot``, ``np.tensordot``, ``np.linalg.*``, the ``@``
+operator) only on the ``is_default`` short-circuit branch; everything off
+that branch goes through ``backend.matmul`` / ``backend.einsum`` /
+``backend.xp``.  Host-side bookkeeping numpy (``np.asarray`` on masks,
+``np.zeros`` result buffers, index arithmetic) is deliberately legal on
+every branch — only the kernels the seam exists to dispatch are checked.
+
+A second, boundary rule: a seam function that converts its inputs with
+``backend.asarray`` must convert results back (``to_numpy``) somewhere in
+its body — backend-native arrays never leak through a public boundary.
+
+Branch classification is lexical: ``if backend.is_default:`` bodies are
+default-only, ``if not backend.is_default:`` bodies are non-default, and
+an early ``return``/``raise`` in such a branch flips the remainder of the
+enclosing block (the early-return idiom ``kron_apply`` uses).
+"""
+
+from __future__ import annotations
+
+import ast
+from enum import Enum
+
+from .base import Checker, Finding, Project, SourceFile
+
+HEAVY_NP_FUNCTIONS = {
+    "matmul",
+    "einsum",
+    "dot",
+    "vdot",
+    "inner",
+    "tensordot",
+    "kron",
+}
+NP_NAMES = {"np", "numpy"}
+
+#: the module that implements the seam is exempt from it.
+EXEMPT_MODULES = {"repro.utils.backend"}
+
+
+class Region(Enum):
+    BOTH = "both"
+    DEFAULT = "default"
+    NONDEFAULT = "non-default"
+
+
+def _is_default_test(test: ast.AST):
+    """Classify an ``if`` test: ``X.is_default`` -> (DEFAULT, NONDEFAULT),
+    ``not X.is_default`` -> (NONDEFAULT, DEFAULT), anything else ``None``."""
+    if isinstance(test, ast.Attribute) and test.attr == "is_default":
+        return Region.DEFAULT, Region.NONDEFAULT
+    if (
+        isinstance(test, ast.UnaryOp)
+        and isinstance(test.op, ast.Not)
+        and isinstance(test.operand, ast.Attribute)
+        and test.operand.attr == "is_default"
+    ):
+        return Region.NONDEFAULT, Region.DEFAULT
+    return None
+
+
+def _terminates(body: list[ast.stmt]) -> bool:
+    return bool(body) and isinstance(body[-1], (ast.Return, ast.Raise))
+
+
+def _heavy_ops(node: ast.AST):
+    """Heavy numpy kernels in ``node`` (not descending into statements)."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Attribute) and isinstance(child.value, ast.Name):
+            if child.value.id in NP_NAMES and child.attr in HEAVY_NP_FUNCTIONS:
+                yield child, f"np.{child.attr}"
+        if (
+            isinstance(child, ast.Attribute)
+            and isinstance(child.value, ast.Attribute)
+            and isinstance(child.value.value, ast.Name)
+            and child.value.value.id in NP_NAMES
+            and child.value.attr == "linalg"
+        ):
+            yield child, f"np.linalg.{child.attr}"
+        if isinstance(child, ast.BinOp) and isinstance(child.op, ast.MatMult):
+            yield child, "@ (dense matmul)"
+
+
+def _is_seam_function(function) -> bool:
+    args = function.args
+    if any(
+        arg.arg == "backend" for arg in args.args + args.kwonlyargs + args.posonlyargs
+    ):
+        return True
+    for node in ast.walk(function):
+        if isinstance(node, ast.Call):
+            callee = node.func
+            name = callee.id if isinstance(callee, ast.Name) else getattr(callee, "attr", None)
+            if name in {"get_backend", "resolve_backend"}:
+                return True
+        if isinstance(node, ast.Attribute) and node.attr == "is_default":
+            return True
+    return False
+
+
+class BackendSeamChecker(Checker):
+    rule_id = "backend-seam"
+    description = "backend-threaded code keeps heavy numpy on the default branch"
+    doc_section = "docs/performance.md#the-array-backend-seam"
+
+    def run(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for source in project.files.values():
+            if source.module in EXEMPT_MODULES:
+                continue
+            for node in source.tree.body:
+                findings.extend(self._walk_toplevel(source, node))
+        return findings
+
+    def _walk_toplevel(self, source, node) -> list[Finding]:
+        """Find outermost seam functions (module functions and methods)."""
+        findings: list[Finding] = []
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _is_seam_function(node):
+                findings.extend(self._check_seam_root(source, node))
+            else:
+                # Nested defs may still be seam functions of their own.
+                for child in node.body:
+                    findings.extend(self._walk_toplevel(source, child))
+        elif isinstance(node, ast.ClassDef):
+            for child in node.body:
+                findings.extend(self._walk_toplevel(source, child))
+        return findings
+
+    def _check_seam_root(self, source: SourceFile, function) -> list[Finding]:
+        findings: list[Finding] = []
+        self._classify_block(source, function.body, Region.BOTH, findings)
+        findings.extend(self._check_boundary(source, function))
+        return findings
+
+    def _classify_block(self, source, body, region: Region, findings) -> None:
+        remaining = Region(region)
+        for statement in body:
+            self._classify_statement(source, statement, remaining, findings)
+            if isinstance(statement, ast.If):
+                split = _is_default_test(statement.test)
+                if split and not statement.orelse and _terminates(statement.body):
+                    # `if not backend.is_default: return ...` — the rest of
+                    # this block only runs on the *other* branch.
+                    remaining = split[1]
+
+    def _classify_statement(self, source, statement, region, findings) -> None:
+        if isinstance(statement, ast.If):
+            split = _is_default_test(statement.test)
+            if split is not None:
+                self._classify_block(source, statement.body, split[0], findings)
+                self._classify_block(source, statement.orelse, split[1], findings)
+                return
+            self._scan(source, statement.test, region, findings)
+            self._classify_block(source, statement.body, region, findings)
+            self._classify_block(source, statement.orelse, region, findings)
+            return
+        if isinstance(statement, (ast.For, ast.AsyncFor)):
+            self._scan(source, statement.iter, region, findings)
+            self._classify_block(source, statement.body, region, findings)
+            self._classify_block(source, statement.orelse, region, findings)
+            return
+        if isinstance(statement, ast.While):
+            self._scan(source, statement.test, region, findings)
+            self._classify_block(source, statement.body, region, findings)
+            self._classify_block(source, statement.orelse, region, findings)
+            return
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            for item in statement.items:
+                self._scan(source, item.context_expr, region, findings)
+            self._classify_block(source, statement.body, region, findings)
+            return
+        if isinstance(statement, ast.Try):
+            for block in (
+                statement.body,
+                statement.orelse,
+                statement.finalbody,
+                *[handler.body for handler in statement.handlers],
+            ):
+                self._classify_block(source, block, region, findings)
+            return
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A helper defined here may run on either branch reaching it.
+            self._classify_block(source, statement.body, region, findings)
+            return
+        self._scan(source, statement, region, findings)
+
+    def _scan(self, source, node, region: Region, findings) -> None:
+        if region is Region.DEFAULT:
+            return
+        for op_node, op_name in _heavy_ops(node):
+            findings.append(
+                self.finding(
+                    source,
+                    op_node,
+                    f"`{op_name}` on the {region.value} path of a "
+                    f"backend-threaded function — dispatch through the "
+                    f"backend (see {self.doc_section})",
+                )
+            )
+
+    def _check_boundary(self, source, function) -> list[Finding]:
+        converts_in = False
+        converts_out = False
+        for node in ast.walk(function):
+            if isinstance(node, ast.Attribute):
+                if node.attr == "asarray" and not (
+                    isinstance(node.value, ast.Name) and node.value.id in NP_NAMES
+                ):
+                    converts_in = True
+                if node.attr == "to_numpy":
+                    converts_out = True
+        if converts_in and not converts_out:
+            return [
+                self.finding(
+                    source,
+                    function,
+                    f"`{function.name}` converts inputs with "
+                    f"`backend.asarray` but never calls `to_numpy` — "
+                    f"backend-native arrays must not leak through the "
+                    f"boundary (see {self.doc_section})",
+                )
+            ]
+        return []

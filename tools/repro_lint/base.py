@@ -1,0 +1,268 @@
+"""The repro-lint checker framework.
+
+Everything rule-agnostic lives here: the file walker, the parsed-project
+model handed to every checker, suppression pragmas, and the two output
+formats.  A checker is a class with a ``rule_id``, a one-line
+``description``, a ``doc_section`` anchor into ``docs/architecture.md``,
+and a ``run(project)`` method returning :class:`Finding` objects; the
+registry in ``repro_lint.__init__`` wires the concrete checkers together.
+
+Suppression pragmas
+-------------------
+A finding is suppressed by a pragma on its own line or the line above::
+
+    self._entries[key] = value  # repro-lint: allow[lock-discipline] reason=single-threaded bootstrap
+
+The ``reason=`` clause is mandatory: a pragma without a non-empty reason is
+itself reported (rule ``pragma``), so every suppression in the tree carries
+its justification next to the code it excuses.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Pragma grammar: ``# repro-lint: allow[<rule>] reason=<free text to EOL>``.
+PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*allow\[(?P<rule>[A-Za-z0-9_*-]+)\]\s*(?:reason=(?P<reason>.*))?$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def sort_key(self):
+        return (self.path, self.line, self.rule, self.message)
+
+
+@dataclass
+class SourceFile:
+    """One parsed Python file plus the derived views the checkers share."""
+
+    path: str  #: path as given on the command line (posix separators)
+    module: str  #: dotted module name, e.g. ``repro.engine.cache``
+    text: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    #: child AST node -> parent AST node, for lexical-ancestor walks.
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.lines = self.text.splitlines()
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[child] = node
+
+    def ancestors(self, node: ast.AST):
+        """Lexical ancestors of ``node``, innermost first."""
+        while node in self.parents:
+            node = self.parents[node]
+            yield node
+
+    def enclosing_function(self, node: ast.AST):
+        """The innermost enclosing function/async-function def, or ``None``."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+
+def module_name(path: str) -> str:
+    """Dotted module name for ``path``, rooted at the last ``src`` component.
+
+    ``src/repro/engine/cache.py`` -> ``repro.engine.cache``; a file outside
+    any ``src`` directory keeps its full relative path as the module chain
+    (good enough for fixtures and one-off trees).
+    """
+    parts = list(Path(path).parts)
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class Project:
+    """Every parsed file of one lint run, keyed by path and by module name."""
+
+    files: dict[str, SourceFile] = field(default_factory=dict)
+
+    @property
+    def by_module(self) -> dict[str, SourceFile]:
+        return {source.module: source for source in self.files.values()}
+
+    def add(self, path: str, text: str) -> SourceFile:
+        source = SourceFile(
+            path=Path(path).as_posix(),
+            module=module_name(path),
+            text=text,
+            tree=ast.parse(text, filename=path),
+        )
+        self.files[source.path] = source
+        return source
+
+
+class Checker:
+    """Base class: concrete checkers override the class attributes + run()."""
+
+    rule_id: str = "abstract"
+    description: str = ""
+    #: architecture.md anchor documenting the invariant this rule enforces.
+    doc_section: str = ""
+
+    def run(self, project: Project) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(self, source: SourceFile, node: ast.AST, message: str) -> Finding:
+        return Finding(self.rule_id, source.path, getattr(node, "lineno", 1), message)
+
+
+# --------------------------------------------------------------------- walker
+def collect_files(paths: list[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``*.py`` paths."""
+    found: list[str] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found.extend(p.as_posix() for p in sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            found.append(path.as_posix())
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    return found
+
+
+def load_project(paths: list[str]) -> tuple[Project, list[Finding]]:
+    """Parse every file; unparseable files become findings, not crashes."""
+    project = Project()
+    errors: list[Finding] = []
+    for path in collect_files(paths):
+        text = Path(path).read_text()
+        try:
+            project.add(path, text)
+        except SyntaxError as error:
+            errors.append(
+                Finding("syntax", Path(path).as_posix(), error.lineno or 1, str(error.msg))
+            )
+    return project, errors
+
+
+# -------------------------------------------------------------------- pragmas
+def _pragmas(source: SourceFile) -> dict[int, tuple[str, str]]:
+    """line number -> (rule, reason) for every pragma comment in the file."""
+    out: dict[int, tuple[str, str]] = {}
+    for number, line in enumerate(source.lines, start=1):
+        match = PRAGMA.search(line)
+        if match:
+            out[number] = (match.group("rule"), (match.group("reason") or "").strip())
+    return out
+
+
+def apply_pragmas(project: Project, findings: list[Finding]) -> list[Finding]:
+    """Suppress pragma-covered findings; report reason-less pragmas."""
+    kept: list[Finding] = []
+    pragma_map = {path: _pragmas(source) for path, source in project.files.items()}
+    for finding in findings:
+        suppressed = False
+        for line in (finding.line, finding.line - 1):
+            entry = pragma_map.get(finding.path, {}).get(line)
+            if entry and entry[0] in (finding.rule, "*") and entry[1]:
+                suppressed = True
+                break
+        if not suppressed:
+            kept.append(finding)
+    for path, entries in pragma_map.items():
+        for line, (rule, reason) in entries.items():
+            if not reason:
+                kept.append(
+                    Finding(
+                        "pragma",
+                        path,
+                        line,
+                        f"suppression of [{rule}] without a reason= justification",
+                    )
+                )
+    return kept
+
+
+# --------------------------------------------------------------------- runner
+def run_checkers(paths: list[str], checkers) -> list[Finding]:
+    """Parse ``paths``, run every checker, apply pragmas, sort the result."""
+    project, findings = load_project(paths)
+    for checker in checkers:
+        findings.extend(checker.run(project))
+    return sorted(apply_pragmas(project, findings), key=Finding.sort_key)
+
+
+# ------------------------------------------------------------------ reporting
+def format_text(findings: list[Finding]) -> str:
+    return "\n".join(
+        f"{finding.path}:{finding.line}: [{finding.rule}] {finding.message}"
+        for finding in findings
+    )
+
+
+def format_github(findings: list[Finding]) -> str:
+    """GitHub Actions workflow-command annotations (one ``::error`` per line)."""
+    out = []
+    for finding in findings:
+        message = finding.message.replace("%", "%25").replace("\n", "%0A")
+        out.append(
+            f"::error file={finding.path},line={finding.line},"
+            f"title=repro-lint {finding.rule}::{message}"
+        )
+    return "\n".join(out)
+
+
+FORMATTERS = {"text": format_text, "github": format_github}
+
+
+# ----------------------------------------------------------- shared AST utils
+#: Method names that mutate their receiver in place (used by LockDiscipline
+#: and the fixture checkers to treat ``x.append(...)`` as a write to ``x``).
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "move_to_end",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The called name: ``f(...)`` -> ``f``; ``a.b.c(...)`` -> ``c``."""
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def unparse(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - defensive
+        return "<unprintable>"

@@ -1,0 +1,123 @@
+"""BudgetFlow: every budget charge has a refund path; the ledger leads.
+
+The §8 fail-closed policy: a debit precedes its noise draw, and an
+execution failure after the debit must return the budget (refund) or
+settle the write-ahead ledger entry.  Lexically:
+
+* every ``*.charge(...)`` / ``*.spend(...)`` call must be protected by a
+  ``try`` in the same function whose ``except`` or ``finally`` calls
+  ``refund`` or ``ledger_settle`` — either the charge sits inside that
+  ``try``, or the ``try`` opens on/after the charge line (the
+  charge-then-guard shape ``Session.ask`` uses);
+* in any function that calls both ``ledger_begin`` and a noise draw
+  (``standard_normal`` / ``normal`` / ``laplace``), the ``ledger_begin``
+  must come first — the write-ahead record dominates the irreversible
+  draw it guards.
+
+The defining layers (the accountant itself and the durable store) are
+exempt: they *implement* the pairing the rest of the tree must request.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Checker, Finding, Project, call_name
+
+CHARGE_CALLS = {"charge", "spend"}
+RELEASE_CALLS = {"refund", "ledger_settle"}
+NOISE_DRAWS = {"standard_normal", "normal", "laplace"}
+
+#: modules that implement the budget machinery (pair rule does not apply).
+EXEMPT_MODULES = {"repro.mechanisms.accountant", "repro.engine.store"}
+
+
+def _calls_in(nodes, names) -> list[ast.Call]:
+    out = []
+    for node in nodes:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call) and call_name(child) in names:
+                out.append(child)
+    return out
+
+
+class BudgetFlowChecker(Checker):
+    rule_id = "budget-flow"
+    description = "charges pair with refund/settle; ledger_begin precedes the draw"
+    doc_section = "docs/architecture.md#8-the-durable-state-tier"
+
+    def __init__(self, exempt_modules: set[str] | None = None):
+        self.exempt_modules = (
+            set(exempt_modules) if exempt_modules is not None else set(EXEMPT_MODULES)
+        )
+
+    def run(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for source in project.files.values():
+            exempt = source.module in self.exempt_modules
+            for node in ast.walk(source.tree):
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if not exempt:
+                    findings.extend(self._check_pairing(source, node))
+                findings.extend(self._check_ledger_dominates(source, node))
+        return findings
+
+    def _check_pairing(self, source, function) -> list[Finding]:
+        charges = _calls_in([function], CHARGE_CALLS)
+        if not charges:
+            return []
+        # Guarding try statements: refund/settle in a handler or finally.
+        guards = []
+        for node in ast.walk(function):
+            if isinstance(node, ast.Try) and _calls_in(
+                list(node.handlers) + list(node.finalbody), RELEASE_CALLS
+            ):
+                guards.append(node)
+        findings = []
+        for charge in charges:
+            protected = any(
+                self._covers(source, guard, charge) for guard in guards
+            )
+            if not protected:
+                findings.append(
+                    self.finding(
+                        source,
+                        charge,
+                        f"`{ast.unparse(charge.func)}` has no refund/"
+                        f"ledger_settle pairing in an enclosing try/finally "
+                        f"of `{function.name}` — a failure after the debit "
+                        f"strands budget (see {self.doc_section})",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _covers(source, guard: ast.Try, charge: ast.Call) -> bool:
+        """The guard protects the charge: charge inside the try body, or the
+        try opens on/after the charge line (charge-then-guard shape)."""
+        for child in guard.body:
+            for node in ast.walk(child):
+                if node is charge:
+                    return True
+        return guard.lineno >= charge.lineno
+
+    def _check_ledger_dominates(self, source, function) -> list[Finding]:
+        begins = _calls_in([function], {"ledger_begin"})
+        if not begins:
+            return []
+        first_begin = min(call.lineno for call in begins)
+        findings = []
+        for draw in _calls_in([function], NOISE_DRAWS):
+            if draw.lineno < first_begin:
+                findings.append(
+                    self.finding(
+                        source,
+                        draw,
+                        f"noise draw `{ast.unparse(draw.func)}` precedes "
+                        f"`ledger_begin` in `{function.name}` — the "
+                        f"write-ahead record must dominate the draw it "
+                        f"guards (see {self.doc_section})",
+                    )
+                )
+        return findings

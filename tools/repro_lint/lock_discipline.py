@@ -1,0 +1,140 @@
+"""LockDiscipline: registered shared state is only written under its lock.
+
+The registry of (attribute, lock) pairs is :data:`repro_lint.manifest.LOCK_MANIFEST`
+— the same manifest the ``docs/architecture.md`` §6 lock table is generated
+from.  A *write* is an assignment / augmented assignment / deletion whose
+target is the registered attribute (``self._entries[k] = v``,
+``self.hits += 1``, ``del self._entries[k]``) or an in-place mutator method
+call on it (``self._entries.move_to_end(k)``, ``ring.append(x)``).  The
+write must sit lexically inside ``with <owning-lock>:`` in the owning
+module.
+
+Two deliberate exemptions keep the rule lexical and useful:
+
+* writes inside the owning class's ``__init__`` (and module-level
+  initialisers for module-global state) — construction precedes sharing;
+* reads are never checked, so the engine's documented lock-free counter
+  *reads* (``PlanCache.stats``) stay legal.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import MUTATOR_METHODS, Checker, Finding, Project, SourceFile, unparse
+from .manifest import LockRule, checkable_rules
+
+
+def _with_lock_exprs(source: SourceFile, node: ast.AST) -> set[str]:
+    """Unparsed context expressions of every enclosing ``with`` statement."""
+    held: set[str] = set()
+    for ancestor in source.ancestors(node):
+        if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+            for item in ancestor.items:
+                held.add(unparse(item.context_expr))
+    return held
+
+
+def _in_constructor(source: SourceFile, node: ast.AST, owner: str | None) -> bool:
+    """True when ``node`` sits in ``owner.__init__`` (or, for module-level
+    state, directly at module scope — the import-time initialiser)."""
+    function = source.enclosing_function(node)
+    if owner is None:
+        return function is None
+    if function is None or function.name != "__init__":
+        return False
+    for ancestor in source.ancestors(function):
+        if isinstance(ancestor, ast.ClassDef):
+            return ancestor.name == owner
+    return False
+
+
+def _in_owner_class(source: SourceFile, node: ast.AST, owner: str | None) -> bool:
+    if owner is None:
+        return True
+    for ancestor in source.ancestors(node):
+        if isinstance(ancestor, ast.ClassDef):
+            return ancestor.name == owner
+    return False
+
+
+def _written_expr(rule: LockRule, node: ast.AST) -> ast.AST | None:
+    """The registered state expression ``node`` writes to, if any.
+
+    For class-owned state that is ``self.<attr>`` (assignment targets,
+    subscript stores, mutator calls); for module-global state it is the
+    bare name.
+    """
+
+    def matches(expr: ast.AST) -> bool:
+        if rule.owner is None:
+            return isinstance(expr, ast.Name) and expr.id in rule.attributes
+        return (
+            isinstance(expr, ast.Attribute)
+            and expr.attr in rule.attributes
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        )
+
+    def base(expr: ast.AST) -> ast.AST:
+        # `self._entries[key]` writes `self._entries`; peel subscripts.
+        while isinstance(expr, ast.Subscript):
+            expr = expr.value
+        return expr
+
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete)):
+        targets = (
+            node.targets
+            if isinstance(node, ast.Assign)
+            else node.targets
+            if isinstance(node, ast.Delete)
+            else [node.target]
+        )
+        for target in targets:
+            for element in ast.walk(target):
+                candidate = base(element)
+                if matches(candidate):
+                    return candidate
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in MUTATOR_METHODS and matches(base(node.func.value)):
+            return node.func.value
+    return None
+
+
+class LockDisciplineChecker(Checker):
+    rule_id = "lock-discipline"
+    description = (
+        "writes to manifest-registered shared state must hold the owning lock"
+    )
+    doc_section = "docs/architecture.md#6-the-serving-layer"
+
+    def __init__(self, rules: list[LockRule] | None = None):
+        self.rules = list(rules) if rules is not None else checkable_rules()
+
+    def run(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        by_module = project.by_module
+        for rule in self.rules:
+            source = by_module.get(rule.module or "")
+            if source is None:
+                continue
+            for node in ast.walk(source.tree):
+                written = _written_expr(rule, node)
+                if written is None:
+                    continue
+                if not _in_owner_class(source, node, rule.owner):
+                    continue
+                if _in_constructor(source, node, rule.owner):
+                    continue
+                if rule.lock in _with_lock_exprs(source, node):
+                    continue
+                findings.append(
+                    self.finding(
+                        source,
+                        node,
+                        f"write to shared state `{unparse(written)}` outside "
+                        f"`with {rule.lock}:` (owner: "
+                        f"{rule.owner or rule.module}; see {self.doc_section})",
+                    )
+                )
+        return findings

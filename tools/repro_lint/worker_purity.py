@@ -1,0 +1,230 @@
+"""WorkerPurity: code reachable from worker entry points never writes
+authoritative state.
+
+The §7 ownership rule: worker processes are pure compute — accountants,
+the plan cache, the durable store and release recording are written by the
+parent only.  This checker approximates the call graph from the worker
+entry points in ``repro.engine.executor`` (the ``*_in_worker`` functions)
+and flags any reachable call whose name is an authoritative-state writer:
+accountant ``charge``/``refund``/``spend``/``commit``, ``PlanCache.put`` /
+``warm``, ``StateStore`` writers (``ledger_begin``, ``ledger_settle``,
+``save_plan``, ``save_release``, ``add_arrivals``, ``save_shape``), and
+``Session._record``.
+
+Resolution is deliberately an over-approximation, scoped to stay useful:
+
+* bare calls resolve through the calling module's own functions and its
+  ``from``-imports;
+* ``obj.method(...)`` resolves to every class method of that name defined
+  in the calling module's *transitive import closure* (not the whole
+  project — so a method name shared with an unrelated subsystem does not
+  drag that subsystem into the worker graph);
+* calls through imported-module aliases (``planner.build(...)``) resolve
+  to that module's functions.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Checker, Finding, Project, SourceFile
+
+#: method/function names a worker-reachable frame may never call.
+FORBIDDEN_CALLS = {
+    "charge": "accountant charge (budget debit)",
+    "refund": "accountant refund",
+    "spend": "accountant spend",
+    "commit": "accountant commit",
+    "put": "PlanCache.put",
+    "warm": "PlanCache.warm",
+    "ledger_begin": "StateStore write-ahead ledger begin",
+    "ledger_settle": "StateStore ledger settle",
+    "save_plan": "StateStore plan persistence",
+    "save_release": "StateStore release persistence",
+    "add_arrivals": "StateStore arrival persistence",
+    "save_shape": "StateStore shape persistence",
+    "_record": "Session release recording",
+}
+
+#: module -> entry-point predicate source. The executor's worker functions
+#: follow the ``*_in_worker`` naming convention.
+ENTRY_POINT_MODULE = "repro.engine.executor"
+
+
+def _is_entry_point(name: str) -> bool:
+    return name.endswith("_in_worker")
+
+
+class _ModuleIndex:
+    """Per-module symbol tables: functions, classes/methods, imports."""
+
+    def __init__(self, source: SourceFile):
+        self.source = source
+        self.functions: dict[str, ast.FunctionDef] = {}
+        self.classes: dict[str, dict[str, ast.FunctionDef]] = {}
+        #: local alias -> dotted repro module (``import x as y`` and
+        #: ``from pkg import submodule``).
+        self.module_aliases: dict[str, str] = {}
+        #: local alias -> (module, symbol) for ``from module import symbol``.
+        self.symbol_imports: dict[str, tuple[str, str]] = {}
+
+        for node in source.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[node.name] = node
+            elif isinstance(node, ast.ClassDef):
+                methods = {}
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        methods[item.name] = item
+                self.classes[node.name] = methods
+        # Imports anywhere in the module (lazy in-function imports included).
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.module_aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.symbol_imports[alias.asname or alias.name] = (
+                        node.module,
+                        alias.name,
+                    )
+
+
+class WorkerPurityChecker(Checker):
+    rule_id = "worker-purity"
+    description = "worker-reachable code never writes authoritative parent state"
+    doc_section = "docs/architecture.md#7-the-execution-tier"
+
+    def __init__(self, entry_module: str = ENTRY_POINT_MODULE):
+        self.entry_module = entry_module
+
+    def run(self, project: Project) -> list[Finding]:
+        by_module = project.by_module
+        if self.entry_module not in by_module:
+            return []
+        indexes = {name: _ModuleIndex(src) for name, src in by_module.items()}
+        closures = {name: self._closure(name, indexes) for name in indexes}
+
+        findings: list[Finding] = []
+        seen: set[tuple[str, str]] = set()
+        queue: list[tuple[str, str, ast.AST, str]] = []
+        entry_index = indexes[self.entry_module]
+        for name, node in entry_index.functions.items():
+            if _is_entry_point(name):
+                queue.append((self.entry_module, name, node, name))
+
+        while queue:
+            module, qualname, node, chain = queue.pop()
+            if (module, qualname) in seen:
+                continue
+            seen.add((module, qualname))
+            index = indexes[module]
+            for call in ast.walk(node):
+                if not isinstance(call, ast.Call):
+                    continue
+                called = self._called_name(call)
+                if called in FORBIDDEN_CALLS:
+                    findings.append(
+                        Finding(
+                            self.rule_id,
+                            index.source.path,
+                            call.lineno,
+                            f"`{ast.unparse(call.func)}` "
+                            f"({FORBIDDEN_CALLS[called]}) is reachable from "
+                            f"worker entry point via {chain} — workers are "
+                            f"pure compute (see {self.doc_section})",
+                        )
+                    )
+                    continue
+                for target_module, target_qualname, target_node in self._resolve(
+                    call, module, indexes, closures
+                ):
+                    queue.append(
+                        (
+                            target_module,
+                            target_qualname,
+                            target_node,
+                            f"{chain} -> {target_module}.{target_qualname}",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _called_name(call: ast.Call) -> str | None:
+        if isinstance(call.func, ast.Name):
+            return call.func.id
+        if isinstance(call.func, ast.Attribute):
+            return call.func.attr
+        return None
+
+    def _closure(self, module: str, indexes: dict[str, _ModuleIndex]) -> set[str]:
+        """Transitive import closure of ``module`` within the project."""
+        closure = {module}
+        frontier = [module]
+        while frontier:
+            current = frontier.pop()
+            index = indexes[current]
+            imported: set[str] = set(index.module_aliases.values())
+            for imported_module, symbol in index.symbol_imports.values():
+                imported.add(imported_module)
+                imported.add(f"{imported_module}.{symbol}")  # from pkg import mod
+            for name in imported:
+                if name in indexes and name not in closure:
+                    closure.add(name)
+                    frontier.append(name)
+        return closure
+
+    def _resolve(self, call, module, indexes, closures):
+        """Yield (module, qualname, node) targets for one call."""
+        index = indexes[module]
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in index.functions:
+                yield module, name, index.functions[name]
+            elif name in index.classes:  # constructor
+                init = index.classes[name].get("__init__")
+                if init is not None:
+                    yield module, f"{name}.__init__", init
+            elif name in index.symbol_imports:
+                target_module, symbol = index.symbol_imports[name]
+                target = indexes.get(target_module)
+                if target is None:
+                    return
+                if symbol in target.functions:
+                    yield target_module, symbol, target.functions[symbol]
+                elif symbol in target.classes:
+                    init = target.classes[symbol].get("__init__")
+                    if init is not None:
+                        yield target_module, f"{symbol}.__init__", init
+            return
+        if isinstance(func, ast.Attribute):
+            method = func.attr
+            # Module-alias call: `linalg.pcg_solve(...)`.
+            if isinstance(func.value, ast.Name):
+                alias = func.value.id
+                target_module = None
+                if alias in index.module_aliases:
+                    target_module = index.module_aliases[alias]
+                elif alias in index.symbol_imports:
+                    imported_module, symbol = index.symbol_imports[alias]
+                    candidate = f"{imported_module}.{symbol}"
+                    if candidate in indexes:
+                        target_module = candidate
+                if target_module in indexes:
+                    target = indexes[target_module]
+                    if method in target.functions:
+                        yield target_module, method, target.functions[method]
+                        return
+            # Method-name resolution over the calling module's closure.
+            for closure_module in sorted(closures[module]):
+                target = indexes[closure_module]
+                for class_name, methods in target.classes.items():
+                    if method in methods:
+                        yield (
+                            closure_module,
+                            f"{class_name}.{method}",
+                            methods[method],
+                        )
